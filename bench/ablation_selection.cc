@@ -1,0 +1,51 @@
+// Ablation: parent-selection strategies (DESIGN.md §2's Eq. 3 discussion).
+//
+// The paper's Eq. 3 literally favours HIGH (bad) scores; its text describes
+// the opposite. This bench runs the Flare/Eq.2 experiment under four
+// strategies — inverse-score (our default, the described behaviour), the
+// literal Eq. 3, linear rank, and uniform — and compares the optimization
+// each achieves. Expectation: inverse/rank clearly beat literal/uniform on
+// mean-score improvement, supporting the bug-fix reading of Eq. 3.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+using namespace evocat;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("# Ablation: selection strategies on Flare, Eq.2 (max)\n");
+  std::printf(
+      "series,strategy,initial_mean,final_mean,mean_improve_pct,final_min,"
+      "final_max\n");
+
+  auto dataset_case = experiments::CaseByName("flare").ValueOrDie();
+  const core::SelectionStrategy strategies[] = {
+      core::SelectionStrategy::kInverseScore,
+      core::SelectionStrategy::kLiteralScore,
+      core::SelectionStrategy::kRank,
+      core::SelectionStrategy::kUniform,
+  };
+  for (auto strategy : strategies) {
+    auto options =
+        bench::BenchOptions(metrics::ScoreAggregation::kMax, /*generations=*/1000);
+    options.selection = strategy;
+    auto result = experiments::RunExperiment(dataset_case, options);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    const auto& experiment = result.ValueOrDie();
+    double improve = experiments::ExperimentResult::ImprovementPercent(
+        experiment.initial_scores.mean, experiment.final_scores.mean);
+    std::printf("selection,%s,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+                core::SelectionStrategyToString(strategy),
+                experiment.initial_scores.mean, experiment.final_scores.mean,
+                improve, experiment.final_scores.min,
+                experiment.final_scores.max);
+  }
+  return 0;
+}

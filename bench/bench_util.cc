@@ -1,0 +1,96 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "common/timer.h"
+#include "experiments/pareto.h"
+#include "experiments/report.h"
+#include "experiments/svg_plot.h"
+
+namespace evocat {
+namespace bench {
+
+experiments::ExperimentOptions BenchOptions(metrics::ScoreAggregation aggregation,
+                                            int generations) {
+  experiments::ExperimentOptions options;
+  options.aggregation = aggregation;
+  options.generations = generations;
+  // Fixed seeds: every bench run regenerates identical series.
+  options.data_seed = 0xDA7A;
+  options.protection_seed = 0x9A5C;
+  options.ga_seed = 42;
+  return options;
+}
+
+int RunFigureBench(const FigureSpec& spec) {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("# %s\n", spec.title.c_str());
+  std::printf("# dataset=%s aggregation=%s generations=%d", spec.dataset.c_str(),
+              metrics::ScoreAggregationToString(spec.aggregation),
+              spec.generations);
+  if (spec.remove_best_fraction > 0) {
+    std::printf(" remove_best=%.0f%%", spec.remove_best_fraction * 100);
+  }
+  std::printf("\n");
+  if (!spec.paper_notes.empty()) {
+    std::printf("# paper: %s\n", spec.paper_notes.c_str());
+  }
+
+  auto dataset_case = experiments::CaseByName(spec.dataset);
+  if (!dataset_case.ok()) {
+    std::cerr << dataset_case.status().ToString() << "\n";
+    return 1;
+  }
+  auto options = BenchOptions(spec.aggregation, spec.generations);
+  options.remove_best_fraction = spec.remove_best_fraction;
+
+  Timer timer;
+  auto result = experiments::RunExperiment(dataset_case.ValueOrDie(), options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  const auto& experiment = result.ValueOrDie();
+
+  experiments::PrintDispersionCsv(experiment, std::cout);
+  experiments::PrintEvolutionCsv(experiment, std::cout);
+  std::printf("# measured:\n");
+  experiments::PrintImprovementSummary(experiment, std::cout);
+
+  // Multi-objective view of the dispersion clouds: the final front should
+  // dominate more area than the initial one.
+  auto initial_pareto = experiments::AnalyzePareto(experiment.initial);
+  auto final_pareto = experiments::AnalyzePareto(experiment.final_population);
+  std::printf("pareto,initial,front=%zu,hypervolume=%.4f\n",
+              initial_pareto.front.size(), initial_pareto.hypervolume);
+  std::printf("pareto,final,front=%zu,hypervolume=%.4f\n",
+              final_pareto.front.size(), final_pareto.hypervolume);
+
+  // Optional: render the actual figures (paper-style SVGs).
+  if (const char* svg_dir = std::getenv("EVOCAT_SVG_DIR")) {
+    std::string stem = spec.dataset + "_" +
+                       metrics::ScoreAggregationToString(spec.aggregation);
+    if (spec.remove_best_fraction > 0) {
+      stem += StrFormat("_rob%.0f", spec.remove_best_fraction * 100);
+    }
+    Status svg_status = experiments::WriteFigureSvgs(experiment, spec.title,
+                                                     svg_dir, stem);
+    if (!svg_status.ok()) {
+      std::cerr << svg_status.ToString() << "\n";
+    } else {
+      std::printf("# svg figures written to %s/%s_*.svg\n", svg_dir,
+                  stem.c_str());
+    }
+  }
+
+  std::printf("# wall_time_s=%.2f\n", timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace evocat

@@ -1,0 +1,47 @@
+/// \file bench_util.h
+/// \brief Shared driver for the paper-figure reproduction binaries.
+///
+/// Every `fig*` bench runs one experiment from the paper's §3 and prints:
+///   1. a header identifying the paper artifact and the expected shape,
+///   2. the dispersion series (initial/final (IL, DR) clouds),
+///   3. the evolution series (min/mean/max score per generation),
+///   4. a paper-style improvement summary.
+/// Output is stdout CSV prefixed with series tags so it can be both read and
+/// plotted.
+
+#ifndef EVOCAT_BENCH_BENCH_UTIL_H_
+#define EVOCAT_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "experiments/runner.h"
+
+namespace evocat {
+namespace bench {
+
+/// \brief Declarative description of one figure-reproduction run.
+struct FigureSpec {
+  /// e.g. "Figures 1-2: Adult dataset, fitness Eq.1 (mean)".
+  std::string title;
+  /// Case name: housing | german | flare | adult.
+  std::string dataset;
+  metrics::ScoreAggregation aggregation = metrics::ScoreAggregation::kMean;
+  /// Robustness experiment: fraction of best seeds removed.
+  double remove_best_fraction = 0.0;
+  int generations = 400;
+  /// The paper's reported numbers for this artifact (free text, printed in
+  /// the header so paper-vs-measured is visible in the raw output).
+  std::string paper_notes;
+};
+
+/// \brief Runs the spec and prints all series; returns a process exit code.
+int RunFigureBench(const FigureSpec& spec);
+
+/// \brief Shared experiment defaults for bench binaries (fixed seeds).
+experiments::ExperimentOptions BenchOptions(metrics::ScoreAggregation aggregation,
+                                            int generations);
+
+}  // namespace bench
+}  // namespace evocat
+
+#endif  // EVOCAT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the seven IL/DR measures and the
+// whole fitness evaluation — the hot path the paper identifies as the
+// dominant cost (>99% of generation time).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/generator.h"
+#include "metrics/ctbil.h"
+#include "metrics/dbil.h"
+#include "metrics/dbrl.h"
+#include "metrics/ebil.h"
+#include "metrics/fitness.h"
+#include "metrics/interval_disclosure.h"
+#include "metrics/prl.h"
+#include "metrics/rsrl.h"
+#include "protection/pram.h"
+
+namespace {
+
+using namespace evocat;
+
+struct Fixture {
+  Dataset original;
+  Dataset masked;
+  std::vector<int> attrs;
+
+  explicit Fixture(int64_t rows) {
+    auto profile = datagen::AdultProfile();
+    profile.num_records = rows;
+    original = datagen::Generate(profile, 101).ValueOrDie();
+    attrs = datagen::ProtectedAttributeIndices(profile, original).ValueOrDie();
+    Rng rng(7);
+    masked =
+        protection::Pram(0.7).Protect(original, attrs, &rng).ValueOrDie();
+  }
+};
+
+Fixture& SharedFixture(int64_t rows) {
+  static auto* fixtures = new std::map<int64_t, Fixture*>();
+  auto it = fixtures->find(rows);
+  if (it == fixtures->end()) {
+    it = fixtures->emplace(rows, new Fixture(rows)).first;
+  }
+  return *it->second;
+}
+
+template <typename MeasureT>
+void BM_Measure(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state.range(0));
+  MeasureT measure;
+  auto bound =
+      std::move(measure.Bind(fixture.original, fixture.attrs)).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bound->Compute(fixture.masked));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FullFitness(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state.range(0));
+  auto evaluator =
+      std::move(metrics::FitnessEvaluator::Create(fixture.original, fixture.attrs))
+          .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->Evaluate(fixture.masked));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BindCost(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(state.range(0));
+  for (auto _ : state) {
+    auto evaluator = std::move(metrics::FitnessEvaluator::Create(
+                                   fixture.original, fixture.attrs))
+                         .ValueOrDie();
+    benchmark::DoNotOptimize(evaluator.get());
+  }
+}
+
+// Linear-cost measures get more rows; quadratic linkage measures are pinned
+// to the paper's file sizes (1000 records).
+BENCHMARK_TEMPLATE(BM_Measure, metrics::CtbIl)->Arg(1000)->Arg(4000);
+BENCHMARK_TEMPLATE(BM_Measure, metrics::DbIl)->Arg(1000)->Arg(4000);
+BENCHMARK_TEMPLATE(BM_Measure, metrics::EbIl)->Arg(1000)->Arg(4000);
+BENCHMARK_TEMPLATE(BM_Measure, metrics::IntervalDisclosure)->Arg(1000)->Arg(4000);
+BENCHMARK_TEMPLATE(BM_Measure, metrics::DistanceBasedRecordLinkage)
+    ->Arg(500)
+    ->Arg(1000);
+BENCHMARK_TEMPLATE(BM_Measure, metrics::ProbabilisticRecordLinkage)
+    ->Arg(500)
+    ->Arg(1000);
+BENCHMARK_TEMPLATE(BM_Measure, metrics::RankSwappingRecordLinkage)
+    ->Arg(500)
+    ->Arg(1000);
+BENCHMARK(BM_FullFitness)->Arg(1000);
+BENCHMARK(BM_BindCost)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmarks for the six masking methods on paper-size files.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "datagen/generator.h"
+#include "protection/coding.h"
+#include "protection/global_recoding.h"
+#include "protection/microaggregation.h"
+#include "protection/pram.h"
+#include "protection/rank_swapping.h"
+
+namespace {
+
+using namespace evocat;
+
+struct Fixture {
+  Dataset original;
+  std::vector<int> attrs;
+};
+
+Fixture& SharedFixture(int64_t rows) {
+  static auto* fixtures = new std::map<int64_t, Fixture*>();
+  auto it = fixtures->find(rows);
+  if (it == fixtures->end()) {
+    auto profile = datagen::HousingProfile();
+    profile.num_records = rows;
+    auto* fixture = new Fixture;
+    fixture->original = datagen::Generate(profile, 77).ValueOrDie();
+    fixture->attrs =
+        datagen::ProtectedAttributeIndices(profile, fixture->original)
+            .ValueOrDie();
+    it = fixtures->emplace(rows, fixture).first;
+  }
+  return *it->second;
+}
+
+template <typename MethodT>
+void RunMethod(benchmark::State& state, MethodT method) {
+  Fixture& fixture = SharedFixture(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    auto masked = method.Protect(fixture.original, fixture.attrs, &rng);
+    benchmark::DoNotOptimize(masked.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_MicroaggregationUnivariate(benchmark::State& state) {
+  RunMethod(state, protection::Microaggregation(
+                       5, protection::MicroOrdering::kUnivariate));
+}
+void BM_MicroaggregationMultivariate(benchmark::State& state) {
+  RunMethod(state, protection::Microaggregation(
+                       5, protection::MicroOrdering::kSortBySum));
+}
+void BM_BottomCoding(benchmark::State& state) {
+  RunMethod(state, protection::BottomCoding(0.25));
+}
+void BM_TopCoding(benchmark::State& state) {
+  RunMethod(state, protection::TopCoding(0.25));
+}
+void BM_GlobalRecoding(benchmark::State& state) {
+  RunMethod(state, protection::GlobalRecoding(3));
+}
+void BM_RankSwapping(benchmark::State& state) {
+  RunMethod(state, protection::RankSwapping(10.0));
+}
+void BM_Pram(benchmark::State& state) {
+  RunMethod(state, protection::Pram(0.6));
+}
+
+BENCHMARK(BM_MicroaggregationUnivariate)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_MicroaggregationMultivariate)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_BottomCoding)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_TopCoding)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_GlobalRecoding)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_RankSwapping)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_Pram)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

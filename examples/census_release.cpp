@@ -1,0 +1,70 @@
+// Census microdata release: choosing a score function.
+//
+// A statistical agency wants to publish an Adult-like census extract. The
+// paper's central finding is that the *score aggregation* matters: the mean
+// of IL and DR (Eq. 1) accepts unbalanced protections (e.g. no information
+// loss but high re-identification risk), while max(IL, DR) (Eq. 2) forces
+// balance. This example runs both on the same initial population and prints
+// the best protection each one selects, plus the balance of the final
+// populations.
+//
+// Run:  ./build/examples/census_release
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+
+using namespace evocat;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  auto dataset_case = experiments::CaseByName("adult");
+  if (!dataset_case.ok()) return Fail(dataset_case.status());
+
+  std::printf("census release study: Adult-like extract, %d initial "
+              "protections\n\n",
+              dataset_case.ValueOrDie().population_spec.TotalCount());
+
+  for (auto aggregation :
+       {metrics::ScoreAggregation::kMean, metrics::ScoreAggregation::kMax}) {
+    experiments::ExperimentOptions options;
+    options.aggregation = aggregation;
+    options.generations = 500;
+    options.ga_seed = 7;
+
+    auto result = experiments::RunExperiment(dataset_case.ValueOrDie(), options);
+    if (!result.ok()) return Fail(result.status());
+    const auto& experiment = result.ValueOrDie();
+
+    const auto& best = experiment.final_population.front();
+    std::printf("score = %s\n",
+                metrics::ScoreAggregationToString(aggregation));
+    std::printf("  best protection: score=%.2f IL=%.2f DR=%.2f (|IL-DR|=%.2f)\n",
+                best.score, best.il, best.dr, std::fabs(best.il - best.dr));
+    std::printf("  derived from: %s\n", best.origin.c_str());
+    std::printf("  population balance |IL-DR|: initial %.2f -> final %.2f\n",
+                experiments::MeanImbalance(experiment.initial),
+                experiments::MeanImbalance(experiment.final_population));
+    std::printf("  mean score: %.2f -> %.2f\n\n",
+                experiment.initial_scores.mean, experiment.final_scores.mean);
+  }
+
+  std::printf("takeaway: Eq.2 (max) accepts a slightly worse headline score "
+              "in exchange for balanced IL/DR — the release a data custodian "
+              "should prefer.\n");
+  return 0;
+}

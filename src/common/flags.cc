@@ -1,0 +1,155 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace evocat {
+
+namespace {
+
+Status ParseInt(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::Invalid("not an integer: '", text, "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::Invalid("not a number: '", text, "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseBool(const std::string& text, bool* out) {
+  std::string lower = ToLower(text);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower.empty()) {
+    *out = true;
+    return Status::OK();
+  }
+  if (lower == "false" || lower == "0" || lower == "no") {
+    *out = false;
+    return Status::OK();
+  }
+  return Status::Invalid("not a boolean: '", text, "'");
+}
+
+}  // namespace
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& description, std::string* out) {
+  Flag flag;
+  flag.name = name;
+  flag.description = description;
+  flag.default_repr = *out;
+  flag.set = [out](const std::string& text) {
+    *out = text;
+    return Status::OK();
+  };
+  Register(std::move(flag));
+}
+
+void FlagParser::AddInt(const std::string& name, const std::string& description,
+                        int64_t* out) {
+  Flag flag;
+  flag.name = name;
+  flag.description = description;
+  flag.default_repr = std::to_string(*out);
+  flag.set = [out](const std::string& text) { return ParseInt(text, out); };
+  Register(std::move(flag));
+}
+
+void FlagParser::AddDouble(const std::string& name,
+                           const std::string& description, double* out) {
+  Flag flag;
+  flag.name = name;
+  flag.description = description;
+  flag.default_repr = StrFormat("%g", *out);
+  flag.set = [out](const std::string& text) { return ParseDouble(text, out); };
+  Register(std::move(flag));
+}
+
+void FlagParser::AddBool(const std::string& name, const std::string& description,
+                         bool* out) {
+  Flag flag;
+  flag.name = name;
+  flag.description = description;
+  flag.default_repr = *out ? "true" : "false";
+  flag.is_bool = true;
+  flag.set = [out](const std::string& text) { return ParseBool(text, out); };
+  Register(std::move(flag));
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::Invalid("unknown flag --", name, "\n", Usage());
+    }
+    if (!has_value) {
+      if (flag->is_bool) {
+        value = "true";  // bare boolean
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::Invalid("flag --", name, " needs a value");
+      }
+    }
+    Status status = flag->set(value);
+    if (!status.ok()) {
+      return Status::Invalid("flag --", name, ": ", status.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& flag : flags_) {
+    out << "  --" << flag.name;
+    if (!flag.is_bool) out << "=<value>";
+    out << "\n      " << flag.description << " (default: "
+        << (flag.default_repr.empty() ? "\"\"" : flag.default_repr) << ")\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace evocat

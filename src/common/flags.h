@@ -1,0 +1,69 @@
+/// \file flags.h
+/// \brief Tiny declarative command-line flag parser for the evocat tools.
+///
+/// Supports `--name=value`, `--name value`, bare boolean `--name`, and
+/// `--help`. Unknown flags are errors; positional arguments are collected.
+
+#ifndef EVOCAT_COMMON_FLAGS_H_
+#define EVOCAT_COMMON_FLAGS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace evocat {
+
+/// \brief Declarative flag registry + parser.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers a string flag backed by `*out` (preloaded with its default).
+  void AddString(const std::string& name, const std::string& description,
+                 std::string* out);
+  /// Registers an integer flag.
+  void AddInt(const std::string& name, const std::string& description,
+              int64_t* out);
+  /// Registers a floating-point flag.
+  void AddDouble(const std::string& name, const std::string& description,
+                 double* out);
+  /// Registers a boolean flag (`--name`, `--name=true/false`).
+  void AddBool(const std::string& name, const std::string& description,
+               bool* out);
+
+  /// \brief Parses argv. On `--help`, returns OK and sets `help_requested()`.
+  Status Parse(int argc, const char* const* argv);
+
+  /// \brief Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool help_requested() const { return help_requested_; }
+
+  /// \brief Human-readable usage text.
+  std::string Usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string description;
+    std::string default_repr;
+    bool is_bool = false;
+    std::function<Status(const std::string&)> set;
+  };
+
+  void Register(Flag flag) { flags_.push_back(std::move(flag)); }
+  Flag* Find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_FLAGS_H_

@@ -1,0 +1,51 @@
+/// \file logging.h
+/// \brief Leveled stderr logging with a process-wide threshold.
+///
+/// Usage: `EVOCAT_LOG(INFO) << "generation " << g << " best=" << best;`
+/// Experiments default to WARNING to keep bench output machine-readable.
+
+#ifndef EVOCAT_COMMON_LOGGING_H_
+#define EVOCAT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace evocat {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace evocat
+
+#define EVOCAT_LOG_DEBUG ::evocat::LogLevel::kDebug
+#define EVOCAT_LOG_INFO ::evocat::LogLevel::kInfo
+#define EVOCAT_LOG_WARNING ::evocat::LogLevel::kWarning
+#define EVOCAT_LOG_ERROR ::evocat::LogLevel::kError
+
+#define EVOCAT_LOG(severity) \
+  ::evocat::internal::LogMessage(EVOCAT_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // EVOCAT_COMMON_LOGGING_H_

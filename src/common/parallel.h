@@ -1,0 +1,22 @@
+/// \file parallel.h
+/// \brief Minimal data-parallel helper used for batch fitness evaluation.
+
+#ifndef EVOCAT_COMMON_PARALLEL_H_
+#define EVOCAT_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace evocat {
+
+/// \brief Runs `fn(i)` for every i in [begin, end) across worker threads.
+///
+/// Iterations must be independent; results should be written to disjoint
+/// slots. `num_threads <= 0` uses the hardware concurrency. Falls back to a
+/// serial loop for tiny ranges. Blocks until all iterations complete.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int num_threads = 0);
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_PARALLEL_H_

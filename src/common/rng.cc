@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace evocat {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling: draw until the value falls below the largest
+  // multiple of `range`, guaranteeing uniformity.
+  uint64_t limit = UINT64_MAX - (UINT64_MAX % range + 1) % range;
+  uint64_t draw;
+  do {
+    draw = NextU64();
+  } while (draw > limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Gaussian() {
+  // Box–Muller without caching to keep the stream position deterministic.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point boundary: return the last index with non-zero weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  assert(n > 0);
+  std::vector<double> weights(n);
+  for (size_t k = 0; k < n; ++k) {
+    weights[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  return WeightedIndex(weights);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher–Yates over an index vector.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformIndex(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace evocat

@@ -1,0 +1,94 @@
+/// \file rng.h
+/// \brief Deterministic random number generation for evocat.
+///
+/// All stochastic components (dataset generators, masking methods, genetic
+/// operators, selection) draw from an explicitly passed `Rng`. There is no
+/// global RNG state. The generator is `std::mt19937_64` (bit-exact across
+/// standard libraries), and all derived draws (bounded integers, doubles,
+/// weighted choice) are implemented here rather than via `std::*_distribution`
+/// — the standard distributions are not guaranteed to produce identical
+/// streams across implementations, which would break experiment
+/// reproducibility.
+
+#ifndef EVOCAT_COMMON_RNG_H_
+#define EVOCAT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace evocat {
+
+/// \brief Seeded, reproducible random number generator.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 0xEC0CA7u) : engine_(seed) {}
+
+  /// \brief Next raw 64-bit value.
+  uint64_t NextU64() { return engine_(); }
+
+  /// \brief Uniform integer in the inclusive range [lo, hi].
+  ///
+  /// Uses rejection sampling (unbiased). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// \brief Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// \brief Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// \brief Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// \brief Standard normal via Box–Muller (deterministic, no cached spare).
+  double Gaussian();
+
+  /// \brief Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// \brief Index drawn proportionally to non-negative `weights`.
+  ///
+  /// Requires at least one strictly positive weight; falls back to the last
+  /// index under floating-point underflow at the boundary.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// \brief Zipf-distributed value in [0, n) with exponent `s` (s >= 0).
+  ///
+  /// s == 0 degenerates to uniform. Implemented by inverse-CDF over the
+  /// precomputed table; intended for modest n (category domains).
+  size_t Zipf(size_t n, double s);
+
+  /// \brief Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformIndex(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Sample `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// \brief Derives an independent child generator (for parallel components).
+  Rng Fork() { return Rng(NextU64() ^ 0x9E3779B97F4A7C15ull); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_RNG_H_

@@ -1,0 +1,112 @@
+/// \file status.h
+/// \brief Operation status codes and the `Status` value used across evocat.
+///
+/// evocat follows the Arrow/RocksDB idiom: fallible operations return a
+/// `Status` (or a `Result<T>`, see result.h) rather than throwing. Hot paths
+/// (fitness evaluation, genetic operators) are written so that they cannot
+/// fail once inputs are validated, keeping `Status` checks at module borders.
+
+#ifndef EVOCAT_COMMON_STATUS_H_
+#define EVOCAT_COMMON_STATUS_H_
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace evocat {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a contextual message.
+///
+/// `Status` is cheap to copy in the OK case (empty message). Use the factory
+/// functions (`Status::Invalid(...)` etc.) to construct errors; each accepts
+/// a stream of `<<`-able arguments.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status Invalid(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return Status(code, oss.str());
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Propagates a non-OK status to the caller.
+#define EVOCAT_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::evocat::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_STATUS_H_

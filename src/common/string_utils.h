@@ -1,0 +1,36 @@
+/// \file string_utils.h
+/// \brief Minimal string helpers (CSV parsing support, joins, formatting).
+
+#ifndef EVOCAT_COMMON_STRING_UTILS_H_
+#define EVOCAT_COMMON_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evocat {
+
+/// \brief Splits `s` on `sep` (no quoting); always yields at least one field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits one CSV line honouring double-quoted fields with "" escapes.
+std::vector<std::string> SplitCsvLine(std::string_view line, char sep = ',');
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// \brief Quotes a CSV field if it contains the separator, quotes or newlines.
+std::string CsvEscape(const std::string& field, char sep = ',');
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_STRING_UTILS_H_

@@ -1,0 +1,34 @@
+/// \file timer.h
+/// \brief Wall-clock stopwatch used by the experiment timing tables.
+
+#ifndef EVOCAT_COMMON_TIMER_H_
+#define EVOCAT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace evocat {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_TIMER_H_

@@ -1,0 +1,218 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <future>
+#include <string>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace evocat {
+namespace core {
+
+namespace {
+
+/// Strips operator wrappers so provenance stays "op<seed-method-label>"
+/// instead of growing a nested chain across generations.
+std::string BaseOrigin(const std::string& origin) {
+  std::string base = origin;
+  while (true) {
+    bool stripped = false;
+    for (const char* prefix : {"mutation<", "cross<"}) {
+      size_t len = std::string(prefix).size();
+      if (base.rfind(prefix, 0) == 0 && base.size() > len && base.back() == '>') {
+        base = base.substr(len, base.size() - len - 1);
+        stripped = true;
+      }
+    }
+    if (!stripped) return base;
+  }
+}
+
+}  // namespace
+
+const char* OperatorKindToString(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kMutation:
+      return "mutation";
+    case OperatorKind::kCrossover:
+      return "crossover";
+  }
+  return "?";
+}
+
+Status EvolutionEngine::ValidateInitial(
+    const std::vector<Individual>& initial) const {
+  if (evaluator_ == nullptr) {
+    return Status::Invalid("engine has no fitness evaluator");
+  }
+  if (initial.size() < 2) {
+    return Status::Invalid("initial population needs >= 2 individuals, got ",
+                           initial.size());
+  }
+  if (config_.generations < 0) {
+    return Status::Invalid("generations must be >= 0");
+  }
+  if (config_.mutation_rate < 0.0 || config_.mutation_rate > 1.0) {
+    return Status::Invalid("mutation_rate must be in [0, 1], got ",
+                           config_.mutation_rate);
+  }
+  if (config_.leader_group_size < 1) {
+    return Status::Invalid("leader_group_size must be >= 1, got ",
+                           config_.leader_group_size);
+  }
+  const Dataset& original = evaluator_->original();
+  for (const auto& individual : initial) {
+    EVOCAT_RETURN_NOT_OK(metrics::ValidateComparable(original, individual.data,
+                                                     evaluator_->attrs()));
+  }
+  return Status::OK();
+}
+
+Result<EvolutionResult> EvolutionEngine::Run(
+    std::vector<Individual> initial, const ProgressCallback& callback) const {
+  EVOCAT_RETURN_NOT_OK(ValidateInitial(initial));
+
+  Timer run_timer;
+  EvolutionResult result;
+  result.history.reserve(static_cast<size_t>(config_.generations));
+
+  // Evaluate the initial population (embarrassingly parallel).
+  {
+    Timer init_timer;
+    ParallelFor(0, static_cast<int64_t>(initial.size()), [&](int64_t i) {
+      initial[static_cast<size_t>(i)].fitness =
+          evaluator_->Evaluate(initial[static_cast<size_t>(i)].data);
+    });
+    result.stats.initial_eval_seconds = init_timer.ElapsedSeconds();
+  }
+
+  uint64_t next_id = 0;
+  for (auto& individual : initial) individual.id = next_id++;
+
+  Population population(std::move(initial));
+  population.SortByScore();
+
+  Rng rng(config_.seed);
+  SelectionPolicy selection(config_.selection);
+  GenomeLayout layout(evaluator_->attrs(), evaluator_->original().num_rows());
+  MutationOperator mutate(layout, config_.mutation_excludes_current);
+  CrossoverOperator cross(layout);
+
+  double best_score = population.MinScore();
+  int stale_generations = 0;
+
+  for (int gen = 1; gen <= config_.generations; ++gen) {
+    Timer gen_timer;
+    GenerationRecord record;
+    record.generation = gen;
+
+    // Paper Algorithm 1: a uniform `alter` draw picks the operator.
+    bool do_mutation = rng.UniformDouble() < config_.mutation_rate;
+    double eval_seconds = 0.0;
+
+    if (do_mutation) {
+      record.op = OperatorKind::kMutation;
+      size_t parent_idx = selection.Select(population.Scores(), &rng);
+      Individual child;
+      child.data = population[parent_idx].data.Clone();
+      auto mutation = mutate.Apply(&child.data, &rng);
+      (void)mutation;
+      child.origin = "mutation<" + BaseOrigin(population[parent_idx].origin) + ">";
+      child.id = next_id++;
+
+      Timer eval_timer;
+      child.fitness = evaluator_->Evaluate(child.data);
+      eval_seconds = eval_timer.ElapsedSeconds();
+      record.evaluations = 1;
+
+      // Elitist replacement: the offspring survives only if strictly better.
+      if (child.score() < population[parent_idx].score()) {
+        population[parent_idx] = std::move(child);
+        record.accepted = true;
+        ++result.stats.accepted_mutations;
+      }
+      ++result.stats.mutation_generations;
+    } else {
+      record.op = OperatorKind::kCrossover;
+      // First parent uniformly from the leader group (the Nb best; the
+      // population is sorted ascending), mate proportionally from everyone.
+      size_t leaders = std::min<size_t>(
+          static_cast<size_t>(config_.leader_group_size), population.size());
+      size_t i1 = rng.UniformIndex(leaders);
+      size_t i2 = selection.Select(population.Scores(), &rng);
+
+      Individual child1, child2;
+      cross.Apply(population[i1].data, population[i2].data, &child1.data,
+                  &child2.data, &rng);
+      child1.origin = "cross<" + BaseOrigin(population[i1].origin) + ">";
+      child2.origin = "cross<" + BaseOrigin(population[i2].origin) + ">";
+      child1.id = next_id++;
+      child2.id = next_id++;
+
+      Timer eval_timer;
+      if (config_.parallel_offspring_eval) {
+        auto future = std::async(std::launch::async, [&]() {
+          return evaluator_->Evaluate(child1.data);
+        });
+        child2.fitness = evaluator_->Evaluate(child2.data);
+        child1.fitness = future.get();
+      } else {
+        child1.fitness = evaluator_->Evaluate(child1.data);
+        child2.fitness = evaluator_->Evaluate(child2.data);
+      }
+      eval_seconds = eval_timer.ElapsedSeconds();
+      record.evaluations = 2;
+
+      // Deterministic crowding: each offspring competes with its own parent.
+      if (child1.score() < population[i1].score()) {
+        population[i1] = std::move(child1);
+        record.accepted = true;
+        ++result.stats.accepted_crossovers;
+      }
+      if (child2.score() < population[i2].score()) {
+        population[i2] = std::move(child2);
+        record.accepted = true;
+        ++result.stats.accepted_crossovers;
+      }
+      ++result.stats.crossover_generations;
+    }
+
+    population.SortByScore();
+
+    record.min_score = population.MinScore();
+    record.mean_score = population.MeanScore();
+    record.max_score = population.MaxScore();
+    record.eval_seconds = eval_seconds;
+    record.total_seconds = gen_timer.ElapsedSeconds();
+    result.stats.offspring_evaluated += record.evaluations;
+    if (record.op == OperatorKind::kMutation) {
+      result.stats.mutation_eval_seconds += record.eval_seconds;
+      result.stats.mutation_total_seconds += record.total_seconds;
+    } else {
+      result.stats.crossover_eval_seconds += record.eval_seconds;
+      result.stats.crossover_total_seconds += record.total_seconds;
+    }
+    result.history.push_back(record);
+    if (callback) callback(record, population);
+
+    // Optional early stop on best-score stagnation.
+    if (record.min_score < best_score - 1e-12) {
+      best_score = record.min_score;
+      stale_generations = 0;
+    } else {
+      ++stale_generations;
+    }
+    if (config_.no_improvement_window > 0 &&
+        stale_generations >= config_.no_improvement_window) {
+      break;
+    }
+  }
+
+  result.stats.total_seconds = run_timer.ElapsedSeconds();
+  result.population = std::move(population);
+  return result;
+}
+
+}  // namespace core
+}  // namespace evocat

@@ -1,0 +1,29 @@
+#include "core/individual.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+
+namespace evocat {
+namespace core {
+
+void Population::SortByScore() {
+  std::stable_sort(members_.begin(), members_.end(),
+                   [](const Individual& a, const Individual& b) {
+                     return a.score() < b.score();
+                   });
+}
+
+std::vector<double> Population::Scores() const {
+  std::vector<double> scores;
+  scores.reserve(members_.size());
+  for (const auto& m : members_) scores.push_back(m.score());
+  return scores;
+}
+
+double Population::MinScore() const { return Min(Scores()); }
+double Population::MeanScore() const { return Mean(Scores()); }
+double Population::MaxScore() const { return Max(Scores()); }
+
+}  // namespace core
+}  // namespace evocat

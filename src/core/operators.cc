@@ -1,0 +1,55 @@
+#include "core/operators.h"
+
+#include <cassert>
+
+namespace evocat {
+namespace core {
+
+MutationOperator::Record MutationOperator::Apply(Dataset* genome,
+                                                 Rng* rng) const {
+  assert(genome != nullptr);
+  assert(layout_.Length() > 0);
+  int64_t flat = rng->UniformInt(0, layout_.Length() - 1);
+  auto [row, attr] = layout_.Cell(flat);
+
+  Record record;
+  record.row = row;
+  record.attr = attr;
+  record.old_code = genome->Code(row, attr);
+
+  int32_t cardinality = genome->schema().attribute(attr).cardinality();
+  if (exclude_current_ && cardinality > 1) {
+    // Draw from the domain minus the current category: sample [0, card-2]
+    // and shift values at or above the current code by one.
+    auto draw = static_cast<int32_t>(rng->UniformInt(0, cardinality - 2));
+    record.new_code = draw >= record.old_code ? draw + 1 : draw;
+  } else {
+    record.new_code = static_cast<int32_t>(rng->UniformInt(0, cardinality - 1));
+  }
+  genome->SetCode(row, attr, record.new_code);
+  return record;
+}
+
+CrossoverOperator::Record CrossoverOperator::Apply(const Dataset& x,
+                                                   const Dataset& y, Dataset* z1,
+                                                   Dataset* z2, Rng* rng) const {
+  assert(z1 != nullptr && z2 != nullptr);
+  int64_t length = layout_.Length();
+  assert(length > 0);
+
+  Record record;
+  record.s = rng->UniformInt(0, length - 1);
+  record.r = rng->UniformInt(record.s, length - 1);
+
+  *z1 = x.Clone();
+  *z2 = y.Clone();
+  for (int64_t flat = record.s; flat <= record.r; ++flat) {
+    auto [row, attr] = layout_.Cell(flat);
+    z1->SetCode(row, attr, y.Code(row, attr));
+    z2->SetCode(row, attr, x.Code(row, attr));
+  }
+  return record;
+}
+
+}  // namespace core
+}  // namespace evocat

@@ -1,0 +1,105 @@
+/// \file operators.h
+/// \brief The paper's genetic operators on protected-file genotypes.
+///
+/// The genome is the flattened sequence of the protected attributes' values
+/// in record-major order (record 0's protected values, then record 1's, ...),
+/// matching the paper's "value position" language. Mutation rewrites one gene
+/// with a valid category of its attribute; crossover swaps the inclusive
+/// 2-point segment [s, r] between two files (a single value when s == r).
+
+#ifndef EVOCAT_CORE_OPERATORS_H_
+#define EVOCAT_CORE_OPERATORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace evocat {
+namespace core {
+
+/// \brief Maps flattened gene positions to (record, attribute) cells.
+class GenomeLayout {
+ public:
+  /// \param attrs protected attribute indices (the genes)
+  /// \param num_rows records in the file
+  GenomeLayout(std::vector<int> attrs, int64_t num_rows)
+      : attrs_(std::move(attrs)), num_rows_(num_rows) {}
+
+  /// \brief Total number of genes: records x protected attributes.
+  int64_t Length() const {
+    return num_rows_ * static_cast<int64_t>(attrs_.size());
+  }
+
+  /// \brief Cell (record row, schema attribute index) of a flat position.
+  std::pair<int64_t, int> Cell(int64_t flat) const {
+    auto width = static_cast<int64_t>(attrs_.size());
+    return {flat / width, attrs_[static_cast<size_t>(flat % width)]};
+  }
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  int64_t num_rows() const { return num_rows_; }
+
+ private:
+  std::vector<int> attrs_;
+  int64_t num_rows_;
+};
+
+/// \brief Paper §2.2.1: replace one random gene with a random valid category.
+class MutationOperator {
+ public:
+  /// \param exclude_current when true, the replacement category is drawn
+  ///        from the domain minus the current value, so every mutation
+  ///        changes the file; when false the draw is over the full domain
+  ///        (the paper's literal wording, which may produce no-ops).
+  explicit MutationOperator(GenomeLayout layout, bool exclude_current = true)
+      : layout_(std::move(layout)), exclude_current_(exclude_current) {}
+
+  /// \brief What a mutation did (for provenance and tests).
+  struct Record {
+    int64_t row = 0;
+    int attr = 0;
+    int32_t old_code = 0;
+    int32_t new_code = 0;
+  };
+
+  /// \brief Mutates `genome` in place.
+  Record Apply(Dataset* genome, Rng* rng) const;
+
+  const GenomeLayout& layout() const { return layout_; }
+
+ private:
+  GenomeLayout layout_;
+  bool exclude_current_;
+};
+
+/// \brief Paper §2.2.2: 2-point crossover at the category level.
+class CrossoverOperator {
+ public:
+  explicit CrossoverOperator(GenomeLayout layout) : layout_(std::move(layout)) {}
+
+  /// \brief The crossing points chosen (inclusive segment).
+  struct Record {
+    int64_t s = 0;
+    int64_t r = 0;
+  };
+
+  /// \brief Produces offspring (z1, z2) from parents (x, y).
+  ///
+  /// z1 = x with the segment [s, r] taken from y; z2 symmetric.
+  Record Apply(const Dataset& x, const Dataset& y, Dataset* z1, Dataset* z2,
+               Rng* rng) const;
+
+  const GenomeLayout& layout() const { return layout_; }
+
+ private:
+  GenomeLayout layout_;
+};
+
+}  // namespace core
+}  // namespace evocat
+
+#endif  // EVOCAT_CORE_OPERATORS_H_

@@ -1,0 +1,59 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+namespace evocat {
+namespace core {
+
+namespace {
+// Floor keeping inverse/literal weights finite when scores touch zero.
+constexpr double kScoreEpsilon = 1e-6;
+}  // namespace
+
+const char* SelectionStrategyToString(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kInverseScore:
+      return "inverse";
+    case SelectionStrategy::kLiteralScore:
+      return "literal";
+    case SelectionStrategy::kRank:
+      return "rank";
+    case SelectionStrategy::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+std::vector<double> SelectionPolicy::Weights(
+    const std::vector<double>& scores) const {
+  std::vector<double> weights(scores.size(), 1.0);
+  switch (strategy_) {
+    case SelectionStrategy::kInverseScore:
+      for (size_t i = 0; i < scores.size(); ++i) {
+        weights[i] = 1.0 / std::max(scores[i], kScoreEpsilon);
+      }
+      break;
+    case SelectionStrategy::kLiteralScore:
+      for (size_t i = 0; i < scores.size(); ++i) {
+        weights[i] = std::max(scores[i], kScoreEpsilon);
+      }
+      break;
+    case SelectionStrategy::kRank:
+      for (size_t i = 0; i < scores.size(); ++i) {
+        weights[i] = static_cast<double>(scores.size() - i);
+      }
+      break;
+    case SelectionStrategy::kUniform:
+      break;
+  }
+  return weights;
+}
+
+size_t SelectionPolicy::Select(const std::vector<double>& scores,
+                               Rng* rng) const {
+  auto weights = Weights(scores);
+  return rng->WeightedIndex(weights);
+}
+
+}  // namespace core
+}  // namespace evocat

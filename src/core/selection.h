@@ -1,0 +1,63 @@
+/// \file selection.h
+/// \brief Fitness-proportional parent selection (paper §2.4).
+///
+/// The paper's Eq. 3 literally reads p(Xi) = Score(Xi) / Σ Score(Xj), which
+/// favours *high* (bad) scores in a minimization problem — contradicting the
+/// surrounding text ("better individuals have a greater probability of being
+/// selected") and the paper's own analysis of the score trajectories. The
+/// default strategy therefore implements the described behaviour
+/// (probability proportional to inverse score); the literal equation and two
+/// baselines are available for the selection ablation bench.
+
+#ifndef EVOCAT_CORE_SELECTION_H_
+#define EVOCAT_CORE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace evocat {
+namespace core {
+
+/// \brief Parent-selection strategies over population scores.
+enum class SelectionStrategy {
+  /// p(Xi) ∝ 1 / Score(Xi): favours good (low) scores. Default; matches the
+  /// paper's described behaviour.
+  kInverseScore,
+  /// p(Xi) ∝ Score(Xi): the paper's Eq. 3 taken literally (favours bad
+  /// scores); kept for the ablation study.
+  kLiteralScore,
+  /// p(Xi) ∝ (N - rank(Xi)): linear rank selection, best rank heaviest.
+  /// Scores must be sorted ascending.
+  kRank,
+  /// Uniform choice (selection-pressure-free baseline).
+  kUniform,
+};
+
+const char* SelectionStrategyToString(SelectionStrategy strategy);
+
+/// \brief Draws parent indices according to a strategy.
+class SelectionPolicy {
+ public:
+  explicit SelectionPolicy(SelectionStrategy strategy) : strategy_(strategy) {}
+
+  /// \brief Selection weights for `scores` (exposed for tests).
+  ///
+  /// For `kRank`, `scores` must be sorted ascending (the population
+  /// invariant maintained by the engine).
+  std::vector<double> Weights(const std::vector<double>& scores) const;
+
+  /// \brief Draws one index according to the strategy's weights.
+  size_t Select(const std::vector<double>& scores, Rng* rng) const;
+
+  SelectionStrategy strategy() const { return strategy_; }
+
+ private:
+  SelectionStrategy strategy_;
+};
+
+}  // namespace core
+}  // namespace evocat
+
+#endif  // EVOCAT_CORE_SELECTION_H_

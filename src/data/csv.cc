@@ -1,0 +1,93 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace evocat {
+
+Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& options) {
+  std::string line;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::IOError("empty CSV input (missing header)");
+    }
+    header = SplitCsvLine(Trim(line), options.separator);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  int expected_fields = options.has_header ? static_cast<int>(header.size()) : -1;
+  int64_t line_no = options.has_header ? 1 : 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    auto fields = SplitCsvLine(trimmed, options.separator);
+    if (expected_fields < 0) expected_fields = static_cast<int>(fields.size());
+    if (static_cast<int>(fields.size()) != expected_fields) {
+      return Status::Invalid("line ", line_no, ": expected ", expected_fields,
+                             " fields, got ", fields.size());
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (expected_fields <= 0) {
+    return Status::Invalid("CSV input has no data rows and no header");
+  }
+
+  auto schema = std::make_shared<Schema>();
+  for (int a = 0; a < expected_fields; ++a) {
+    std::string name = options.has_header ? header[static_cast<size_t>(a)]
+                                          : "c" + std::to_string(a);
+    AttrKind kind = options.ordinal_attributes.count(name)
+                        ? AttrKind::kOrdinal
+                        : AttrKind::kNominal;
+    schema->AddAttribute(Attribute(name, kind));
+  }
+
+  Dataset dataset(schema);
+  for (const auto& row : rows) {
+    EVOCAT_RETURN_NOT_OK(dataset.AppendRowValues(row));
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '", path, "' for reading");
+  }
+  return ReadCsvStream(in, options);
+}
+
+Status WriteCsvStream(const Dataset& dataset, std::ostream& out, char separator) {
+  const Schema& schema = dataset.schema();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (a) out << separator;
+    out << CsvEscape(schema.attribute(a).name(), separator);
+  }
+  out << '\n';
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (a) out << separator;
+      out << CsvEscape(dataset.Value(r, a), separator);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("error while writing CSV stream");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char separator) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '", path, "' for writing");
+  }
+  return WriteCsvStream(dataset, out, separator);
+}
+
+}  // namespace evocat

@@ -1,0 +1,45 @@
+/// \file csv.h
+/// \brief CSV import/export for categorical microdata.
+
+#ifndef EVOCAT_DATA_CSV_H_
+#define EVOCAT_DATA_CSV_H_
+
+#include <iosfwd>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace evocat {
+
+/// \brief Options controlling CSV import.
+struct CsvReadOptions {
+  /// First line holds attribute names. When false, attributes are named c0,
+  /// c1, ...
+  bool has_header = true;
+  /// Field separator.
+  char separator = ',';
+  /// Attributes (by name) to treat as ordinal; category order follows first
+  /// appearance in file order, so pre-sorted files give natural order.
+  std::set<std::string> ordinal_attributes;
+};
+
+/// \brief Reads a whole CSV file into a dataset (all attributes categorical).
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvReadOptions& options = {});
+
+/// \brief Reads CSV from a stream (for tests and in-memory data).
+Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& options = {});
+
+/// \brief Writes `dataset` as CSV with a header line.
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char separator = ',');
+
+/// \brief Writes `dataset` as CSV to a stream.
+Status WriteCsvStream(const Dataset& dataset, std::ostream& out,
+                      char separator = ',');
+
+}  // namespace evocat
+
+#endif  // EVOCAT_DATA_CSV_H_

@@ -1,0 +1,63 @@
+#include "data/dataset.h"
+
+namespace evocat {
+
+Status Dataset::AppendRowCodes(const std::vector<int32_t>& codes) {
+  if (static_cast<int>(codes.size()) != num_attributes()) {
+    return Status::Invalid("row has ", codes.size(), " values, schema has ",
+                           num_attributes(), " attributes");
+  }
+  for (int a = 0; a < num_attributes(); ++a) {
+    const auto& dict = schema_->attribute(a).dictionary();
+    if (!dict.IsValidCode(codes[static_cast<size_t>(a)])) {
+      return Status::OutOfRange("code ", codes[static_cast<size_t>(a)],
+                                " invalid for attribute '",
+                                schema_->attribute(a).name(), "' (cardinality ",
+                                dict.size(), ")");
+    }
+  }
+  for (int a = 0; a < num_attributes(); ++a) {
+    columns_[static_cast<size_t>(a)].push_back(codes[static_cast<size_t>(a)]);
+  }
+  return Status::OK();
+}
+
+Status Dataset::AppendRowValues(const std::vector<std::string>& values) {
+  if (static_cast<int>(values.size()) != num_attributes()) {
+    return Status::Invalid("row has ", values.size(), " values, schema has ",
+                           num_attributes(), " attributes");
+  }
+  for (int a = 0; a < num_attributes(); ++a) {
+    int32_t code =
+        schema_->attribute(a).dictionary().GetOrAdd(values[static_cast<size_t>(a)]);
+    columns_[static_cast<size_t>(a)].push_back(code);
+  }
+  return Status::OK();
+}
+
+Dataset Dataset::Clone() const {
+  Dataset copy(schema_);
+  copy.columns_ = columns_;
+  return copy;
+}
+
+Status Dataset::Validate() const {
+  for (int a = 0; a < num_attributes(); ++a) {
+    const auto& dict = schema_->attribute(a).dictionary();
+    const auto& col = columns_[static_cast<size_t>(a)];
+    if (col.size() != static_cast<size_t>(num_rows())) {
+      return Status::Internal("ragged column for attribute '",
+                              schema_->attribute(a).name(), "'");
+    }
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!dict.IsValidCode(col[r])) {
+        return Status::OutOfRange("invalid code ", col[r], " at row ", r,
+                                  " attribute '", schema_->attribute(a).name(),
+                                  "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace evocat

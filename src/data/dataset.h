@@ -1,0 +1,93 @@
+/// \file dataset.h
+/// \brief Columnar, dictionary-encoded categorical microdata file.
+///
+/// A `Dataset` stores one code column per attribute. The schema (attribute
+/// names, kinds and dictionaries) is shared by reference between a dataset
+/// and all masked copies derived from it, which makes codes directly
+/// comparable across files — the property every metric and genetic operator
+/// relies on. Masked copies are cheap: the schema is shared, only the code
+/// columns are duplicated.
+
+#ifndef EVOCAT_DATA_DATASET_H_
+#define EVOCAT_DATA_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace evocat {
+
+/// \brief A categorical microdata table (records x attributes).
+class Dataset {
+ public:
+  /// \brief Empty dataset over an empty schema (placeholder/moved-from use).
+  Dataset() : Dataset(std::make_shared<Schema>()) {}
+
+  /// \brief Creates an empty dataset over `schema`.
+  explicit Dataset(std::shared_ptr<Schema> schema)
+      : schema_(std::move(schema)),
+        columns_(static_cast<size_t>(schema_->num_attributes())) {}
+
+  /// Shared schema accessors.
+  const Schema& schema() const { return *schema_; }
+  Schema& schema() { return *schema_; }
+  const std::shared_ptr<Schema>& schema_ptr() const { return schema_; }
+
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0].size());
+  }
+  int num_attributes() const { return schema_->num_attributes(); }
+
+  /// \brief Appends a row of pre-encoded codes (one per attribute).
+  Status AppendRowCodes(const std::vector<int32_t>& codes);
+
+  /// \brief Appends a row of category strings, growing dictionaries as needed.
+  Status AppendRowValues(const std::vector<std::string>& values);
+
+  /// \brief Code at (row, attribute); bounds unchecked on release hot paths.
+  int32_t Code(int64_t row, int attr) const {
+    return columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)];
+  }
+
+  /// \brief Overwrites the code at (row, attribute).
+  void SetCode(int64_t row, int attr, int32_t code) {
+    columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)] = code;
+  }
+
+  /// \brief Category string at (row, attribute).
+  const std::string& Value(int64_t row, int attr) const {
+    return schema_->attribute(attr).dictionary().ValueOf(Code(row, attr));
+  }
+
+  /// \brief Whole code column for an attribute.
+  const std::vector<int32_t>& column(int attr) const {
+    return columns_[static_cast<size_t>(attr)];
+  }
+  std::vector<int32_t>& mutable_column(int attr) {
+    return columns_[static_cast<size_t>(attr)];
+  }
+
+  /// \brief Deep copy of the code columns; schema stays shared.
+  Dataset Clone() const;
+
+  /// \brief Verifies every code is valid for its attribute's dictionary.
+  Status Validate() const;
+
+  /// \brief True when the code matrices are identical (same schema assumed).
+  bool SameCodes(const Dataset& other) const { return columns_ == other.columns_; }
+
+  /// \brief Number of cells (rows x attributes).
+  int64_t num_cells() const { return num_rows() * num_attributes(); }
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<std::vector<int32_t>> columns_;
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_DATA_DATASET_H_

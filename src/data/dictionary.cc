@@ -1,0 +1,22 @@
+#include "data/dictionary.h"
+
+namespace evocat {
+
+int32_t Dictionary::GetOrAdd(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+Result<int32_t> Dictionary::CodeOf(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("category '", value, "' not in dictionary");
+  }
+  return it->second;
+}
+
+}  // namespace evocat

@@ -1,0 +1,59 @@
+/// \file dictionary.h
+/// \brief Category dictionary: bidirectional mapping string <-> dense code.
+///
+/// Every categorical attribute owns a `Dictionary`. Codes are dense integers
+/// `[0, size)` assigned in insertion order. For ordinal attributes the
+/// insertion order *is* the category order (rank == code), so generators and
+/// CSV loaders must insert ordinal categories in their natural order.
+
+#ifndef EVOCAT_DATA_DICTIONARY_H_
+#define EVOCAT_DATA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace evocat {
+
+/// \brief Dense string<->code dictionary for one categorical attribute.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// \brief Returns the code of `value`, inserting it if unseen.
+  int32_t GetOrAdd(const std::string& value);
+
+  /// \brief Returns the code of `value` or NotFound.
+  Result<int32_t> CodeOf(const std::string& value) const;
+
+  /// \brief True when `value` is present.
+  bool Contains(const std::string& value) const {
+    return index_.find(value) != index_.end();
+  }
+
+  /// \brief The string for `code`; requires 0 <= code < size().
+  const std::string& ValueOf(int32_t code) const { return values_[static_cast<size_t>(code)]; }
+
+  /// \brief True when `code` is a valid category code.
+  bool IsValidCode(int32_t code) const {
+    return code >= 0 && static_cast<size_t>(code) < values_.size();
+  }
+
+  /// \brief Number of categories.
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+
+  /// \brief All category strings in code order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_DATA_DICTIONARY_H_

@@ -1,0 +1,128 @@
+#include "data/hierarchy.h"
+
+#include <algorithm>
+#include <set>
+
+namespace evocat {
+
+Result<ValueHierarchy> ValueHierarchy::BuildBalanced(int cardinality,
+                                                     int fanout) {
+  if (cardinality < 1) {
+    return Status::Invalid("hierarchy needs cardinality >= 1, got ",
+                           cardinality);
+  }
+  if (fanout < 2) {
+    return Status::Invalid("hierarchy fanout must be >= 2, got ", fanout);
+  }
+  ValueHierarchy hierarchy;
+  hierarchy.cardinality_ = cardinality;
+
+  // Level 0: identity.
+  std::vector<int32_t> current(static_cast<size_t>(cardinality));
+  for (int32_t c = 0; c < cardinality; ++c) current[static_cast<size_t>(c)] = c;
+  int groups = cardinality;
+  hierarchy.group_maps_.push_back(current);
+  hierarchy.num_groups_.push_back(groups);
+
+  // Merge `fanout` adjacent groups per level until a single group remains.
+  while (groups > 1) {
+    int next_groups = (groups + fanout - 1) / fanout;
+    std::vector<int32_t> next(static_cast<size_t>(cardinality));
+    for (int32_t c = 0; c < cardinality; ++c) {
+      next[static_cast<size_t>(c)] = current[static_cast<size_t>(c)] / fanout;
+    }
+    current = next;
+    groups = next_groups;
+    hierarchy.group_maps_.push_back(current);
+    hierarchy.num_groups_.push_back(groups);
+  }
+
+  hierarchy.RebuildRepresentatives();
+  return hierarchy;
+}
+
+Result<ValueHierarchy> ValueHierarchy::FromLevelMaps(
+    int cardinality, const std::vector<std::vector<int32_t>>& levels) {
+  if (cardinality < 1) {
+    return Status::Invalid("hierarchy needs cardinality >= 1, got ",
+                           cardinality);
+  }
+  ValueHierarchy hierarchy;
+  hierarchy.cardinality_ = cardinality;
+
+  std::vector<int32_t> identity(static_cast<size_t>(cardinality));
+  for (int32_t c = 0; c < cardinality; ++c) identity[static_cast<size_t>(c)] = c;
+  hierarchy.group_maps_.push_back(identity);
+  hierarchy.num_groups_.push_back(cardinality);
+
+  for (size_t l = 0; l < levels.size(); ++l) {
+    const auto& level = levels[l];
+    if (static_cast<int>(level.size()) != cardinality) {
+      return Status::Invalid("level ", l + 1, " maps ", level.size(),
+                             " codes, expected ", cardinality);
+    }
+    // Group ids dense from 0.
+    int32_t max_group = -1;
+    for (int32_t g : level) {
+      if (g < 0) return Status::Invalid("level ", l + 1, ": negative group id");
+      max_group = std::max(max_group, g);
+    }
+    std::set<int32_t> distinct(level.begin(), level.end());
+    if (static_cast<int32_t>(distinct.size()) != max_group + 1) {
+      return Status::Invalid("level ", l + 1, ": group ids not dense");
+    }
+    // Coarsening: two codes sharing a group at the previous level must share
+    // one here too.
+    const auto& previous = hierarchy.group_maps_.back();
+    for (int32_t a = 0; a < cardinality; ++a) {
+      for (int32_t b = a + 1; b < cardinality; ++b) {
+        if (previous[static_cast<size_t>(a)] == previous[static_cast<size_t>(b)] &&
+            level[static_cast<size_t>(a)] != level[static_cast<size_t>(b)]) {
+          return Status::Invalid("level ", l + 1, " splits codes ", a, " and ",
+                                 b, " merged at level ", l);
+        }
+      }
+    }
+    hierarchy.group_maps_.push_back(level);
+    hierarchy.num_groups_.push_back(max_group + 1);
+  }
+
+  hierarchy.RebuildRepresentatives();
+  return hierarchy;
+}
+
+void ValueHierarchy::RebuildRepresentatives() {
+  representatives_.clear();
+  for (size_t level = 0; level < group_maps_.size(); ++level) {
+    int groups = num_groups_[level];
+    // Collect members per group (code order), take the central one.
+    std::vector<std::vector<int32_t>> members(static_cast<size_t>(groups));
+    for (int32_t c = 0; c < cardinality_; ++c) {
+      members[static_cast<size_t>(group_maps_[level][static_cast<size_t>(c)])]
+          .push_back(c);
+    }
+    std::vector<int32_t> reps(static_cast<size_t>(groups), 0);
+    for (int g = 0; g < groups; ++g) {
+      const auto& group = members[static_cast<size_t>(g)];
+      reps[static_cast<size_t>(g)] = group[(group.size() - 1) / 2];
+    }
+    representatives_.push_back(std::move(reps));
+  }
+}
+
+int ValueHierarchy::LowestCommonLevel(int32_t a, int32_t b) const {
+  for (int level = 0; level < num_levels(); ++level) {
+    if (GroupOf(a, level) == GroupOf(b, level)) return level;
+  }
+  return num_levels();  // no common ancestor (top level not a single group)
+}
+
+double ValueHierarchy::SemanticDistance(int32_t a, int32_t b) const {
+  if (a == b) return 0.0;
+  int height = num_levels() - 1;
+  if (height <= 0) return a == b ? 0.0 : 1.0;
+  return static_cast<double>(LowestCommonLevel(a, b)) /
+         static_cast<double>(height);
+}
+
+}  // namespace evocat

@@ -1,0 +1,85 @@
+/// \file hierarchy.h
+/// \brief Value generalization hierarchies (VGH) for categorical attributes.
+///
+/// Non-perturbative SDC (the paper's global recoding, Argus-style) is
+/// classically driven by a per-attribute generalization tree: level 0 holds
+/// the original categories, each higher level merges groups of the previous
+/// one, and the top level is a single "any" class. A `ValueHierarchy` stores
+/// that tree as per-level group maps over the dictionary codes, supports
+/// recoding a category to the representative of its level-L ancestor
+/// (domain-closed: the representative is an original category), and defines
+/// the semantic distance used by hierarchy-aware analyses: the normalized
+/// depth of the lowest common ancestor.
+
+#ifndef EVOCAT_DATA_HIERARCHY_H_
+#define EVOCAT_DATA_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace evocat {
+
+/// \brief A generalization tree over one attribute's category codes.
+class ValueHierarchy {
+ public:
+  /// \brief Builds a balanced hierarchy by repeatedly merging `fanout`
+  /// adjacent groups (code order) until one group remains.
+  ///
+  /// Level 0 is the identity (every category its own group). Requires
+  /// cardinality >= 1 and fanout >= 2.
+  static Result<ValueHierarchy> BuildBalanced(int cardinality, int fanout);
+
+  /// \brief Builds a hierarchy from explicit per-level group assignments.
+  ///
+  /// `levels[l][code]` is the group id of `code` at level l+1 (level 0 is
+  /// implicit). Group ids per level must be dense starting at 0, and each
+  /// level must coarsen the previous one (never split a group).
+  static Result<ValueHierarchy> FromLevelMaps(
+      int cardinality, const std::vector<std::vector<int32_t>>& levels);
+
+  /// \brief Number of levels including the leaf level 0.
+  int num_levels() const { return static_cast<int>(group_maps_.size()); }
+
+  /// \brief Number of categories at the leaf level.
+  int cardinality() const { return cardinality_; }
+
+  /// \brief Number of distinct groups at `level`.
+  int NumGroups(int level) const { return num_groups_[static_cast<size_t>(level)]; }
+
+  /// \brief Group id of `code` at `level` (level 0: the code itself).
+  int32_t GroupOf(int32_t code, int level) const {
+    return group_maps_[static_cast<size_t>(level)][static_cast<size_t>(code)];
+  }
+
+  /// \brief Representative original category of `code`'s group at `level`
+  /// (the central member in code order) — keeps recodings domain-closed.
+  int32_t RepresentativeOf(int32_t code, int level) const {
+    return representatives_[static_cast<size_t>(level)]
+                           [static_cast<size_t>(GroupOf(code, level))];
+  }
+
+  /// \brief Lowest level at which `a` and `b` share a group (0 when equal;
+  /// num_levels()-1 at the latest if the top level is a single group).
+  int LowestCommonLevel(int32_t a, int32_t b) const;
+
+  /// \brief Semantic distance in [0, 1]: LowestCommonLevel normalized by the
+  /// tree height. 0 iff equal; 1 when only the top level unites them.
+  double SemanticDistance(int32_t a, int32_t b) const;
+
+ private:
+  int cardinality_ = 0;
+  /// group_maps_[level][code] -> group id (level 0 = identity).
+  std::vector<std::vector<int32_t>> group_maps_;
+  /// representatives_[level][group] -> representative category code.
+  std::vector<std::vector<int32_t>> representatives_;
+  std::vector<int> num_groups_;
+
+  void RebuildRepresentatives();
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_DATA_HIERARCHY_H_

@@ -1,0 +1,33 @@
+#include "data/schema.h"
+
+namespace evocat {
+
+const char* AttrKindToString(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kNominal:
+      return "nominal";
+    case AttrKind::kOrdinal:
+      return "ordinal";
+  }
+  return "?";
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[static_cast<size_t>(i)].name() == name) return i;
+  }
+  return Status::NotFound("attribute '", name, "' not in schema");
+}
+
+Result<std::vector<int>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    EVOCAT_ASSIGN_OR_RETURN(int idx, IndexOf(name));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace evocat

@@ -1,0 +1,82 @@
+/// \file schema.h
+/// \brief Attribute metadata and dataset schema.
+
+#ifndef EVOCAT_DATA_SCHEMA_H_
+#define EVOCAT_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dictionary.h"
+
+namespace evocat {
+
+/// \brief Measurement level of a categorical attribute.
+///
+/// Ordinal attributes have a meaningful category order (rank == dictionary
+/// code); nominal attributes are unordered labels. Distance functions, coding
+/// methods and rank-based attacks behave differently per kind.
+enum class AttrKind { kNominal, kOrdinal };
+
+const char* AttrKindToString(AttrKind kind);
+
+/// \brief One categorical attribute: name, kind, and its category dictionary.
+///
+/// The dictionary is shared (`shared_ptr`) between the original dataset and
+/// every masked copy, so codes are directly comparable across files.
+class Attribute {
+ public:
+  Attribute(std::string name, AttrKind kind)
+      : name_(std::move(name)),
+        kind_(kind),
+        dictionary_(std::make_shared<Dictionary>()) {}
+
+  const std::string& name() const { return name_; }
+  AttrKind kind() const { return kind_; }
+
+  Dictionary& dictionary() { return *dictionary_; }
+  const Dictionary& dictionary() const { return *dictionary_; }
+  const std::shared_ptr<Dictionary>& dictionary_ptr() const { return dictionary_; }
+
+  /// \brief Number of valid categories.
+  int32_t cardinality() const { return dictionary_->size(); }
+
+ private:
+  std::string name_;
+  AttrKind kind_;
+  std::shared_ptr<Dictionary> dictionary_;
+};
+
+/// \brief Ordered collection of attributes describing a microdata file.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// \brief Appends an attribute; returns its index.
+  int AddAttribute(Attribute attribute) {
+    attributes_.push_back(std::move(attribute));
+    return static_cast<int>(attributes_.size()) - 1;
+  }
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+  const Attribute& attribute(int i) const { return attributes_[static_cast<size_t>(i)]; }
+  Attribute& attribute(int i) { return attributes_[static_cast<size_t>(i)]; }
+
+  /// \brief Index of the attribute named `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// \brief Indices for a list of attribute names (order preserved).
+  Result<std::vector<int>> IndicesOf(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace evocat
+
+#endif  // EVOCAT_DATA_SCHEMA_H_

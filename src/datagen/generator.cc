@@ -1,0 +1,104 @@
+#include "datagen/generator.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/string_utils.h"
+
+namespace evocat {
+namespace datagen {
+
+namespace {
+
+/// Builds the per-attribute category label, e.g. "BUILT_07".
+std::string CategoryLabel(const std::string& attr_name, int index) {
+  return StrFormat("%s_%02d", attr_name.c_str(), index);
+}
+
+int32_t SampleOrdinal(const SyntheticAttribute& spec, double latent, Rng* rng) {
+  int card = spec.cardinality;
+  if (rng->Bernoulli(spec.latent_weight)) {
+    // Noisy position along the category order, tied to the latent factor.
+    double pos = latent * (card - 1) + rng->Gaussian() * 0.12 * card;
+    return static_cast<int32_t>(Clamp(std::lround(pos), 0, card - 1));
+  }
+  return static_cast<int32_t>(rng->Zipf(static_cast<size_t>(card), spec.zipf_s));
+}
+
+int32_t SampleNominal(const SyntheticAttribute& spec, double latent,
+                      const std::vector<int32_t>& permutation, Rng* rng) {
+  int card = spec.cardinality;
+  if (rng->Bernoulli(spec.latent_weight)) {
+    auto slot = static_cast<size_t>(Clamp(std::floor(latent * card), 0, card - 1));
+    return permutation[slot];
+  }
+  return static_cast<int32_t>(rng->Zipf(static_cast<size_t>(card), spec.zipf_s));
+}
+
+}  // namespace
+
+Result<Dataset> Generate(const SyntheticProfile& profile, uint64_t seed) {
+  if (profile.num_records <= 0) {
+    return Status::Invalid("profile '", profile.name, "' has no records");
+  }
+  if (profile.attributes.empty()) {
+    return Status::Invalid("profile '", profile.name, "' has no attributes");
+  }
+  for (const auto& spec : profile.attributes) {
+    if (spec.cardinality < 2) {
+      return Status::Invalid("attribute '", spec.name,
+                             "' needs cardinality >= 2, got ", spec.cardinality);
+    }
+    if (spec.latent_weight < 0.0 || spec.latent_weight > 1.0) {
+      return Status::Invalid("attribute '", spec.name,
+                             "' latent_weight outside [0,1]");
+    }
+  }
+
+  auto schema = std::make_shared<Schema>();
+  for (const auto& spec : profile.attributes) {
+    Attribute attr(spec.name, spec.kind);
+    // Pre-register the full domain in natural order (rank == code for
+    // ordinals), independent of what gets sampled.
+    for (int c = 0; c < spec.cardinality; ++c) {
+      attr.dictionary().GetOrAdd(CategoryLabel(spec.name, c));
+    }
+    schema->AddAttribute(std::move(attr));
+  }
+
+  Rng rng(seed);
+  // Fixed per-attribute permutations for nominal latent slots.
+  std::vector<std::vector<int32_t>> permutations(profile.attributes.size());
+  for (size_t a = 0; a < profile.attributes.size(); ++a) {
+    const auto& spec = profile.attributes[a];
+    permutations[a].resize(static_cast<size_t>(spec.cardinality));
+    for (int c = 0; c < spec.cardinality; ++c) {
+      permutations[a][static_cast<size_t>(c)] = c;
+    }
+    if (spec.kind == AttrKind::kNominal) rng.Shuffle(&permutations[a]);
+  }
+
+  Dataset dataset(schema);
+  std::vector<int32_t> row(profile.attributes.size());
+  for (int64_t r = 0; r < profile.num_records; ++r) {
+    double latent = rng.UniformDouble();
+    for (size_t a = 0; a < profile.attributes.size(); ++a) {
+      const auto& spec = profile.attributes[a];
+      row[a] = spec.kind == AttrKind::kOrdinal
+                   ? SampleOrdinal(spec, latent, &rng)
+                   : SampleNominal(spec, latent, permutations[a], &rng);
+    }
+    EVOCAT_RETURN_NOT_OK(dataset.AppendRowCodes(row));
+  }
+  return dataset;
+}
+
+Result<std::vector<int>> ProtectedAttributeIndices(const SyntheticProfile& profile,
+                                                   const Dataset& dataset) {
+  return dataset.schema().IndicesOf(profile.protected_attributes);
+}
+
+}  // namespace datagen
+}  // namespace evocat

@@ -1,0 +1,35 @@
+/// \file generator.h
+/// \brief Sampler turning a `SyntheticProfile` into a concrete `Dataset`.
+
+#ifndef EVOCAT_DATAGEN_GENERATOR_H_
+#define EVOCAT_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "datagen/profile.h"
+
+namespace evocat {
+namespace datagen {
+
+/// \brief Generates a dataset from `profile` deterministically from `seed`.
+///
+/// Model: each record draws a latent factor u ~ U(0,1). Each attribute value
+/// is, with probability `latent_weight`, derived from u (ordinal: a noisy
+/// position along the category order; nominal: a latent-driven category passed
+/// through a fixed per-attribute permutation so that label identities are
+/// scrambled while the correlation structure survives), and otherwise drawn
+/// from a Zipf(s) marginal. All categories of every attribute are registered
+/// in the dictionaries before sampling, so the full domain is available to
+/// downstream components even if a category is never sampled.
+Result<Dataset> Generate(const SyntheticProfile& profile, uint64_t seed);
+
+/// \brief Resolves the profile's protected attribute names to schema indices.
+Result<std::vector<int>> ProtectedAttributeIndices(const SyntheticProfile& profile,
+                                                   const Dataset& dataset);
+
+}  // namespace datagen
+}  // namespace evocat
+
+#endif  // EVOCAT_DATAGEN_GENERATOR_H_

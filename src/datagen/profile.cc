@@ -1,0 +1,121 @@
+#include "datagen/profile.h"
+
+namespace evocat {
+namespace datagen {
+
+namespace {
+constexpr AttrKind kNom = AttrKind::kNominal;
+constexpr AttrKind kOrd = AttrKind::kOrdinal;
+
+SyntheticAttribute Attr(std::string name, AttrKind kind, int card, double zipf,
+                        double latent) {
+  SyntheticAttribute a;
+  a.name = std::move(name);
+  a.kind = kind;
+  a.cardinality = card;
+  a.zipf_s = zipf;
+  a.latent_weight = latent;
+  return a;
+}
+}  // namespace
+
+SyntheticProfile HousingProfile() {
+  SyntheticProfile p;
+  p.name = "housing";
+  p.num_records = 1000;
+  p.attributes = {
+      Attr("BUILT", kOrd, 25, 0.60, 0.65),      // year-built bucket (protected)
+      Attr("DEGREE", kOrd, 8, 0.80, 0.55),      // comfort rating (protected)
+      Attr("GRADE1", kNom, 21, 0.90, 0.60),     // building grade (protected)
+      Attr("REGION", kNom, 4, 0.40, 0.30),
+      Attr("METRO", kNom, 5, 0.70, 0.40),
+      Attr("TENURE", kNom, 3, 0.80, 0.35),
+      Attr("ROOMS", kOrd, 9, 0.50, 0.55),
+      Attr("UNITS", kOrd, 6, 0.90, 0.45),
+      Attr("PLUMBING", kNom, 3, 1.40, 0.20),
+      Attr("HEAT", kNom, 7, 0.85, 0.35),
+      Attr("OWNRENT", kNom, 2, 0.50, 0.30),
+  };
+  p.protected_attributes = {"BUILT", "DEGREE", "GRADE1"};
+  return p;
+}
+
+SyntheticProfile GermanCreditProfile() {
+  SyntheticProfile p;
+  p.name = "german";
+  p.num_records = 1000;
+  p.attributes = {
+      Attr("EXISTACC", kOrd, 5, 0.55, 0.60),     // checking status (protected)
+      Attr("SAVINGS", kOrd, 6, 0.75, 0.60),      // savings bucket (protected)
+      Attr("PRESEMPLOY", kOrd, 6, 0.60, 0.55),   // employment length (protected)
+      Attr("PURPOSE", kNom, 10, 0.85, 0.35),
+      Attr("CREDITHIST", kNom, 5, 0.70, 0.45),
+      Attr("PERSONAL", kNom, 4, 0.60, 0.30),
+      Attr("GUARANTORS", kNom, 3, 1.30, 0.25),
+      Attr("PROPERTY", kNom, 4, 0.55, 0.45),
+      Attr("INSTALLPLANS", kNom, 3, 1.10, 0.25),
+      Attr("HOUSING", kNom, 3, 0.90, 0.35),
+      Attr("JOB", kOrd, 4, 0.65, 0.50),
+      Attr("TELEPHONE", kNom, 2, 0.45, 0.20),
+      Attr("FOREIGN", kNom, 2, 1.60, 0.15),
+  };
+  p.protected_attributes = {"EXISTACC", "SAVINGS", "PRESEMPLOY"};
+  return p;
+}
+
+SyntheticProfile SolarFlareProfile() {
+  SyntheticProfile p;
+  p.name = "flare";
+  p.num_records = 1066;
+  p.attributes = {
+      Attr("CLASS", kOrd, 8, 0.70, 0.65),        // Zurich class (protected)
+      Attr("LARGSPOT", kOrd, 7, 0.65, 0.60),     // largest spot size (protected)
+      Attr("SPOTDIST", kNom, 5, 0.75, 0.60),     // spot distribution (protected)
+      Attr("ACTIVITY", kNom, 2, 0.90, 0.30),
+      Attr("EVOLUTION", kOrd, 3, 0.50, 0.45),
+      Attr("PREVACT", kNom, 3, 1.10, 0.35),
+      Attr("HISTCOMPLEX", kNom, 2, 0.80, 0.30),
+      Attr("BECOMEHIST", kNom, 2, 1.40, 0.25),
+      Attr("AREA", kNom, 2, 1.20, 0.35),
+      Attr("AREALARG", kNom, 2, 1.50, 0.25),
+      Attr("CFLARE", kOrd, 6, 1.30, 0.40),
+      Attr("MFLARE", kOrd, 4, 1.60, 0.35),
+      Attr("XFLARE", kOrd, 3, 1.80, 0.30),
+  };
+  p.protected_attributes = {"CLASS", "LARGSPOT", "SPOTDIST"};
+  return p;
+}
+
+SyntheticProfile AdultProfile() {
+  SyntheticProfile p;
+  p.name = "adult";
+  p.num_records = 1000;
+  p.attributes = {
+      Attr("EDUCATION", kOrd, 16, 0.55, 0.65),       // protected
+      Attr("MARITAL_STATUS", kNom, 7, 0.70, 0.55),   // protected
+      Attr("OCCUPATION", kNom, 14, 0.50, 0.60),      // protected
+      Attr("WORKCLASS", kNom, 8, 1.10, 0.40),
+      Attr("RELATIONSHIP", kNom, 6, 0.60, 0.50),
+      Attr("RACE", kNom, 5, 1.50, 0.20),
+      Attr("SEX", kNom, 2, 0.30, 0.25),
+      Attr("INCOME", kNom, 2, 0.75, 0.45),
+  };
+  p.protected_attributes = {"EDUCATION", "MARITAL_STATUS", "OCCUPATION"};
+  return p;
+}
+
+SyntheticProfile UniformTestProfile(const std::string& name, int64_t num_records,
+                                    const std::vector<int>& cards) {
+  SyntheticProfile p;
+  p.name = name;
+  p.num_records = num_records;
+  for (size_t i = 0; i < cards.size(); ++i) {
+    p.attributes.push_back(Attr("a" + std::to_string(i), kNom,
+                                cards[i], /*zipf=*/0.0, /*latent=*/0.0));
+    p.protected_attributes.push_back("a" + std::to_string(i));
+  }
+  return p;
+}
+
+}  // namespace datagen
+}  // namespace evocat

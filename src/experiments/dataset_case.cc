@@ -1,0 +1,39 @@
+#include "experiments/dataset_case.h"
+
+namespace evocat {
+namespace experiments {
+
+DatasetCase HousingCase() {
+  return DatasetCase{datagen::HousingProfile(),
+                     protection::HousingPopulationSpec()};
+}
+
+DatasetCase GermanCase() {
+  return DatasetCase{datagen::GermanCreditProfile(),
+                     protection::GermanFlarePopulationSpec()};
+}
+
+DatasetCase FlareCase() {
+  return DatasetCase{datagen::SolarFlareProfile(),
+                     protection::GermanFlarePopulationSpec()};
+}
+
+DatasetCase AdultCase() {
+  return DatasetCase{datagen::AdultProfile(), protection::AdultPopulationSpec()};
+}
+
+std::vector<DatasetCase> AllCases() {
+  return {AdultCase(), HousingCase(), GermanCase(), FlareCase()};
+}
+
+Result<DatasetCase> CaseByName(const std::string& name) {
+  if (name == "housing") return HousingCase();
+  if (name == "german") return GermanCase();
+  if (name == "flare") return FlareCase();
+  if (name == "adult") return AdultCase();
+  return Status::NotFound("unknown dataset case '", name,
+                          "'; expected housing|german|flare|adult");
+}
+
+}  // namespace experiments
+}  // namespace evocat

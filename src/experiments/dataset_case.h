@@ -1,0 +1,41 @@
+/// \file dataset_case.h
+/// \brief The paper's four evaluation cases: dataset profile + population mix.
+
+#ifndef EVOCAT_EXPERIMENTS_DATASET_CASE_H_
+#define EVOCAT_EXPERIMENTS_DATASET_CASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/profile.h"
+#include "protection/population_builder.h"
+
+namespace evocat {
+namespace experiments {
+
+/// \brief One paper evaluation setting: which data, which initial population.
+struct DatasetCase {
+  datagen::SyntheticProfile profile;
+  protection::PopulationSpec population_spec;
+};
+
+/// \brief Housing: 1000x11, protections 110.
+DatasetCase HousingCase();
+/// \brief German Credit: 1000x13, protections 104.
+DatasetCase GermanCase();
+/// \brief Solar Flare: 1066x13, protections 104.
+DatasetCase FlareCase();
+/// \brief Adult: 1000x8, protections 86.
+DatasetCase AdultCase();
+
+/// \brief All four cases in the paper's presentation order.
+std::vector<DatasetCase> AllCases();
+
+/// \brief Case lookup by profile name ("housing", "german", "flare", "adult").
+Result<DatasetCase> CaseByName(const std::string& name);
+
+}  // namespace experiments
+}  // namespace evocat
+
+#endif  // EVOCAT_EXPERIMENTS_DATASET_CASE_H_

@@ -1,0 +1,91 @@
+#include "experiments/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "core/engine.h"
+
+namespace evocat {
+namespace experiments {
+
+void PrintDispersionCsv(const ExperimentResult& result, std::ostream& out) {
+  out << "series,phase,index,il,dr,score,origin\n";
+  auto print_phase = [&](const char* phase,
+                         const std::vector<IndividualSummary>& members) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      const auto& m = members[i];
+      out << "dispersion," << phase << ',' << i << ',' << std::fixed
+          << std::setprecision(3) << m.il << ',' << m.dr << ',' << m.score
+          << ',' << m.origin << '\n';
+    }
+  };
+  print_phase("initial", result.initial);
+  print_phase("final", result.final_population);
+}
+
+void PrintEvolutionCsv(const ExperimentResult& result, std::ostream& out) {
+  out << "series,generation,min_score,mean_score,max_score,operator\n";
+  out << "evolution,0," << std::fixed << std::setprecision(3)
+      << result.initial_scores.min << ',' << result.initial_scores.mean << ','
+      << result.initial_scores.max << ",initial\n";
+  for (const auto& record : result.history) {
+    out << "evolution," << record.generation << ',' << std::fixed
+        << std::setprecision(3) << record.min_score << ',' << record.mean_score
+        << ',' << record.max_score << ','
+        << core::OperatorKindToString(record.op) << '\n';
+  }
+}
+
+void PrintImprovementSummary(const ExperimentResult& result, std::ostream& out) {
+  auto line = [&](const char* stat, double start, double end) {
+    out << "  " << stat << " score: " << std::fixed << std::setprecision(2)
+        << start << " -> " << end << "  ("
+        << ExperimentResult::ImprovementPercent(start, end)
+        << "% improvement)\n";
+  };
+  out << "[" << result.dataset << "] aggregation="
+      << metrics::ScoreAggregationToString(result.options.aggregation)
+      << " generations=" << result.history.size()
+      << " population=" << result.final_population.size() << "\n";
+  line("max ", result.initial_scores.max, result.final_scores.max);
+  line("mean", result.initial_scores.mean, result.final_scores.mean);
+  line("min ", result.initial_scores.min, result.final_scores.min);
+  out << "  balance |IL-DR|: initial " << std::fixed << std::setprecision(2)
+      << MeanImbalance(result.initial) << " -> final "
+      << MeanImbalance(result.final_population) << "\n";
+}
+
+void PrintTimingSummary(const ExperimentResult& result, std::ostream& out) {
+  const auto& stats = result.stats;
+  auto avg = [](double total, int64_t count) {
+    return count > 0 ? total / static_cast<double>(count) : 0.0;
+  };
+  double mut_total = avg(stats.mutation_total_seconds, stats.mutation_generations);
+  double mut_eval = avg(stats.mutation_eval_seconds, stats.mutation_generations);
+  double cross_total =
+      avg(stats.crossover_total_seconds, stats.crossover_generations);
+  double cross_eval =
+      avg(stats.crossover_eval_seconds, stats.crossover_generations);
+
+  out << "series,operator,generations,avg_total_s,avg_fitness_s,avg_rest_s,"
+         "fitness_share\n";
+  out << "timing,mutation," << stats.mutation_generations << ',' << std::fixed
+      << std::setprecision(6) << mut_total << ',' << mut_eval << ','
+      << (mut_total - mut_eval) << ',' << std::setprecision(4)
+      << (mut_total > 0 ? mut_eval / mut_total : 0.0) << '\n';
+  out << "timing,crossover," << stats.crossover_generations << ',' << std::fixed
+      << std::setprecision(6) << cross_total << ',' << cross_eval << ','
+      << (cross_total - cross_eval) << ',' << std::setprecision(4)
+      << (cross_total > 0 ? cross_eval / cross_total : 0.0) << '\n';
+}
+
+double MeanImbalance(const std::vector<IndividualSummary>& members) {
+  if (members.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& m : members) total += std::fabs(m.il - m.dr);
+  return total / static_cast<double>(members.size());
+}
+
+}  // namespace experiments
+}  // namespace evocat

@@ -1,0 +1,129 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/parallel.h"
+#include "datagen/generator.h"
+
+namespace evocat {
+namespace experiments {
+
+namespace {
+
+IndividualSummary Summarize(const core::Individual& individual) {
+  IndividualSummary summary;
+  summary.origin = individual.origin;
+  summary.il = individual.fitness.il;
+  summary.dr = individual.fitness.dr;
+  summary.score = individual.fitness.score;
+  return summary;
+}
+
+ScoreTriple TripleOf(const std::vector<IndividualSummary>& members) {
+  ScoreTriple triple;
+  std::vector<double> scores;
+  scores.reserve(members.size());
+  for (const auto& m : members) scores.push_back(m.score);
+  triple.min = Min(scores);
+  triple.mean = Mean(scores);
+  triple.max = Max(scores);
+  return triple;
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const DatasetCase& dataset_case,
+                                       const ExperimentOptions& options) {
+  if (options.remove_best_fraction < 0.0 ||
+      options.remove_best_fraction >= 1.0) {
+    return Status::Invalid("remove_best_fraction must be in [0, 1), got ",
+                           options.remove_best_fraction);
+  }
+
+  // (1) Synthetic dataset standing in for the UCI file.
+  EVOCAT_ASSIGN_OR_RETURN(Dataset original,
+                          datagen::Generate(dataset_case.profile,
+                                            options.data_seed));
+  EVOCAT_ASSIGN_OR_RETURN(
+      std::vector<int> attrs,
+      datagen::ProtectedAttributeIndices(dataset_case.profile, original));
+
+  // (2) Initial population of protections (paper §3 method mixes).
+  EVOCAT_ASSIGN_OR_RETURN(
+      auto protections,
+      protection::BuildProtections(original, attrs,
+                                   dataset_case.population_spec,
+                                   options.protection_seed));
+
+  // (3) Fitness evaluator with the experiment's aggregation.
+  metrics::FitnessEvaluator::Options fitness_options = options.fitness;
+  fitness_options.aggregation = options.aggregation;
+  EVOCAT_ASSIGN_OR_RETURN(
+      auto evaluator,
+      metrics::FitnessEvaluator::Create(original, attrs, fitness_options));
+
+  std::vector<core::Individual> initial;
+  initial.reserve(protections.size());
+  for (auto& file : protections) {
+    core::Individual individual;
+    individual.data = std::move(file.data);
+    individual.origin = std::move(file.method_label);
+    initial.push_back(std::move(individual));
+  }
+
+  // Evaluate the seeds now: the dispersion figures need the initial cloud,
+  // and the robustness experiment removes the best seeds by score.
+  ParallelFor(0, static_cast<int64_t>(initial.size()), [&](int64_t i) {
+    initial[static_cast<size_t>(i)].fitness =
+        evaluator->Evaluate(initial[static_cast<size_t>(i)].data);
+  });
+  std::stable_sort(initial.begin(), initial.end(),
+                   [](const core::Individual& a, const core::Individual& b) {
+                     return a.score() < b.score();
+                   });
+
+  if (options.remove_best_fraction > 0.0) {
+    auto removed = static_cast<size_t>(
+        std::llround(options.remove_best_fraction *
+                     static_cast<double>(initial.size())));
+    removed = std::min(removed, initial.size() - 2);  // keep a viable population
+    initial.erase(initial.begin(),
+                  initial.begin() + static_cast<std::ptrdiff_t>(removed));
+  }
+
+  ExperimentResult result;
+  result.dataset = dataset_case.profile.name;
+  result.options = options;
+  result.initial.reserve(initial.size());
+  for (const auto& individual : initial) {
+    result.initial.push_back(Summarize(individual));
+  }
+  result.initial_scores = TripleOf(result.initial);
+
+  // (4) Evolve.
+  core::GaConfig config;
+  config.generations = options.generations;
+  config.mutation_rate = options.mutation_rate;
+  config.leader_group_size = options.leader_group_size;
+  config.selection = options.selection;
+  config.mutation_excludes_current = options.mutation_excludes_current;
+  config.seed = options.ga_seed;
+
+  core::EvolutionEngine engine(evaluator.get(), config);
+  EVOCAT_ASSIGN_OR_RETURN(core::EvolutionResult evolution,
+                          engine.Run(std::move(initial)));
+
+  result.history = std::move(evolution.history);
+  result.stats = evolution.stats;
+  result.final_population.reserve(evolution.population.size());
+  for (const auto& individual : evolution.population.members()) {
+    result.final_population.push_back(Summarize(individual));
+  }
+  result.final_scores = TripleOf(result.final_population);
+  return result;
+}
+
+}  // namespace experiments
+}  // namespace evocat

@@ -1,0 +1,69 @@
+#include "metrics/ctbil.h"
+
+#include <algorithm>
+
+#include "data/stats.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+
+class BoundCtbIl : public BoundMeasure {
+ public:
+  BoundCtbIl(const Dataset& original, std::vector<std::vector<int>> subsets)
+      : subsets_(std::move(subsets)) {
+    original_tables_.reserve(subsets_.size());
+    for (const auto& subset : subsets_) {
+      original_tables_.push_back(
+          std::move(ContingencyTable::Build(original, subset)).ValueOrDie());
+    }
+    n_ = original.num_rows();
+  }
+
+  double Compute(const Dataset& masked) const override {
+    double total = 0.0;
+    for (size_t i = 0; i < subsets_.size(); ++i) {
+      auto masked_table =
+          std::move(ContingencyTable::Build(masked, subsets_[i])).ValueOrDie();
+      total += static_cast<double>(original_tables_[i].L1Distance(masked_table));
+    }
+    // Each table's L1 distance is at most 2n, so this lands in [0, 100].
+    double denom = 2.0 * static_cast<double>(n_) *
+                   static_cast<double>(subsets_.size());
+    return denom > 0 ? 100.0 * total / denom : 0.0;
+  }
+
+ private:
+  std::vector<std::vector<int>> subsets_;
+  std::vector<ContingencyTable> original_tables_;
+  int64_t n_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> CtbIl::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  if (max_dimension_ < 1) {
+    return Status::Invalid("CTBIL max_dimension must be >= 1, got ",
+                           max_dimension_);
+  }
+  // Enumerate attribute subsets of size 1..max_dimension (over positions in
+  // `attrs`, then map back to schema indices).
+  std::vector<std::vector<int>> subsets;
+  int n_attrs = static_cast<int>(attrs.size());
+  int top = std::min(max_dimension_, n_attrs);
+  for (int k = 1; k <= top; ++k) {
+    for (const auto& positions : SubsetsOfSize(n_attrs, k)) {
+      std::vector<int> subset;
+      subset.reserve(positions.size());
+      for (int p : positions) subset.push_back(attrs[static_cast<size_t>(p)]);
+      subsets.push_back(std::move(subset));
+    }
+  }
+  return std::unique_ptr<BoundMeasure>(
+      new BoundCtbIl(original, std::move(subsets)));
+}
+
+}  // namespace metrics
+}  // namespace evocat

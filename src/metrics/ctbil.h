@@ -1,0 +1,43 @@
+/// \file ctbil.h
+/// \brief Contingency-Table-Based Information Loss (Torra & Domingo-Ferrer
+/// 2001).
+///
+/// For every subset of the protected attributes up to `max_dimension`, the
+/// joint contingency tables of the original and masked files are compared
+/// cell-wise; CTBIL is the summed L1 distance normalized by the worst case
+/// (2n per table), scaled to 0..100. CTBIL = 0 iff all marginal and joint
+/// distributions up to the chosen dimension are preserved exactly.
+
+#ifndef EVOCAT_METRICS_CTBIL_H_
+#define EVOCAT_METRICS_CTBIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/measure.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief CTBIL with contingency tables up to `max_dimension` attributes.
+class CtbIl : public Measure {
+ public:
+  explicit CtbIl(int max_dimension = 2) : max_dimension_(max_dimension) {}
+
+  std::string Name() const override { return "CTBIL"; }
+  MeasureKind Kind() const override { return MeasureKind::kInformationLoss; }
+
+  Result<std::unique_ptr<BoundMeasure>> Bind(
+      const Dataset& original, const std::vector<int>& attrs) const override;
+
+  int max_dimension() const { return max_dimension_; }
+
+ private:
+  int max_dimension_;
+};
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_CTBIL_H_

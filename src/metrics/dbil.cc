@@ -1,0 +1,45 @@
+#include "metrics/dbil.h"
+
+#include "metrics/distance.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+
+class BoundDbIl : public BoundMeasure {
+ public:
+  BoundDbIl(const Dataset& original, const std::vector<int>& attrs)
+      : original_(&original), tables_(original, attrs) {}
+
+  double Compute(const Dataset& masked) const override {
+    const auto& attrs = tables_.attrs();
+    int64_t n = original_->num_rows();
+    double total = 0.0;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      int attr = attrs[i];
+      const auto& orig_col = original_->column(attr);
+      const auto& mask_col = masked.column(attr);
+      for (int64_t r = 0; r < n; ++r) {
+        total += tables_.At(i, orig_col[static_cast<size_t>(r)],
+                            mask_col[static_cast<size_t>(r)]);
+      }
+    }
+    double cells = static_cast<double>(n) * static_cast<double>(attrs.size());
+    return cells > 0 ? 100.0 * total / cells : 0.0;
+  }
+
+ private:
+  const Dataset* original_;
+  DistanceTables tables_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> DbIl::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  return std::unique_ptr<BoundMeasure>(new BoundDbIl(original, attrs));
+}
+
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,35 @@
+/// \file dbil.h
+/// \brief Distance-Based Information Loss (Torra & Domingo-Ferrer 2001).
+///
+/// The average normalized distance between each original value and its
+/// masked counterpart, scaled to 0..100. Nominal attributes contribute 0/1
+/// per cell; ordinal attributes contribute the normalized rank displacement.
+/// DBIL = 0 iff the masked file is value-identical on the protected
+/// attributes.
+
+#ifndef EVOCAT_METRICS_DBIL_H_
+#define EVOCAT_METRICS_DBIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/measure.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief Cell-wise distance information loss.
+class DbIl : public Measure {
+ public:
+  std::string Name() const override { return "DBIL"; }
+  MeasureKind Kind() const override { return MeasureKind::kInformationLoss; }
+
+  Result<std::unique_ptr<BoundMeasure>> Bind(
+      const Dataset& original, const std::vector<int>& attrs) const override;
+};
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_DBIL_H_

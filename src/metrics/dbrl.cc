@@ -1,0 +1,59 @@
+#include "metrics/dbrl.h"
+
+#include "common/parallel.h"
+#include "metrics/distance.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+
+class BoundDbrl : public BoundMeasure {
+ public:
+  BoundDbrl(const Dataset& original, const std::vector<int>& attrs)
+      : original_(&original), tables_(original, attrs) {}
+
+  double Compute(const Dataset& masked) const override {
+    int64_t n = original_->num_rows();
+    constexpr double kEps = 1e-12;
+    // Each original record's linkage is independent: parallelize over i and
+    // reduce serially (deterministic).
+    std::vector<double> credits(static_cast<size_t>(n), 0.0);
+    ParallelFor(0, n, [&](int64_t i) {
+      double best = 1e100;
+      int64_t best_count = 0;
+      bool self_is_best = false;
+      for (int64_t j = 0; j < n; ++j) {
+        double d = tables_.RecordDistance(*original_, i, masked, j);
+        if (d < best - kEps) {
+          best = d;
+          best_count = 1;
+          self_is_best = (j == i);
+        } else if (d <= best + kEps) {
+          ++best_count;
+          if (j == i) self_is_best = true;
+        }
+      }
+      if (self_is_best && best_count > 0) {
+        credits[static_cast<size_t>(i)] = 1.0 / static_cast<double>(best_count);
+      }
+    });
+    double credit = 0.0;
+    for (double c : credits) credit += c;
+    return n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  const Dataset* original_;
+  DistanceTables tables_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> DistanceBasedRecordLinkage::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  return std::unique_ptr<BoundMeasure>(new BoundDbrl(original, attrs));
+}
+
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,58 @@
+/// \file distance.h
+/// \brief Value- and record-level distances on categorical data.
+///
+/// Nominal categories are at distance 0 (equal) or 1 (different). Ordinal
+/// categories are at normalized rank distance |a - b| / (cardinality - 1).
+/// Record distance over an attribute set is the mean of value distances —
+/// the distance used by DBIL, DBRL and the RSRL attack's candidate ranking.
+
+#ifndef EVOCAT_METRICS_DISTANCE_H_
+#define EVOCAT_METRICS_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief Normalized distance in [0,1] between two categories of `attr`.
+double ValueDistance(const Attribute& attr, int32_t a, int32_t b);
+
+/// \brief Precomputed per-attribute value-distance lookup tables.
+///
+/// `Table(i)` is a flattened `card x card` matrix for the i-th bound
+/// attribute; `Record(x_codes, y_codes)` sums table lookups — the inner loop
+/// of every O(n^2) linkage measure.
+class DistanceTables {
+ public:
+  DistanceTables(const Dataset& dataset, const std::vector<int>& attrs);
+
+  /// \brief Distance between codes `a` and `b` of bound attribute `i`.
+  double At(size_t i, int32_t a, int32_t b) const {
+    const auto& t = tables_[i];
+    return t.values[static_cast<size_t>(a) * t.cardinality +
+                    static_cast<size_t>(b)];
+  }
+
+  /// \brief Mean value distance between record `rx` of `x` and `ry` of `y`
+  /// over the bound attributes.
+  double RecordDistance(const Dataset& x, int64_t rx, const Dataset& y,
+                        int64_t ry) const;
+
+  const std::vector<int>& attrs() const { return attrs_; }
+
+ private:
+  struct Table {
+    size_t cardinality;
+    std::vector<float> values;
+  };
+  std::vector<int> attrs_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_DISTANCE_H_

@@ -1,0 +1,66 @@
+#include "metrics/ebil.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+
+class BoundEbIl : public BoundMeasure {
+ public:
+  BoundEbIl(const Dataset& original, const std::vector<int>& attrs)
+      : original_(&original), attrs_(attrs) {}
+
+  double Compute(const Dataset& masked) const override {
+    int64_t n = original_->num_rows();
+    double sum_attr_loss = 0.0;
+    for (int attr : attrs_) {
+      int card = original_->schema().attribute(attr).cardinality();
+      // Joint counts J[m][o] of (masked, original) pairs.
+      std::vector<double> joint(static_cast<size_t>(card) * card, 0.0);
+      const auto& orig_col = original_->column(attr);
+      const auto& mask_col = masked.column(attr);
+      for (int64_t r = 0; r < n; ++r) {
+        auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
+        auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
+        joint[m * static_cast<size_t>(card) + o] += 1.0;
+      }
+      // Expected conditional entropy Σ_m P(m) H(O|M=m), normalized by the
+      // attribute's maximum entropy.
+      double cond_entropy = 0.0;
+      std::vector<double> row(static_cast<size_t>(card));
+      for (int m = 0; m < card; ++m) {
+        double row_total = 0.0;
+        for (int o = 0; o < card; ++o) {
+          row[static_cast<size_t>(o)] =
+              joint[static_cast<size_t>(m) * card + static_cast<size_t>(o)];
+          row_total += row[static_cast<size_t>(o)];
+        }
+        if (row_total <= 0.0) continue;
+        cond_entropy += (row_total / static_cast<double>(n)) * Entropy(row);
+      }
+      double max_entropy = std::log2(static_cast<double>(card));
+      sum_attr_loss += max_entropy > 0 ? cond_entropy / max_entropy : 0.0;
+    }
+    return attrs_.empty()
+               ? 0.0
+               : 100.0 * sum_attr_loss / static_cast<double>(attrs_.size());
+  }
+
+ private:
+  const Dataset* original_;
+  std::vector<int> attrs_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> EbIl::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  return std::unique_ptr<BoundMeasure>(new BoundEbIl(original, attrs));
+}
+
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,39 @@
+/// \file ebil.h
+/// \brief Entropy-Based Information Loss (Kooiman, Willenborg & Gouweleeuw
+/// 1998).
+///
+/// Treats the masking as an (empirical) PRAM process: from the paired
+/// (original, masked) values the conditional distribution P(O | M = j) is
+/// estimated per attribute, and the loss is the expected conditional entropy
+/// Σ_j P(M=j) · H(O | M=j) — the number of bits of the original value that
+/// the masked value no longer determines. Normalized per attribute by the
+/// maximum entropy log2(cardinality) and scaled to 0..100. EBIL = 0 iff the
+/// original value is a deterministic function of the masked value (identity
+/// masking, but also any injective recoding).
+
+#ifndef EVOCAT_METRICS_EBIL_H_
+#define EVOCAT_METRICS_EBIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/measure.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief PRAM-matrix conditional-entropy information loss.
+class EbIl : public Measure {
+ public:
+  std::string Name() const override { return "EBIL"; }
+  MeasureKind Kind() const override { return MeasureKind::kInformationLoss; }
+
+  Result<std::unique_ptr<BoundMeasure>> Bind(
+      const Dataset& original, const std::vector<int>& attrs) const override;
+};
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_EBIL_H_

@@ -1,0 +1,130 @@
+#include "metrics/fitness.h"
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/ctbil.h"
+#include "metrics/dbil.h"
+#include "metrics/dbrl.h"
+#include "metrics/ebil.h"
+#include "metrics/interval_disclosure.h"
+#include "metrics/prl.h"
+#include "metrics/rsrl.h"
+
+namespace evocat {
+namespace metrics {
+
+const char* ScoreAggregationToString(ScoreAggregation aggregation) {
+  switch (aggregation) {
+    case ScoreAggregation::kMean:
+      return "mean";
+    case ScoreAggregation::kMax:
+      return "max";
+    case ScoreAggregation::kEuclidean:
+      return "euclidean";
+    case ScoreAggregation::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+double AggregateScore(ScoreAggregation aggregation, double il, double dr,
+                      double il_weight) {
+  switch (aggregation) {
+    case ScoreAggregation::kMean:
+      return (il + dr) / 2.0;
+    case ScoreAggregation::kMax:
+      return std::max(il, dr);
+    case ScoreAggregation::kEuclidean:
+      return std::sqrt((il * il + dr * dr) / 2.0);
+    case ScoreAggregation::kWeighted:
+      return il_weight * il + (1.0 - il_weight) * dr;
+  }
+  return (il + dr) / 2.0;
+}
+
+Result<std::unique_ptr<FitnessEvaluator>> FitnessEvaluator::Create(
+    const Dataset& original, const std::vector<int>& attrs,
+    const Options& options) {
+  EVOCAT_RETURN_NOT_OK(ValidateComparable(original, original, attrs));
+  if (options.il_weight < 0.0 || options.il_weight > 1.0) {
+    return Status::Invalid("il_weight must be in [0, 1], got ",
+                           options.il_weight);
+  }
+  if (!options.use_ctbil && !options.use_dbil && !options.use_ebil) {
+    return Status::Invalid("at least one information-loss measure is required");
+  }
+  if (!options.use_id && !options.use_dbrl && !options.use_prl &&
+      !options.use_rsrl) {
+    return Status::Invalid("at least one disclosure-risk measure is required");
+  }
+
+  std::unique_ptr<FitnessEvaluator> evaluator(
+      new FitnessEvaluator(original, attrs, options));
+  if (options.use_ctbil) {
+    EVOCAT_ASSIGN_OR_RETURN(evaluator->ctbil_,
+                            CtbIl(options.ctbil_max_dimension).Bind(original, attrs));
+  }
+  if (options.use_dbil) {
+    EVOCAT_ASSIGN_OR_RETURN(evaluator->dbil_, DbIl().Bind(original, attrs));
+  }
+  if (options.use_ebil) {
+    EVOCAT_ASSIGN_OR_RETURN(evaluator->ebil_, EbIl().Bind(original, attrs));
+  }
+  if (options.use_id) {
+    EVOCAT_ASSIGN_OR_RETURN(
+        evaluator->id_,
+        IntervalDisclosure(options.id_window_percent).Bind(original, attrs));
+  }
+  if (options.use_dbrl) {
+    EVOCAT_ASSIGN_OR_RETURN(evaluator->dbrl_,
+                            DistanceBasedRecordLinkage().Bind(original, attrs));
+  }
+  if (options.use_prl) {
+    EVOCAT_ASSIGN_OR_RETURN(
+        evaluator->prl_,
+        ProbabilisticRecordLinkage(options.prl_em_iterations).Bind(original, attrs));
+  }
+  if (options.use_rsrl) {
+    EVOCAT_ASSIGN_OR_RETURN(
+        evaluator->rsrl_,
+        RankSwappingRecordLinkage(options.rsrl_assumed_p_percent)
+            .Bind(original, attrs));
+  }
+  return evaluator;
+}
+
+FitnessBreakdown FitnessEvaluator::Evaluate(const Dataset& masked) const {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  FitnessBreakdown b;
+  double il_sum = 0.0, dr_sum = 0.0;
+  int il_count = 0, dr_count = 0;
+
+  auto apply = [&](const std::unique_ptr<BoundMeasure>& bound, double* slot,
+                   double* sum, int* count) {
+    if (bound) {
+      *slot = bound->Compute(masked);
+      *sum += *slot;
+      *count += 1;
+    } else {
+      *slot = kNaN;
+    }
+  };
+
+  apply(ctbil_, &b.ctbil, &il_sum, &il_count);
+  apply(dbil_, &b.dbil, &il_sum, &il_count);
+  apply(ebil_, &b.ebil, &il_sum, &il_count);
+  apply(id_, &b.id, &dr_sum, &dr_count);
+  apply(dbrl_, &b.dbrl, &dr_sum, &dr_count);
+  apply(prl_, &b.prl, &dr_sum, &dr_count);
+  apply(rsrl_, &b.rsrl, &dr_sum, &dr_count);
+
+  b.il = il_count > 0 ? il_sum / il_count : 0.0;
+  b.dr = dr_count > 0 ? dr_sum / dr_count : 0.0;
+  b.score = AggregateScore(options_.aggregation, b.il, b.dr, options_.il_weight);
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+}  // namespace metrics
+}  // namespace evocat

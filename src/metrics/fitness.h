@@ -1,0 +1,144 @@
+/// \file fitness.h
+/// \brief The paper's fitness function: IL/DR aggregation into one score.
+///
+/// IL is the mean of {CTBIL, DBIL, EBIL}; DR is the mean of {ID, DBRL, PRL,
+/// RSRL}; the score is either `(IL + DR) / 2` (paper Eq. 1) or
+/// `max(IL, DR)` (paper Eq. 2). Lower scores are better. Individual measures
+/// can be disabled for ablation studies; disabled measures are excluded from
+/// the averages and reported as NaN in the breakdown.
+
+#ifndef EVOCAT_METRICS_FITNESS_H_
+#define EVOCAT_METRICS_FITNESS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/measure.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief How IL and DR combine into the scalar fitness score.
+///
+/// kMean and kMax are the paper's Eq. 1 and Eq. 2. The paper's conclusion
+/// proposes exploring "other ways to aggregate them"; kEuclidean and
+/// kWeighted implement that future work: the quadratic mean penalizes
+/// imbalance more than the mean but less than the max, and the weighted mean
+/// lets a data custodian tilt the trade-off toward utility or privacy.
+enum class ScoreAggregation {
+  kMean,       ///< Paper Eq. 1: (IL + DR) / 2 — permits perfect trade-off.
+  kMax,        ///< Paper Eq. 2: max(IL, DR) — penalizes unbalanced protections.
+  kEuclidean,  ///< Quadratic mean sqrt((IL^2 + DR^2) / 2): soft balance.
+  kWeighted,   ///< w * IL + (1 - w) * DR with custom weight w.
+};
+
+const char* ScoreAggregationToString(ScoreAggregation aggregation);
+
+/// \brief Combines IL and DR under the chosen aggregation.
+///
+/// `il_weight` is only used by kWeighted (must be in [0, 1]).
+double AggregateScore(ScoreAggregation aggregation, double il, double dr,
+                      double il_weight = 0.5);
+
+/// \brief Per-measure results of one fitness evaluation (0..100 each).
+///
+/// Disabled measures are NaN and excluded from `il` / `dr`.
+struct FitnessBreakdown {
+  double ctbil = 0.0;
+  double dbil = 0.0;
+  double ebil = 0.0;
+  double id = 0.0;
+  double dbrl = 0.0;
+  double prl = 0.0;
+  double rsrl = 0.0;
+  double il = 0.0;     ///< mean of enabled information-loss measures
+  double dr = 0.0;     ///< mean of enabled disclosure-risk measures
+  double score = 0.0;  ///< aggregated fitness (lower is better)
+};
+
+/// \brief Evaluates masked files against one original under the paper's
+/// fitness; binds all measures once so repeated evaluation is cheap.
+class FitnessEvaluator {
+ public:
+  /// \brief Evaluator configuration (defaults reproduce the paper).
+  struct Options {
+    ScoreAggregation aggregation = ScoreAggregation::kMean;
+    /// Information-loss weight for ScoreAggregation::kWeighted.
+    double il_weight = 0.5;
+    /// CTBIL contingency-table dimension cap.
+    int ctbil_max_dimension = 2;
+    /// Interval-disclosure rank window (percent of records).
+    double id_window_percent = 10.0;
+    /// RSRL attacker's assumed rank-swapping parameter (percent).
+    double rsrl_assumed_p_percent = 15.0;
+    /// PRL EM sweeps.
+    int prl_em_iterations = 50;
+    /// Ablation switches — disabled measures leave the averages.
+    bool use_ctbil = true;
+    bool use_dbil = true;
+    bool use_ebil = true;
+    bool use_id = true;
+    bool use_dbrl = true;
+    bool use_prl = true;
+    bool use_rsrl = true;
+  };
+
+  /// \brief Binds all enabled measures to `original` over `attrs`.
+  ///
+  /// `original` must outlive the evaluator. At least one IL and one DR
+  /// measure must stay enabled.
+  static Result<std::unique_ptr<FitnessEvaluator>> Create(
+      const Dataset& original, const std::vector<int>& attrs,
+      const Options& options);
+
+  /// \brief Binds with the paper-default options.
+  static Result<std::unique_ptr<FitnessEvaluator>> Create(
+      const Dataset& original, const std::vector<int>& attrs) {
+    return Create(original, attrs, Options());
+  }
+
+  /// \brief Evaluates one masked file (hot path; `masked` must be comparable
+  /// to the original — same schema and row count).
+  FitnessBreakdown Evaluate(const Dataset& masked) const;
+
+  /// \brief Aggregates an (il, dr) pair under this evaluator's options.
+  double Score(double il, double dr) const {
+    return AggregateScore(options_.aggregation, il, dr, options_.il_weight);
+  }
+
+  const Options& options() const { return options_; }
+  const std::vector<int>& attrs() const { return attrs_; }
+
+  /// \brief The original dataset the evaluator was bound to.
+  const Dataset& original() const { return *original_; }
+
+  /// \brief Number of `Evaluate` calls served (for the timing tables).
+  int64_t num_evaluations() const { return num_evaluations_.load(); }
+
+ private:
+  FitnessEvaluator(const Dataset& original, std::vector<int> attrs,
+                   Options options)
+      : original_(&original), attrs_(std::move(attrs)), options_(options) {}
+
+  const Dataset* original_;
+  std::vector<int> attrs_;
+  Options options_;
+
+  std::unique_ptr<BoundMeasure> ctbil_;
+  std::unique_ptr<BoundMeasure> dbil_;
+  std::unique_ptr<BoundMeasure> ebil_;
+  std::unique_ptr<BoundMeasure> id_;
+  std::unique_ptr<BoundMeasure> dbrl_;
+  std::unique_ptr<BoundMeasure> prl_;
+  std::unique_ptr<BoundMeasure> rsrl_;
+
+  mutable std::atomic<int64_t> num_evaluations_{0};
+};
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_FITNESS_H_

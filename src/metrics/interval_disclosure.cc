@@ -1,0 +1,63 @@
+#include "metrics/interval_disclosure.h"
+
+#include <cmath>
+
+#include "data/stats.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+
+class BoundIntervalDisclosure : public BoundMeasure {
+ public:
+  BoundIntervalDisclosure(const Dataset& original, const std::vector<int>& attrs,
+                          double window_percent)
+      : original_(&original), attrs_(attrs) {
+    window_ = window_percent / 100.0 * static_cast<double>(original.num_rows());
+    for (int attr : attrs_) {
+      original_midranks_.push_back(CategoryMidranks(original, attr));
+    }
+  }
+
+  double Compute(const Dataset& masked) const override {
+    int64_t n = original_->num_rows();
+    double disclosed = 0.0;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      int attr = attrs_[i];
+      auto masked_midranks = CategoryMidranks(masked, attr);
+      const auto& orig_col = original_->column(attr);
+      const auto& mask_col = masked.column(attr);
+      for (int64_t r = 0; r < n; ++r) {
+        double rank_orig =
+            original_midranks_[i][static_cast<size_t>(orig_col[static_cast<size_t>(r)])];
+        double rank_mask =
+            masked_midranks[static_cast<size_t>(mask_col[static_cast<size_t>(r)])];
+        if (std::fabs(rank_orig - rank_mask) <= window_) disclosed += 1.0;
+      }
+    }
+    double cells = static_cast<double>(n) * static_cast<double>(attrs_.size());
+    return cells > 0 ? 100.0 * disclosed / cells : 0.0;
+  }
+
+ private:
+  const Dataset* original_;
+  std::vector<int> attrs_;
+  std::vector<std::vector<double>> original_midranks_;
+  double window_ = 0.0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> IntervalDisclosure::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  if (window_percent_ <= 0.0 || window_percent_ > 100.0) {
+    return Status::Invalid("ID window must be in (0, 100], got ",
+                           window_percent_);
+  }
+  return std::unique_ptr<BoundMeasure>(
+      new BoundIntervalDisclosure(original, attrs, window_percent_));
+}
+
+}  // namespace metrics
+}  // namespace evocat

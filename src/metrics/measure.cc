@@ -1,0 +1,39 @@
+#include "metrics/measure.h"
+
+namespace evocat {
+namespace metrics {
+
+Status ValidateComparable(const Dataset& original, const Dataset& masked,
+                          const std::vector<int>& attrs) {
+  if (original.num_rows() == 0) {
+    return Status::Invalid("original dataset is empty");
+  }
+  if (original.num_rows() != masked.num_rows()) {
+    return Status::Invalid("row count mismatch: original ", original.num_rows(),
+                           " vs masked ", masked.num_rows());
+  }
+  if (original.schema_ptr() != masked.schema_ptr()) {
+    return Status::Invalid(
+        "masked file must share the original's schema (dictionaries must be "
+        "identical for codes to be comparable)");
+  }
+  if (attrs.empty()) {
+    return Status::Invalid("no attributes given");
+  }
+  for (int a : attrs) {
+    if (a < 0 || a >= original.num_attributes()) {
+      return Status::OutOfRange("attribute index ", a, " out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> Measure::Compute(const Dataset& original, const Dataset& masked,
+                                const std::vector<int>& attrs) const {
+  EVOCAT_RETURN_NOT_OK(ValidateComparable(original, masked, attrs));
+  EVOCAT_ASSIGN_OR_RETURN(auto bound, Bind(original, attrs));
+  return bound->Compute(masked);
+}
+
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,67 @@
+/// \file measure.h
+/// \brief Interfaces for information-loss and disclosure-risk measures.
+///
+/// Every measure compares a masked file against the original it was derived
+/// from and returns a value on a 0..100 scale (0 = no loss / no risk,
+/// 100 = maximal). Because the GA evaluates thousands of masked files against
+/// the *same* original, measures follow a bind-then-evaluate protocol:
+/// `Measure::Bind(original, attrs)` precomputes all original-side state
+/// (contingency tables, rank maps, distance tables) into a `BoundMeasure`
+/// whose `Compute(masked)` is the hot path.
+
+#ifndef EVOCAT_METRICS_MEASURE_H_
+#define EVOCAT_METRICS_MEASURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief Which side of the privacy trade-off a measure quantifies.
+enum class MeasureKind { kInformationLoss, kDisclosureRisk };
+
+/// \brief A measure bound to one original dataset and attribute set.
+class BoundMeasure {
+ public:
+  virtual ~BoundMeasure() = default;
+
+  /// \brief Evaluates the masked file; returns a value in [0, 100].
+  ///
+  /// `masked` must share the original's schema and row count (checked by
+  /// `Measure::Compute`; callers on the hot path are trusted).
+  virtual double Compute(const Dataset& masked) const = 0;
+};
+
+/// \brief Factory/descriptor for one measure.
+class Measure {
+ public:
+  virtual ~Measure() = default;
+
+  /// \brief Short identifier, e.g. "CTBIL".
+  virtual std::string Name() const = 0;
+
+  /// \brief Information loss or disclosure risk.
+  virtual MeasureKind Kind() const = 0;
+
+  /// \brief Precomputes original-side state for repeated evaluation.
+  virtual Result<std::unique_ptr<BoundMeasure>> Bind(
+      const Dataset& original, const std::vector<int>& attrs) const = 0;
+
+  /// \brief One-shot convenience: validate, bind and evaluate.
+  Result<double> Compute(const Dataset& original, const Dataset& masked,
+                         const std::vector<int>& attrs) const;
+};
+
+/// \brief Validates that `masked` is comparable to `original` over `attrs`.
+Status ValidateComparable(const Dataset& original, const Dataset& masked,
+                          const std::vector<int>& attrs);
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_MEASURE_H_

@@ -1,0 +1,189 @@
+#include "metrics/prl.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/parallel.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+constexpr double kProbFloor = 1e-6;
+constexpr double kProbCeil = 1.0 - 1e-6;
+}  // namespace
+
+double FellegiSunterModel::PatternWeight(uint32_t pattern) const {
+  double w = 0.0;
+  for (size_t k = 0; k < m.size(); ++k) {
+    bool agree = (pattern >> k) & 1u;
+    w += agree ? std::log(m[k] / u[k])
+               : std::log((1.0 - m[k]) / (1.0 - u[k]));
+  }
+  return w;
+}
+
+FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
+                                    int num_attrs, int em_iterations) {
+  size_t num_patterns = pattern_counts.size();
+  double total = 0.0;
+  for (double c : pattern_counts) total += c;
+
+  FellegiSunterModel model;
+  model.m.assign(static_cast<size_t>(num_attrs), 0.9);
+  model.u.assign(static_cast<size_t>(num_attrs), 0.1);
+  model.match_prevalence = total > 0 ? 1.0 / std::sqrt(total) : 0.5;
+
+  for (int iter = 0; iter < em_iterations; ++iter) {
+    double sum_g = 0.0, sum_1mg = 0.0;
+    std::vector<double> m_num(static_cast<size_t>(num_attrs), 0.0);
+    std::vector<double> u_num(static_cast<size_t>(num_attrs), 0.0);
+    for (uint32_t p = 0; p < num_patterns; ++p) {
+      double count = pattern_counts[p];
+      if (count <= 0.0) continue;
+      // E-step: posterior match probability of this pattern.
+      double like_m = model.match_prevalence;
+      double like_u = 1.0 - model.match_prevalence;
+      for (int k = 0; k < num_attrs; ++k) {
+        bool agree = (p >> k) & 1u;
+        like_m *= agree ? model.m[static_cast<size_t>(k)]
+                        : 1.0 - model.m[static_cast<size_t>(k)];
+        like_u *= agree ? model.u[static_cast<size_t>(k)]
+                        : 1.0 - model.u[static_cast<size_t>(k)];
+      }
+      double denom = like_m + like_u;
+      double g = denom > 0 ? like_m / denom : 0.5;
+      sum_g += g * count;
+      sum_1mg += (1.0 - g) * count;
+      for (int k = 0; k < num_attrs; ++k) {
+        if ((p >> k) & 1u) {
+          m_num[static_cast<size_t>(k)] += g * count;
+          u_num[static_cast<size_t>(k)] += (1.0 - g) * count;
+        }
+      }
+    }
+    // M-step with clamping to keep the weights finite.
+    if (sum_g > 0) {
+      for (int k = 0; k < num_attrs; ++k) {
+        model.m[static_cast<size_t>(k)] =
+            Clamp(m_num[static_cast<size_t>(k)] / sum_g, kProbFloor, kProbCeil);
+      }
+    }
+    if (sum_1mg > 0) {
+      for (int k = 0; k < num_attrs; ++k) {
+        model.u[static_cast<size_t>(k)] =
+            Clamp(u_num[static_cast<size_t>(k)] / sum_1mg, kProbFloor, kProbCeil);
+      }
+    }
+    if (total > 0) {
+      model.match_prevalence = Clamp(sum_g / total, kProbFloor, kProbCeil);
+    }
+  }
+  return model;
+}
+
+namespace {
+
+class BoundPrl : public BoundMeasure {
+ public:
+  BoundPrl(const Dataset& original, const std::vector<int>& attrs,
+           int em_iterations)
+      : original_(&original), attrs_(attrs), em_iterations_(em_iterations) {}
+
+  double Compute(const Dataset& masked) const override {
+    int64_t n = original_->num_rows();
+    int num_attrs = static_cast<int>(attrs_.size());
+    size_t num_patterns = static_cast<size_t>(1) << num_attrs;
+
+    // Pass 1: agreement-pattern counts over all pairs, parallel over i with
+    // per-row local counters (counts are integers, so the reduction order
+    // cannot change the result). For wide pattern spaces the per-row
+    // counters would dominate memory, so fall back to a serial sweep.
+    std::vector<double> counts(num_patterns, 0.0);
+    if (num_patterns <= 1024) {
+      std::vector<std::vector<double>> row_counts(
+          static_cast<size_t>(n), std::vector<double>(num_patterns, 0.0));
+      ParallelFor(0, n, [&](int64_t i) {
+        auto& local = row_counts[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < n; ++j) {
+          local[PatternOf(i, masked, j)] += 1.0;
+        }
+      });
+      for (const auto& local : row_counts) {
+        for (size_t p = 0; p < num_patterns; ++p) counts[p] += local[p];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          counts[PatternOf(i, masked, j)] += 1.0;
+        }
+      }
+    }
+
+    FellegiSunterModel model = FitFellegiSunter(counts, num_attrs, em_iterations_);
+    std::vector<double> weights(num_patterns);
+    for (uint32_t p = 0; p < num_patterns; ++p) {
+      weights[p] = model.PatternWeight(p);
+    }
+
+    // Pass 2: link each original record to the max-weight masked record.
+    constexpr double kEps = 1e-12;
+    std::vector<double> credits(static_cast<size_t>(n), 0.0);
+    ParallelFor(0, n, [&](int64_t i) {
+      double best = -1e100;
+      int64_t best_count = 0;
+      bool self_is_best = false;
+      for (int64_t j = 0; j < n; ++j) {
+        double w = weights[PatternOf(i, masked, j)];
+        if (w > best + kEps) {
+          best = w;
+          best_count = 1;
+          self_is_best = (j == i);
+        } else if (w >= best - kEps) {
+          ++best_count;
+          if (j == i) self_is_best = true;
+        }
+      }
+      if (self_is_best && best_count > 0) {
+        credits[static_cast<size_t>(i)] = 1.0 / static_cast<double>(best_count);
+      }
+    });
+    double credit = 0.0;
+    for (double c : credits) credit += c;
+    return n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  uint32_t PatternOf(int64_t orig_row, const Dataset& masked,
+                     int64_t masked_row) const {
+    uint32_t pattern = 0;
+    for (size_t k = 0; k < attrs_.size(); ++k) {
+      if (original_->Code(orig_row, attrs_[k]) ==
+          masked.Code(masked_row, attrs_[k])) {
+        pattern |= (1u << k);
+      }
+    }
+    return pattern;
+  }
+
+  const Dataset* original_;
+  std::vector<int> attrs_;
+  int em_iterations_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> ProbabilisticRecordLinkage::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  if (attrs.size() > 20) {
+    return Status::Invalid("PRL agreement patterns limited to 20 attributes");
+  }
+  if (em_iterations_ < 1) {
+    return Status::Invalid("PRL needs at least one EM iteration");
+  }
+  return std::unique_ptr<BoundMeasure>(
+      new BoundPrl(original, attrs, em_iterations_));
+}
+
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,98 @@
+#include "metrics/rsrl.h"
+
+#include <cmath>
+
+#include "common/parallel.h"
+#include "data/stats.h"
+#include "metrics/distance.h"
+
+namespace evocat {
+namespace metrics {
+
+namespace {
+
+class BoundRsrl : public BoundMeasure {
+ public:
+  BoundRsrl(const Dataset& original, const std::vector<int>& attrs,
+            double assumed_p_percent)
+      : original_(&original), attrs_(attrs), tables_(original, attrs) {
+    window_ = assumed_p_percent / 100.0 *
+              static_cast<double>(original.num_rows());
+    for (int attr : attrs_) {
+      original_midranks_.push_back(CategoryMidranks(original, attr));
+    }
+  }
+
+  double Compute(const Dataset& masked) const override {
+    int64_t n = original_->num_rows();
+    size_t num_attrs = attrs_.size();
+
+    // Masked-side mid-ranks (depend on the masked marginals).
+    std::vector<std::vector<double>> masked_midranks;
+    masked_midranks.reserve(num_attrs);
+    for (int attr : attrs_) {
+      masked_midranks.push_back(CategoryMidranks(masked, attr));
+    }
+
+    constexpr double kEps = 1e-12;
+    std::vector<double> credits(static_cast<size_t>(n), 0.0);
+    ParallelFor(0, n, [&](int64_t i) {
+      double best = 1e100;
+      int64_t best_count = 0;
+      bool self_is_best = false;
+      for (int64_t j = 0; j < n; ++j) {
+        // Candidate filter: every attribute's masked rank must lie within
+        // the assumed displacement window of the original rank.
+        bool candidate = true;
+        for (size_t k = 0; k < num_attrs; ++k) {
+          double rank_orig =
+              original_midranks_[k][static_cast<size_t>(original_->Code(i, attrs_[k]))];
+          double rank_mask =
+              masked_midranks[k][static_cast<size_t>(masked.Code(j, attrs_[k]))];
+          if (std::fabs(rank_orig - rank_mask) > window_) {
+            candidate = false;
+            break;
+          }
+        }
+        if (!candidate) continue;
+        double d = tables_.RecordDistance(*original_, i, masked, j);
+        if (d < best - kEps) {
+          best = d;
+          best_count = 1;
+          self_is_best = (j == i);
+        } else if (d <= best + kEps) {
+          ++best_count;
+          if (j == i) self_is_best = true;
+        }
+      }
+      if (self_is_best && best_count > 0) {
+        credits[static_cast<size_t>(i)] = 1.0 / static_cast<double>(best_count);
+      }
+    });
+    double credit = 0.0;
+    for (double c : credits) credit += c;
+    return n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  const Dataset* original_;
+  std::vector<int> attrs_;
+  DistanceTables tables_;
+  std::vector<std::vector<double>> original_midranks_;
+  double window_ = 0.0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundMeasure>> RankSwappingRecordLinkage::Bind(
+    const Dataset& original, const std::vector<int>& attrs) const {
+  if (assumed_p_percent_ <= 0.0 || assumed_p_percent_ > 100.0) {
+    return Status::Invalid("RSRL assumed p must be in (0, 100], got ",
+                           assumed_p_percent_);
+  }
+  return std::unique_ptr<BoundMeasure>(
+      new BoundRsrl(original, attrs, assumed_p_percent_));
+}
+
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,72 @@
+#include "protection/coding.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/string_utils.h"
+
+namespace evocat {
+namespace protection {
+
+namespace {
+Status ValidateFraction(double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    return Status::Invalid("coding fraction must be in (0, 1), got ", fraction);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+std::string BottomCoding::Params() const {
+  return StrFormat("frac=%.2f", fraction_);
+}
+
+int32_t BottomCoding::ThresholdCode(int cardinality) const {
+  auto t = static_cast<int32_t>(std::lround(fraction_ * (cardinality - 1)));
+  return static_cast<int32_t>(Clamp(t, 1, cardinality - 1));
+}
+
+Result<Dataset> BottomCoding::Protect(const Dataset& original,
+                                      const std::vector<int>& attrs,
+                                      Rng* /*rng*/) const {
+  EVOCAT_RETURN_NOT_OK(ValidateAttrs(original, attrs));
+  EVOCAT_RETURN_NOT_OK(ValidateFraction(fraction_));
+  Dataset masked = original.Clone();
+  for (int attr : attrs) {
+    int32_t threshold =
+        ThresholdCode(original.schema().attribute(attr).cardinality());
+    auto& col = masked.mutable_column(attr);
+    for (auto& code : col) {
+      if (code < threshold) code = threshold;
+    }
+  }
+  return masked;
+}
+
+std::string TopCoding::Params() const { return StrFormat("frac=%.2f", fraction_); }
+
+int32_t TopCoding::ThresholdCode(int cardinality) const {
+  auto offset = static_cast<int32_t>(std::lround(fraction_ * (cardinality - 1)));
+  offset = static_cast<int32_t>(Clamp(offset, 1, cardinality - 1));
+  return static_cast<int32_t>(cardinality - 1 - offset);
+}
+
+Result<Dataset> TopCoding::Protect(const Dataset& original,
+                                   const std::vector<int>& attrs,
+                                   Rng* /*rng*/) const {
+  EVOCAT_RETURN_NOT_OK(ValidateAttrs(original, attrs));
+  EVOCAT_RETURN_NOT_OK(ValidateFraction(fraction_));
+  Dataset masked = original.Clone();
+  for (int attr : attrs) {
+    int32_t threshold =
+        ThresholdCode(original.schema().attribute(attr).cardinality());
+    auto& col = masked.mutable_column(attr);
+    for (auto& code : col) {
+      if (code > threshold) code = threshold;
+    }
+  }
+  return masked;
+}
+
+}  // namespace protection
+}  // namespace evocat

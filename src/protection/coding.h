@@ -1,0 +1,63 @@
+/// \file coding.h
+/// \brief Top coding and bottom coding (non-perturbative masking).
+///
+/// Coding collapses the extreme categories of an (order-interpretable)
+/// attribute into the boundary category: bottom coding maps everything below
+/// a threshold rank up to it; top coding maps everything above a threshold
+/// rank down to it. For nominal attributes the canonical dictionary order is
+/// used; measures treat categories abstractly so this is well-defined.
+/// The collapsed fraction of the domain is the method parameter.
+
+#ifndef EVOCAT_PROTECTION_CODING_H_
+#define EVOCAT_PROTECTION_CODING_H_
+
+#include <string>
+#include <vector>
+
+#include "protection/method.h"
+
+namespace evocat {
+namespace protection {
+
+/// \brief Bottom coding with domain fraction `fraction` collapsed.
+class BottomCoding : public ProtectionMethod {
+ public:
+  explicit BottomCoding(double fraction) : fraction_(fraction) {}
+
+  std::string Name() const override { return "bottomcoding"; }
+  std::string Params() const override;
+
+  Result<Dataset> Protect(const Dataset& original, const std::vector<int>& attrs,
+                          Rng* rng) const override;
+
+  /// \brief Threshold code for a domain of `cardinality` categories: codes
+  /// strictly below it are replaced by it. Always in [1, cardinality-1].
+  int32_t ThresholdCode(int cardinality) const;
+
+ private:
+  double fraction_;
+};
+
+/// \brief Top coding with domain fraction `fraction` collapsed.
+class TopCoding : public ProtectionMethod {
+ public:
+  explicit TopCoding(double fraction) : fraction_(fraction) {}
+
+  std::string Name() const override { return "topcoding"; }
+  std::string Params() const override;
+
+  Result<Dataset> Protect(const Dataset& original, const std::vector<int>& attrs,
+                          Rng* rng) const override;
+
+  /// \brief Threshold code: codes strictly above it are replaced by it.
+  /// Always in [0, cardinality-2].
+  int32_t ThresholdCode(int cardinality) const;
+
+ private:
+  double fraction_;
+};
+
+}  // namespace protection
+}  // namespace evocat
+
+#endif  // EVOCAT_PROTECTION_CODING_H_

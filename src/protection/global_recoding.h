@@ -1,0 +1,43 @@
+/// \file global_recoding.h
+/// \brief Global recoding: merge adjacent categories into coarser groups.
+///
+/// The domain of each protected attribute is partitioned into consecutive
+/// groups of `group_size` categories (the last group absorbs the remainder);
+/// every value is replaced by its group's central category, which acts as the
+/// representative of the generalized class. Applied globally — every record
+/// is recoded with the same partition — as in the Argus-style generalization
+/// the paper references (Hundepool & Willenborg 1998).
+
+#ifndef EVOCAT_PROTECTION_GLOBAL_RECODING_H_
+#define EVOCAT_PROTECTION_GLOBAL_RECODING_H_
+
+#include <string>
+#include <vector>
+
+#include "protection/method.h"
+
+namespace evocat {
+namespace protection {
+
+/// \brief Global recoding with groups of `group_size` adjacent categories.
+class GlobalRecoding : public ProtectionMethod {
+ public:
+  explicit GlobalRecoding(int group_size) : group_size_(group_size) {}
+
+  std::string Name() const override { return "globalrecoding"; }
+  std::string Params() const override;
+
+  Result<Dataset> Protect(const Dataset& original, const std::vector<int>& attrs,
+                          Rng* rng) const override;
+
+  /// \brief Representative code for `code` in a domain of `cardinality`.
+  int32_t Representative(int32_t code, int cardinality) const;
+
+ private:
+  int group_size_;
+};
+
+}  // namespace protection
+}  // namespace evocat
+
+#endif  // EVOCAT_PROTECTION_GLOBAL_RECODING_H_

@@ -1,0 +1,49 @@
+/// \file hierarchical_recoding.h
+/// \brief Global recoding driven by a value generalization hierarchy.
+///
+/// Generalizes every value of each protected attribute to the representative
+/// of its ancestor group at the configured hierarchy level — the tree-based
+/// formulation of global recoding (Argus / k-anonymity style), strictly
+/// coarser than the flat adjacent-group recoding in global_recoding.h. A
+/// balanced hierarchy with the given fanout is built per attribute; deeper
+/// levels yield stronger generalization. Domain-closed like every evocat
+/// method: representatives are original categories.
+
+#ifndef EVOCAT_PROTECTION_HIERARCHICAL_RECODING_H_
+#define EVOCAT_PROTECTION_HIERARCHICAL_RECODING_H_
+
+#include <string>
+#include <vector>
+
+#include "data/hierarchy.h"
+#include "protection/method.h"
+
+namespace evocat {
+namespace protection {
+
+/// \brief VGH-based global recoding to the `level`-th hierarchy level.
+class HierarchicalRecoding : public ProtectionMethod {
+ public:
+  /// \param level generalization level (>= 1; clamped per attribute to its
+  ///        hierarchy height, so small domains just saturate at the top).
+  /// \param fanout balanced-hierarchy branching factor (>= 2).
+  HierarchicalRecoding(int level, int fanout) : level_(level), fanout_(fanout) {}
+
+  std::string Name() const override { return "hierarchicalrecoding"; }
+  std::string Params() const override;
+
+  Result<Dataset> Protect(const Dataset& original, const std::vector<int>& attrs,
+                          Rng* rng) const override;
+
+  int level() const { return level_; }
+  int fanout() const { return fanout_; }
+
+ private:
+  int level_;
+  int fanout_;
+};
+
+}  // namespace protection
+}  // namespace evocat
+
+#endif  // EVOCAT_PROTECTION_HIERARCHICAL_RECODING_H_

@@ -1,0 +1,30 @@
+#include "protection/method.h"
+
+#include <set>
+
+namespace evocat {
+namespace protection {
+
+Status ProtectionMethod::ValidateAttrs(const Dataset& dataset,
+                                       const std::vector<int>& attrs) {
+  if (attrs.empty()) {
+    return Status::Invalid("no attributes to protect");
+  }
+  std::set<int> seen;
+  for (int a : attrs) {
+    if (a < 0 || a >= dataset.num_attributes()) {
+      return Status::OutOfRange("attribute index ", a, " out of range [0, ",
+                                dataset.num_attributes(), ")");
+    }
+    if (!seen.insert(a).second) {
+      return Status::Invalid("duplicate attribute index ", a);
+    }
+  }
+  if (dataset.num_rows() == 0) {
+    return Status::Invalid("cannot protect an empty dataset");
+  }
+  return Status::OK();
+}
+
+}  // namespace protection
+}  // namespace evocat

@@ -1,0 +1,56 @@
+/// \file method.h
+/// \brief Interface implemented by every masking (protection) method.
+///
+/// A protection method turns an original dataset into a masked copy by
+/// rewriting the values of the protected attributes. All methods in evocat
+/// are *domain-closed*: every masked value is one of the attribute's original
+/// categories (generalizations are represented by an existing representative
+/// category rather than a fresh label). This matches the GA's definition of
+/// "valid values" for mutation and keeps every measure well-defined on the
+/// shared dictionaries.
+
+#ifndef EVOCAT_PROTECTION_METHOD_H_
+#define EVOCAT_PROTECTION_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace evocat {
+namespace protection {
+
+/// \brief Abstract masking method.
+class ProtectionMethod {
+ public:
+  virtual ~ProtectionMethod() = default;
+
+  /// \brief Method family name, e.g. "microaggregation".
+  virtual std::string Name() const = 0;
+
+  /// \brief Human-readable parameterization, e.g. "k=5,order=sort0".
+  virtual std::string Params() const = 0;
+
+  /// \brief "name(params)" label used in population provenance.
+  std::string Label() const { return Name() + "(" + Params() + ")"; }
+
+  /// \brief Produces a masked copy of `original`, rewriting only `attrs`.
+  ///
+  /// Deterministic given `rng`'s state; methods that are conceptually
+  /// deterministic (coding, recoding) ignore `rng`.
+  virtual Result<Dataset> Protect(const Dataset& original,
+                                  const std::vector<int>& attrs,
+                                  Rng* rng) const = 0;
+
+ protected:
+  /// \brief Validates that `attrs` are distinct, in-range indices.
+  static Status ValidateAttrs(const Dataset& dataset,
+                              const std::vector<int>& attrs);
+};
+
+}  // namespace protection
+}  // namespace evocat
+
+#endif  // EVOCAT_PROTECTION_METHOD_H_

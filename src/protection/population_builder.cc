@@ -1,0 +1,118 @@
+#include "protection/population_builder.h"
+
+namespace evocat {
+namespace protection {
+
+namespace {
+
+const std::vector<int> kTwelveKs = {3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+
+const std::vector<MicroOrdering> kSixOrderings = {
+    MicroOrdering::kUnivariate,   MicroOrdering::kSortByAttr0,
+    MicroOrdering::kSortByAttr1,  MicroOrdering::kSortByAttr2,
+    MicroOrdering::kSortBySum,    MicroOrdering::kRandomProjection,
+};
+
+const std::vector<MicroOrdering> kFourOrderings = {
+    MicroOrdering::kUnivariate,
+    MicroOrdering::kSortByAttr0,
+    MicroOrdering::kSortByAttr1,
+    MicroOrdering::kSortByAttr2,
+};
+
+const std::vector<double> kElevenSwapPercents = {2, 4, 6, 8, 10, 12,
+                                                 14, 16, 18, 20, 22};
+
+const std::vector<double> kNineRetains = {0.9, 0.8, 0.7, 0.6, 0.5,
+                                          0.4, 0.3, 0.2, 0.1};
+
+}  // namespace
+
+int PopulationSpec::TotalCount() const {
+  return static_cast<int>(microagg_ks.size() * microagg_orderings.size() +
+                          bottom_fractions.size() + top_fractions.size() +
+                          recoding_group_sizes.size() +
+                          rankswap_percents.size() + pram_retains.size());
+}
+
+PopulationSpec HousingPopulationSpec() {
+  PopulationSpec spec;
+  spec.microagg_ks = kTwelveKs;                      // 12
+  spec.microagg_orderings = kSixOrderings;           // x6 = 72
+  spec.bottom_fractions = {0.08, 0.16, 0.24, 0.32, 0.40, 0.48};  // 6
+  spec.top_fractions = {0.08, 0.16, 0.24, 0.32, 0.40, 0.48};     // 6
+  spec.recoding_group_sizes = {2, 3, 4, 5, 6, 7};                // 6
+  spec.rankswap_percents = kElevenSwapPercents;                  // 11
+  spec.pram_retains = kNineRetains;                              // 9
+  return spec;                                                   // = 110
+}
+
+PopulationSpec GermanFlarePopulationSpec() {
+  PopulationSpec spec;
+  spec.microagg_ks = kTwelveKs;                      // 12
+  spec.microagg_orderings = kSixOrderings;           // x6 = 72
+  spec.bottom_fractions = {0.12, 0.24, 0.36, 0.48};  // 4
+  spec.top_fractions = {0.12, 0.24, 0.36, 0.48};     // 4
+  spec.recoding_group_sizes = {2, 3, 4, 5};          // 4
+  spec.rankswap_percents = kElevenSwapPercents;      // 11
+  spec.pram_retains = kNineRetains;                  // 9
+  return spec;                                       // = 104
+}
+
+PopulationSpec AdultPopulationSpec() {
+  PopulationSpec spec;
+  spec.microagg_ks = kTwelveKs;                      // 12
+  spec.microagg_orderings = kFourOrderings;          // x4 = 48
+  spec.bottom_fractions = {0.08, 0.16, 0.24, 0.32, 0.40, 0.48};  // 6
+  spec.top_fractions = {0.08, 0.16, 0.24, 0.32, 0.40, 0.48};     // 6
+  spec.recoding_group_sizes = {2, 3, 4, 5, 6, 7};                // 6
+  spec.rankswap_percents = kElevenSwapPercents;                  // 11
+  spec.pram_retains = kNineRetains;                              // 9
+  return spec;                                                   // = 86
+}
+
+std::vector<std::unique_ptr<ProtectionMethod>> InstantiateMethods(
+    const PopulationSpec& spec) {
+  std::vector<std::unique_ptr<ProtectionMethod>> methods;
+  for (int k : spec.microagg_ks) {
+    for (MicroOrdering ordering : spec.microagg_orderings) {
+      methods.push_back(std::make_unique<Microaggregation>(k, ordering));
+    }
+  }
+  for (double f : spec.bottom_fractions) {
+    methods.push_back(std::make_unique<BottomCoding>(f));
+  }
+  for (double f : spec.top_fractions) {
+    methods.push_back(std::make_unique<TopCoding>(f));
+  }
+  for (int g : spec.recoding_group_sizes) {
+    methods.push_back(std::make_unique<GlobalRecoding>(g));
+  }
+  for (double p : spec.rankswap_percents) {
+    methods.push_back(std::make_unique<RankSwapping>(p));
+  }
+  for (double retain : spec.pram_retains) {
+    methods.push_back(std::make_unique<Pram>(retain));
+  }
+  return methods;
+}
+
+Result<std::vector<ProtectedFile>> BuildProtections(const Dataset& original,
+                                                    const std::vector<int>& attrs,
+                                                    const PopulationSpec& spec,
+                                                    uint64_t seed) {
+  auto methods = InstantiateMethods(spec);
+  std::vector<ProtectedFile> files;
+  files.reserve(methods.size());
+  Rng master(seed);
+  for (const auto& method : methods) {
+    Rng method_rng = master.Fork();
+    EVOCAT_ASSIGN_OR_RETURN(Dataset masked,
+                            method->Protect(original, attrs, &method_rng));
+    files.push_back(ProtectedFile{std::move(masked), method->Label()});
+  }
+  return files;
+}
+
+}  // namespace protection
+}  // namespace evocat

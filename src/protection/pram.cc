@@ -1,0 +1,32 @@
+#include "protection/pram.h"
+
+#include "common/string_utils.h"
+#include "data/stats.h"
+
+namespace evocat {
+namespace protection {
+
+std::string Pram::Params() const { return StrFormat("retain=%.2f", retain_); }
+
+Result<Dataset> Pram::Protect(const Dataset& original,
+                              const std::vector<int>& attrs, Rng* rng) const {
+  EVOCAT_RETURN_NOT_OK(ValidateAttrs(original, attrs));
+  if (retain_ < 0.0 || retain_ > 1.0) {
+    return Status::Invalid("pram retain probability must be in [0, 1], got ",
+                           retain_);
+  }
+  Dataset masked = original.Clone();
+  for (int attr : attrs) {
+    auto freqs = CategoryFrequencies(original, attr);
+    auto& col = masked.mutable_column(attr);
+    for (auto& code : col) {
+      if (!rng->Bernoulli(retain_)) {
+        code = static_cast<int32_t>(rng->WeightedIndex(freqs));
+      }
+    }
+  }
+  return masked;
+}
+
+}  // namespace protection
+}  // namespace evocat

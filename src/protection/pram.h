@@ -1,0 +1,42 @@
+/// \file pram.h
+/// \brief Post Randomization Method (Gouweleeuw et al. 1998).
+///
+/// Each value is retained with probability `retain` and otherwise replaced by
+/// a category drawn from the attribute's empirical marginal distribution
+/// (marginal-preserving in expectation). The implied Markov transition matrix
+/// is `P = retain * I + (1 - retain) * 1 f^T` with `f` the marginal; its
+/// off-diagonal mass is what the entropy-based information loss (EBIL)
+/// measures.
+
+#ifndef EVOCAT_PROTECTION_PRAM_H_
+#define EVOCAT_PROTECTION_PRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "protection/method.h"
+
+namespace evocat {
+namespace protection {
+
+/// \brief PRAM with per-value retention probability `retain`.
+class Pram : public ProtectionMethod {
+ public:
+  explicit Pram(double retain) : retain_(retain) {}
+
+  std::string Name() const override { return "pram"; }
+  std::string Params() const override;
+
+  Result<Dataset> Protect(const Dataset& original, const std::vector<int>& attrs,
+                          Rng* rng) const override;
+
+  double retain() const { return retain_; }
+
+ private:
+  double retain_;
+};
+
+}  // namespace protection
+}  // namespace evocat
+
+#endif  // EVOCAT_PROTECTION_PRAM_H_

@@ -1,0 +1,72 @@
+#include "protection/rank_swapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_utils.h"
+
+namespace evocat {
+namespace protection {
+
+std::string RankSwapping::Params() const {
+  return StrFormat("p=%.1f%%", p_percent_);
+}
+
+Result<Dataset> RankSwapping::Protect(const Dataset& original,
+                                      const std::vector<int>& attrs,
+                                      Rng* rng) const {
+  EVOCAT_RETURN_NOT_OK(ValidateAttrs(original, attrs));
+  if (p_percent_ <= 0.0 || p_percent_ >= 100.0) {
+    return Status::Invalid("rank swapping requires p in (0, 100), got ",
+                           p_percent_);
+  }
+
+  Dataset masked = original.Clone();
+  int64_t n = original.num_rows();
+  auto window = static_cast<int64_t>(std::llround(p_percent_ / 100.0 *
+                                                  static_cast<double>(n)));
+  window = std::max<int64_t>(1, window);
+
+  for (int attr : attrs) {
+    // Sort record indices by category code; random tie-break so that equal
+    // categories do not always pair the same records.
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<uint64_t> tiebreak(static_cast<size_t>(n));
+    for (auto& t : tiebreak) t = rng->NextU64();
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      int32_t ca = original.Code(a, attr);
+      int32_t cb = original.Code(b, attr);
+      if (ca != cb) return ca < cb;
+      return tiebreak[static_cast<size_t>(a)] < tiebreak[static_cast<size_t>(b)];
+    });
+
+    std::vector<bool> swapped(static_cast<size_t>(n), false);
+    for (int64_t i = 0; i < n; ++i) {
+      if (swapped[static_cast<size_t>(i)]) continue;
+      int64_t hi = std::min(n - 1, i + window);
+      // Collect unswapped partners in (i, hi].
+      std::vector<int64_t> candidates;
+      for (int64_t j = i + 1; j <= hi; ++j) {
+        if (!swapped[static_cast<size_t>(j)]) candidates.push_back(j);
+      }
+      if (candidates.empty()) {
+        swapped[static_cast<size_t>(i)] = true;  // no partner: value stays
+        continue;
+      }
+      int64_t j = candidates[rng->UniformIndex(candidates.size())];
+      int64_t rec_i = order[static_cast<size_t>(i)];
+      int64_t rec_j = order[static_cast<size_t>(j)];
+      int32_t vi = masked.Code(rec_i, attr);
+      masked.SetCode(rec_i, attr, masked.Code(rec_j, attr));
+      masked.SetCode(rec_j, attr, vi);
+      swapped[static_cast<size_t>(i)] = true;
+      swapped[static_cast<size_t>(j)] = true;
+    }
+  }
+  return masked;
+}
+
+}  // namespace protection
+}  // namespace evocat

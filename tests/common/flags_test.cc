@@ -1,0 +1,122 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+struct ParserFixture {
+  std::string name = "default_name";
+  int64_t count = 10;
+  double ratio = 0.5;
+  bool verbose = false;
+  FlagParser parser{"tool", "test tool"};
+
+  ParserFixture() {
+    parser.AddString("name", "a name", &name);
+    parser.AddInt("count", "a count", &count);
+    parser.AddDouble("ratio", "a ratio", &ratio);
+    parser.AddBool("verbose", "talk more", &verbose);
+  }
+
+  Status Parse(std::vector<const char*> args) {
+    args.insert(args.begin(), "tool");
+    return parser.Parse(static_cast<int>(args.size()), args.data());
+  }
+};
+
+TEST(FlagParserTest, DefaultsSurviveEmptyParse) {
+  ParserFixture fixture;
+  ASSERT_TRUE(fixture.Parse({}).ok());
+  EXPECT_EQ(fixture.name, "default_name");
+  EXPECT_EQ(fixture.count, 10);
+  EXPECT_DOUBLE_EQ(fixture.ratio, 0.5);
+  EXPECT_FALSE(fixture.verbose);
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  ParserFixture fixture;
+  ASSERT_TRUE(
+      fixture.Parse({"--name=abc", "--count=42", "--ratio=0.25"}).ok());
+  EXPECT_EQ(fixture.name, "abc");
+  EXPECT_EQ(fixture.count, 42);
+  EXPECT_DOUBLE_EQ(fixture.ratio, 0.25);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  ParserFixture fixture;
+  ASSERT_TRUE(fixture.Parse({"--name", "xyz", "--count", "-7"}).ok());
+  EXPECT_EQ(fixture.name, "xyz");
+  EXPECT_EQ(fixture.count, -7);
+}
+
+TEST(FlagParserTest, BareBooleanAndExplicit) {
+  ParserFixture fixture;
+  ASSERT_TRUE(fixture.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(fixture.verbose);
+
+  ParserFixture fixture2;
+  ASSERT_TRUE(fixture2.Parse({"--verbose=false"}).ok());
+  EXPECT_FALSE(fixture2.verbose);
+
+  ParserFixture fixture3;
+  ASSERT_TRUE(fixture3.Parse({"--verbose=yes"}).ok());
+  EXPECT_TRUE(fixture3.verbose);
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  ParserFixture fixture;
+  ASSERT_TRUE(fixture.Parse({"one", "--count=1", "two"}).ok());
+  EXPECT_EQ(fixture.parser.positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  ParserFixture fixture;
+  Status status = fixture.Parse({"--nonexistent=3"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagParserTest, BadValuesRejected) {
+  ParserFixture fixture;
+  EXPECT_FALSE(fixture.Parse({"--count=abc"}).ok());
+  ParserFixture fixture2;
+  EXPECT_FALSE(fixture2.Parse({"--ratio=1.2.3"}).ok());
+  ParserFixture fixture3;
+  EXPECT_FALSE(fixture3.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  ParserFixture fixture;
+  Status status = fixture.Parse({"--name"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("needs a value"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpShortCircuits) {
+  ParserFixture fixture;
+  ASSERT_TRUE(fixture.Parse({"--help"}).ok());
+  EXPECT_TRUE(fixture.parser.help_requested());
+  ParserFixture fixture2;
+  ASSERT_TRUE(fixture2.Parse({"-h"}).ok());
+  EXPECT_TRUE(fixture2.parser.help_requested());
+}
+
+TEST(FlagParserTest, UsageListsAllFlags) {
+  ParserFixture fixture;
+  std::string usage = fixture.parser.Usage();
+  for (const char* expected :
+       {"--name", "--count", "--ratio", "--verbose", "--help", "test tool"}) {
+    EXPECT_NE(usage.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(FlagParserTest, NegativeNumbersViaEquals) {
+  ParserFixture fixture;
+  ASSERT_TRUE(fixture.Parse({"--ratio=-0.75"}).ok());
+  EXPECT_DOUBLE_EQ(fixture.ratio, -0.75);
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsInfoOrConfigured) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotReachStderr) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  EVOCAT_LOG(DEBUG) << "hidden debug";
+  EVOCAT_LOG(INFO) << "hidden info";
+  EVOCAT_LOG(WARNING) << "hidden warning";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(captured.empty()) << captured;
+}
+
+TEST_F(LoggingTest, EmittedMessageCarriesLevelFileAndText) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  EVOCAT_LOG(WARNING) << "value=" << 42;
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(captured.find("value=42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysEmitsAtErrorLevel) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  EVOCAT_LOG(ERROR) << "boom";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,218 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.UniformInt(0, kBuckets - 1)] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 0.1 * kDraws / kBuckets);
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(17);
+  double min = 1.0, max = -1.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    min = std::min(min, v);
+    max = std::max(max, v);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  constexpr int kDraws = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.1);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.WeightedIndex(weights)] += 1;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexSingleElement) {
+  Rng rng(43);
+  std::vector<double> weights = {2.5};
+  EXPECT_EQ(rng.WeightedIndex(weights), 0u);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(47);
+  constexpr int kDraws = 40000;
+  int counts[4] = {0};
+  for (int i = 0; i < kDraws; ++i) counts[rng.Zipf(4, 0.0)] += 1;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(53);
+  constexpr int kDraws = 20000;
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.Zipf(6, 1.2)] += 1;
+  EXPECT_GT(counts[0], counts[5] * 3);
+  // Monotone non-increasing in expectation; allow slack between neighbours.
+  EXPECT_GT(counts[0], counts[2]);
+  EXPECT_GT(counts[1], counts[4]);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(67);
+  auto sample = rng.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t v : sample) EXPECT_LT(v, 20u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(71);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(73);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(79), b(79);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+}  // namespace
+}  // namespace evocat

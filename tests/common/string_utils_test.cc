@@ -1,0 +1,80 @@
+#include "common/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+TEST(SplitTest, Basics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitCsvLineTest, PlainFields) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitCsvLineTest, QuotedFieldWithSeparator) {
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(SplitCsvLineTest, EscapedQuotes) {
+  EXPECT_EQ(SplitCsvLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  EXPECT_EQ(SplitCsvLine(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(SplitCsvLineTest, AlternateSeparator) {
+  EXPECT_EQ(SplitCsvLine("a;b", ';'), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ','), "a,b,c");
+  EXPECT_EQ(Join({}, ','), "");
+  EXPECT_EQ(Join({"x"}, ','), "x");
+}
+
+TEST(CsvEscapeTest, PlainPassesThrough) { EXPECT_EQ(CsvEscape("abc"), "abc"); }
+
+TEST(CsvEscapeTest, SeparatorTriggersQuotes) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, RoundTripsThroughSplit) {
+  std::string nasty = "a,\"b\",c\nend";
+  auto fields = SplitCsvLine(CsvEscape(nasty));
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], nasty);
+}
+
+TEST(TrimTest, Basics) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t a b \r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("k=%d,f=%.2f", 5, 1.5), "k=5,f=1.50");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+}  // namespace
+}  // namespace evocat

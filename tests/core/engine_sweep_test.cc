@@ -1,0 +1,124 @@
+// Parameterized sweep of the engine's configuration space: every selection
+// strategy crossed with every score aggregation must preserve the core
+// invariants (monotone min/mean, bounded scores, bookkeeping consistency).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/engine.h"
+#include "datagen/generator.h"
+#include "protection/population_builder.h"
+
+namespace evocat {
+namespace core {
+namespace {
+
+using evocat::testing::AllAttrs;
+
+struct SweepParam {
+  SelectionStrategy selection;
+  metrics::ScoreAggregation aggregation;
+};
+
+class EngineSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static Dataset MakeOriginal() {
+    auto profile = datagen::UniformTestProfile("s", 100, {8, 6, 10});
+    profile.attributes[0].kind = AttrKind::kOrdinal;
+    for (auto& attr : profile.attributes) {
+      attr.latent_weight = 0.4;
+      attr.zipf_s = 0.5;
+    }
+    return datagen::Generate(profile, 66).ValueOrDie();
+  }
+
+  static std::vector<Individual> MakeSeeds(const Dataset& original,
+                                           const std::vector<int>& attrs) {
+    protection::PopulationSpec spec;
+    spec.microagg_ks = {3, 6};
+    spec.microagg_orderings = {protection::MicroOrdering::kUnivariate};
+    spec.bottom_fractions = {0.25};
+    spec.top_fractions = {0.25};
+    spec.recoding_group_sizes = {3};
+    spec.rankswap_percents = {8, 16};
+    spec.pram_retains = {0.7, 0.3};
+    auto files =
+        protection::BuildProtections(original, attrs, spec, 13).ValueOrDie();
+    std::vector<Individual> seeds;
+    for (auto& file : files) {
+      Individual individual;
+      individual.data = std::move(file.data);
+      individual.origin = std::move(file.method_label);
+      seeds.push_back(std::move(individual));
+    }
+    return seeds;
+  }
+};
+
+TEST_P(EngineSweepTest, InvariantsHoldForEveryConfiguration) {
+  const auto& param = GetParam();
+  Dataset original = MakeOriginal();
+  auto attrs = AllAttrs(original);
+
+  metrics::FitnessEvaluator::Options fitness_options;
+  fitness_options.aggregation = param.aggregation;
+  fitness_options.prl_em_iterations = 20;
+  auto evaluator = std::move(metrics::FitnessEvaluator::Create(
+                                 original, attrs, fitness_options))
+                       .ValueOrDie();
+
+  GaConfig config;
+  config.generations = 80;
+  config.selection = param.selection;
+  config.seed = 3;
+  EvolutionEngine engine(evaluator.get(), config);
+  auto result = std::move(engine.Run(MakeSeeds(original, attrs))).ValueOrDie();
+
+  ASSERT_EQ(result.history.size(), 80u);
+  double last_min = 1e100, last_mean = 1e100;
+  for (const auto& record : result.history) {
+    // Monotone non-increasing min and mean (elitist replacement).
+    EXPECT_LE(record.min_score, last_min + 1e-12);
+    EXPECT_LE(record.mean_score, last_mean + 1e-9);
+    last_min = record.min_score;
+    last_mean = record.mean_score;
+    // Scores bounded on the 0..100 scale.
+    EXPECT_GE(record.min_score, 0.0);
+    EXPECT_LE(record.max_score, 100.0);
+  }
+  // Every survivor's breakdown agrees with its score under this aggregation.
+  for (const auto& member : result.population.members()) {
+    EXPECT_NEAR(member.fitness.score,
+                metrics::AggregateScore(param.aggregation, member.fitness.il,
+                                        member.fitness.dr),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EngineSweepTest,
+    ::testing::Values(
+        SweepParam{SelectionStrategy::kInverseScore,
+                   metrics::ScoreAggregation::kMean},
+        SweepParam{SelectionStrategy::kInverseScore,
+                   metrics::ScoreAggregation::kMax},
+        SweepParam{SelectionStrategy::kInverseScore,
+                   metrics::ScoreAggregation::kEuclidean},
+        SweepParam{SelectionStrategy::kInverseScore,
+                   metrics::ScoreAggregation::kWeighted},
+        SweepParam{SelectionStrategy::kLiteralScore,
+                   metrics::ScoreAggregation::kMean},
+        SweepParam{SelectionStrategy::kLiteralScore,
+                   metrics::ScoreAggregation::kMax},
+        SweepParam{SelectionStrategy::kRank, metrics::ScoreAggregation::kMean},
+        SweepParam{SelectionStrategy::kRank, metrics::ScoreAggregation::kMax},
+        SweepParam{SelectionStrategy::kUniform,
+                   metrics::ScoreAggregation::kMean},
+        SweepParam{SelectionStrategy::kUniform,
+                   metrics::ScoreAggregation::kMax}));
+
+}  // namespace
+}  // namespace core
+}  // namespace evocat

@@ -1,0 +1,207 @@
+#include "core/operators.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "datagen/generator.h"
+
+namespace evocat {
+namespace core {
+namespace {
+
+using evocat::testing::BuildDataset;
+using evocat::testing::CountDiffs;
+using evocat::testing::TestAttr;
+
+Dataset SmallData() {
+  auto profile = datagen::UniformTestProfile("g", 50, {6, 4, 9});
+  return datagen::Generate(profile, 55).ValueOrDie();
+}
+
+TEST(GenomeLayoutTest, LengthAndCellMapping) {
+  GenomeLayout layout({2, 5, 7}, 10);
+  EXPECT_EQ(layout.Length(), 30);
+  // Record-major: flat 0..2 -> record 0 attrs {2,5,7}; flat 3 -> record 1.
+  EXPECT_EQ(layout.Cell(0), (std::pair<int64_t, int>{0, 2}));
+  EXPECT_EQ(layout.Cell(1), (std::pair<int64_t, int>{0, 5}));
+  EXPECT_EQ(layout.Cell(2), (std::pair<int64_t, int>{0, 7}));
+  EXPECT_EQ(layout.Cell(3), (std::pair<int64_t, int>{1, 2}));
+  EXPECT_EQ(layout.Cell(29), (std::pair<int64_t, int>{9, 7}));
+}
+
+TEST(MutationTest, ChangesExactlyOneGene) {
+  Dataset genome = SmallData();
+  Dataset before = genome.Clone();
+  GenomeLayout layout({0, 1, 2}, genome.num_rows());
+  MutationOperator mutate(layout, /*exclude_current=*/true);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto record = mutate.Apply(&genome, &rng);
+    EXPECT_EQ(CountDiffs(before, genome, {0, 1, 2}), 1) << "trial " << trial;
+    EXPECT_NE(record.new_code, record.old_code);
+    EXPECT_EQ(genome.Code(record.row, record.attr), record.new_code);
+    // Undo for the next trial.
+    genome.SetCode(record.row, record.attr, record.old_code);
+  }
+}
+
+TEST(MutationTest, NewCodeAlwaysValid) {
+  Dataset genome = SmallData();
+  GenomeLayout layout({0, 1, 2}, genome.num_rows());
+  MutationOperator mutate(layout, true);
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    mutate.Apply(&genome, &rng);
+  }
+  EXPECT_TRUE(genome.Validate().ok());
+}
+
+TEST(MutationTest, InclusiveModeCanKeepValue) {
+  // With exclude_current=false over a domain of 2, roughly half the draws
+  // repeat the current value.
+  Dataset genome = BuildDataset({{"A", AttrKind::kNominal, 2}},
+                                {{0}, {0}, {0}, {0}});
+  GenomeLayout layout({0}, genome.num_rows());
+  MutationOperator mutate(layout, /*exclude_current=*/false);
+  Rng rng(3);
+  int noops = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto record = mutate.Apply(&genome, &rng);
+    if (record.new_code == record.old_code) ++noops;
+    genome.SetCode(record.row, record.attr, 0);
+  }
+  EXPECT_NEAR(noops, 500, 80);
+}
+
+TEST(MutationTest, ExcludeCurrentCoversWholeRemainingDomain) {
+  Dataset genome = BuildDataset({{"A", AttrKind::kNominal, 5}}, {{2}});
+  GenomeLayout layout({0}, 1);
+  MutationOperator mutate(layout, true);
+  Rng rng(4);
+  std::set<int32_t> seen;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto record = mutate.Apply(&genome, &rng);
+    seen.insert(record.new_code);
+    genome.SetCode(0, 0, 2);
+  }
+  EXPECT_EQ(seen, (std::set<int32_t>{0, 1, 3, 4}));
+}
+
+TEST(MutationTest, OnlyTouchesProtectedAttrs) {
+  Dataset genome = SmallData();
+  Dataset before = genome.Clone();
+  GenomeLayout layout({1}, genome.num_rows());  // only attr 1 is a gene
+  MutationOperator mutate(layout, true);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) mutate.Apply(&genome, &rng);
+  EXPECT_EQ(CountDiffs(before, genome, {0}), 0);
+  EXPECT_EQ(CountDiffs(before, genome, {2}), 0);
+  EXPECT_GT(CountDiffs(before, genome, {1}), 0);
+}
+
+TEST(CrossoverTest, SwapsExactlyTheSegment) {
+  Dataset x = SmallData();
+  auto profile = datagen::UniformTestProfile("g", 50, {6, 4, 9});
+  Dataset y = datagen::Generate(profile, 56).ValueOrDie();
+  // Same schema required for offspring comparability: rebuild y on x's
+  // schema by copying codes.
+  Dataset y_on_x = x.Clone();
+  for (int a = 0; a < 3; ++a) {
+    for (int64_t r = 0; r < x.num_rows(); ++r) {
+      y_on_x.SetCode(r, a, y.Code(r, a) % x.schema().attribute(a).cardinality());
+    }
+  }
+
+  GenomeLayout layout({0, 1, 2}, x.num_rows());
+  CrossoverOperator cross(layout);
+  Rng rng(7);
+  Dataset z1, z2;
+  auto record = cross.Apply(x, y_on_x, &z1, &z2, &rng);
+  ASSERT_LE(record.s, record.r);
+
+  for (int64_t flat = 0; flat < layout.Length(); ++flat) {
+    auto [row, attr] = layout.Cell(flat);
+    bool inside = flat >= record.s && flat <= record.r;
+    if (inside) {
+      EXPECT_EQ(z1.Code(row, attr), y_on_x.Code(row, attr));
+      EXPECT_EQ(z2.Code(row, attr), x.Code(row, attr));
+    } else {
+      EXPECT_EQ(z1.Code(row, attr), x.Code(row, attr));
+      EXPECT_EQ(z2.Code(row, attr), y_on_x.Code(row, attr));
+    }
+  }
+}
+
+TEST(CrossoverTest, SelfCrossIsIdentity) {
+  Dataset x = SmallData();
+  GenomeLayout layout({0, 1, 2}, x.num_rows());
+  CrossoverOperator cross(layout);
+  Rng rng(8);
+  Dataset z1, z2;
+  cross.Apply(x, x, &z1, &z2, &rng);
+  EXPECT_TRUE(z1.SameCodes(x));
+  EXPECT_TRUE(z2.SameCodes(x));
+}
+
+TEST(CrossoverTest, OffspringAreComplementary) {
+  // Every gene of (z1, z2) is a permutation of the parents' genes at that
+  // position: z1[i] + z2[i] == x[i] + y[i] cell-wise.
+  Dataset x = SmallData();
+  Dataset y = x.Clone();
+  GenomeLayout layout({0, 1, 2}, x.num_rows());
+  MutationOperator mutate(layout, true);
+  Rng mrng(9);
+  for (int i = 0; i < 60; ++i) mutate.Apply(&y, &mrng);
+
+  CrossoverOperator cross(layout);
+  Rng rng(10);
+  Dataset z1, z2;
+  cross.Apply(x, y, &z1, &z2, &rng);
+  for (int64_t flat = 0; flat < layout.Length(); ++flat) {
+    auto [row, attr] = layout.Cell(flat);
+    EXPECT_EQ(z1.Code(row, attr) + z2.Code(row, attr),
+              x.Code(row, attr) + y.Code(row, attr));
+  }
+}
+
+TEST(CrossoverTest, SegmentBoundsCoverFullRange) {
+  Dataset x = SmallData();
+  GenomeLayout layout({0, 1, 2}, x.num_rows());
+  CrossoverOperator cross(layout);
+  Rng rng(11);
+  int64_t min_s = layout.Length(), max_r = -1;
+  bool saw_single = false;
+  for (int trial = 0; trial < 400; ++trial) {
+    Dataset z1, z2;
+    auto record = cross.Apply(x, x, &z1, &z2, &rng);
+    EXPECT_GE(record.s, 0);
+    EXPECT_LE(record.r, layout.Length() - 1);
+    EXPECT_LE(record.s, record.r);
+    if (record.s == record.r) saw_single = true;
+    min_s = std::min(min_s, record.s);
+    max_r = std::max(max_r, record.r);
+  }
+  EXPECT_TRUE(saw_single);          // s == r single-value swap occurs
+  EXPECT_LT(min_s, 10);             // draws reach the low end
+  EXPECT_GT(max_r, layout.Length() - 10);  // and the high end
+}
+
+TEST(CrossoverTest, ParentsUntouched) {
+  Dataset x = SmallData();
+  Dataset y = SmallData();
+  Dataset x_before = x.Clone();
+  Dataset y_before = y.Clone();
+  GenomeLayout layout({0, 1, 2}, x.num_rows());
+  CrossoverOperator cross(layout);
+  Rng rng(12);
+  Dataset z1, z2;
+  cross.Apply(x, y, &z1, &z2, &rng);
+  EXPECT_TRUE(x.SameCodes(x_before));
+  EXPECT_TRUE(y.SameCodes(y_before));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace evocat

@@ -1,0 +1,105 @@
+#include "core/selection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace core {
+namespace {
+
+TEST(SelectionNamesTest, Stable) {
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kInverseScore),
+               "inverse");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kLiteralScore),
+               "literal");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kRank), "rank");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kUniform),
+               "uniform");
+}
+
+TEST(SelectionWeightsTest, InverseFavoursLowScores) {
+  SelectionPolicy policy(SelectionStrategy::kInverseScore);
+  auto weights = policy.Weights({10.0, 20.0, 40.0});
+  EXPECT_GT(weights[0], weights[1]);
+  EXPECT_GT(weights[1], weights[2]);
+  EXPECT_DOUBLE_EQ(weights[0], 0.1);
+}
+
+TEST(SelectionWeightsTest, LiteralFavoursHighScores) {
+  SelectionPolicy policy(SelectionStrategy::kLiteralScore);
+  auto weights = policy.Weights({10.0, 20.0, 40.0});
+  EXPECT_LT(weights[0], weights[1]);
+  EXPECT_LT(weights[1], weights[2]);
+  EXPECT_DOUBLE_EQ(weights[2], 40.0);
+}
+
+TEST(SelectionWeightsTest, RankIgnoresScoreMagnitudes) {
+  SelectionPolicy policy(SelectionStrategy::kRank);
+  auto weights = policy.Weights({1.0, 999.0, 1000.0});
+  EXPECT_DOUBLE_EQ(weights[0], 3.0);
+  EXPECT_DOUBLE_EQ(weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(weights[2], 1.0);
+}
+
+TEST(SelectionWeightsTest, UniformIsFlat) {
+  SelectionPolicy policy(SelectionStrategy::kUniform);
+  auto weights = policy.Weights({5.0, 50.0});
+  EXPECT_DOUBLE_EQ(weights[0], weights[1]);
+}
+
+TEST(SelectionWeightsTest, ZeroScoresAreSafe) {
+  SelectionPolicy inverse(SelectionStrategy::kInverseScore);
+  auto weights = inverse.Weights({0.0, 10.0});
+  EXPECT_TRUE(std::isfinite(weights[0]));
+  EXPECT_GT(weights[0], weights[1]);
+
+  SelectionPolicy literal(SelectionStrategy::kLiteralScore);
+  auto lw = literal.Weights({0.0, 0.0});
+  EXPECT_GT(lw[0], 0.0);  // still selectable
+}
+
+TEST(SelectionDrawTest, InverseEmpiricalFrequencies) {
+  SelectionPolicy policy(SelectionStrategy::kInverseScore);
+  std::vector<double> scores = {10.0, 30.0};  // weights 0.1 vs 0.0333 -> 3:1
+  Rng rng(1);
+  int first = 0;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (policy.Select(scores, &rng) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kDraws, 0.75, 0.02);
+}
+
+TEST(SelectionDrawTest, LiteralEmpiricalFrequencies) {
+  SelectionPolicy policy(SelectionStrategy::kLiteralScore);
+  std::vector<double> scores = {10.0, 30.0};  // 1:3
+  Rng rng(2);
+  int first = 0;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (policy.Select(scores, &rng) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kDraws, 0.25, 0.02);
+}
+
+TEST(SelectionDrawTest, AllIndicesReachable) {
+  for (auto strategy :
+       {SelectionStrategy::kInverseScore, SelectionStrategy::kLiteralScore,
+        SelectionStrategy::kRank, SelectionStrategy::kUniform}) {
+    SelectionPolicy policy(strategy);
+    std::vector<double> scores = {5.0, 10.0, 20.0, 40.0};
+    Rng rng(3);
+    std::vector<int> hits(scores.size(), 0);
+    for (int i = 0; i < 5000; ++i) hits[policy.Select(scores, &rng)] += 1;
+    for (size_t j = 0; j < hits.size(); ++j) {
+      EXPECT_GT(hits[j], 0) << "strategy "
+                            << SelectionStrategyToString(strategy) << " index "
+                            << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace evocat

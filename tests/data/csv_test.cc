@@ -1,0 +1,131 @@
+#include "data/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace evocat {
+namespace {
+
+using testing::BuildDataset;
+using testing::TestAttr;
+
+TEST(CsvTest, ReadSimple) {
+  std::istringstream in("A,B\nx,1\ny,2\nx,2\n");
+  Dataset dataset = ReadCsvStream(in).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 3);
+  EXPECT_EQ(dataset.num_attributes(), 2);
+  EXPECT_EQ(dataset.schema().attribute(0).name(), "A");
+  EXPECT_EQ(dataset.Value(0, 0), "x");
+  EXPECT_EQ(dataset.Value(2, 1), "2");
+  EXPECT_EQ(dataset.Code(0, 0), dataset.Code(2, 0));  // both "x"
+}
+
+TEST(CsvTest, OrdinalAttributesMarked) {
+  CsvReadOptions options;
+  options.ordinal_attributes = {"B"};
+  std::istringstream in("A,B\nx,1\ny,2\n");
+  Dataset dataset = ReadCsvStream(in, options).ValueOrDie();
+  EXPECT_EQ(dataset.schema().attribute(0).kind(), AttrKind::kNominal);
+  EXPECT_EQ(dataset.schema().attribute(1).kind(), AttrKind::kOrdinal);
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  CsvReadOptions options;
+  options.has_header = false;
+  std::istringstream in("x,1\ny,2\n");
+  Dataset dataset = ReadCsvStream(in, options).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 2);
+  EXPECT_EQ(dataset.schema().attribute(0).name(), "c0");
+  EXPECT_EQ(dataset.schema().attribute(1).name(), "c1");
+}
+
+TEST(CsvTest, QuotedFields) {
+  std::istringstream in("A,B\n\"a,with,commas\",\"quote \"\"q\"\"\"\n");
+  Dataset dataset = ReadCsvStream(in).ValueOrDie();
+  EXPECT_EQ(dataset.Value(0, 0), "a,with,commas");
+  EXPECT_EQ(dataset.Value(0, 1), "quote \"q\"");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  std::istringstream in("A\nx\n\n\ny\n");
+  Dataset dataset = ReadCsvStream(in).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 2);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  std::istringstream in("A,B\nx,1\nonly_one\n");
+  auto result = ReadCsvStream(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadCsvStream(in).ok());
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvReadOptions options;
+  options.separator = ';';
+  std::istringstream in("A;B\nx;y\n");
+  Dataset dataset = ReadCsvStream(in, options).ValueOrDie();
+  EXPECT_EQ(dataset.Value(0, 1), "y");
+}
+
+TEST(CsvTest, WriteProducesHeaderAndRows) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2},
+                                  {"B", AttrKind::kNominal, 2}},
+                                 {{0, 1}, {1, 0}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsvStream(dataset, out).ok());
+  EXPECT_EQ(out.str(), "A,B\nA_0,B_1\nA_1,B_0\n");
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  std::istringstream in("NAME,GRADE\nalice,good\nbob,bad\nalice,bad\n");
+  Dataset dataset = ReadCsvStream(in).ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsvStream(dataset, out).ok());
+  std::istringstream in2(out.str());
+  Dataset reloaded = ReadCsvStream(in2).ValueOrDie();
+  ASSERT_EQ(reloaded.num_rows(), dataset.num_rows());
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    for (int a = 0; a < dataset.num_attributes(); ++a) {
+      EXPECT_EQ(reloaded.Value(r, a), dataset.Value(r, a));
+    }
+  }
+}
+
+TEST(CsvTest, RoundTripWithSeparatorInsideValues) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddAttribute(Attribute("A", AttrKind::kNominal));
+  Dataset dataset(schema);
+  ASSERT_TRUE(dataset.AppendRowValues({"value,with,commas"}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsvStream(dataset, out).ok());
+  std::istringstream in(out.str());
+  Dataset reloaded = ReadCsvStream(in).ValueOrDie();
+  EXPECT_EQ(reloaded.Value(0, 0), "value,with,commas");
+}
+
+TEST(CsvTest, FileIOErrors) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/dir/file.csv").ok());
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2}}, {{0}});
+  EXPECT_FALSE(WriteCsvFile(dataset, "/nonexistent/dir/file.csv").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 3}},
+                                 {{0}, {1}, {2}, {1}});
+  const std::string path = ::testing::TempDir() + "/evocat_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(dataset, path).ok());
+  Dataset reloaded = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(reloaded.num_rows(), 4);
+  EXPECT_EQ(reloaded.Value(3, 0), "A_1");
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,101 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace evocat {
+namespace {
+
+using testing::BuildDataset;
+using testing::TestAttr;
+
+TEST(DatasetTest, DefaultConstructedIsEmpty) {
+  Dataset dataset;
+  EXPECT_EQ(dataset.num_rows(), 0);
+  EXPECT_EQ(dataset.num_attributes(), 0);
+  EXPECT_EQ(dataset.num_cells(), 0);
+}
+
+TEST(DatasetTest, AppendRowCodesAndAccess) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 3},
+                                  {"B", AttrKind::kOrdinal, 4}},
+                                 {{0, 3}, {2, 1}});
+  EXPECT_EQ(dataset.num_rows(), 2);
+  EXPECT_EQ(dataset.Code(0, 0), 0);
+  EXPECT_EQ(dataset.Code(0, 1), 3);
+  EXPECT_EQ(dataset.Code(1, 0), 2);
+  EXPECT_EQ(dataset.Value(1, 1), "B_1");
+}
+
+TEST(DatasetTest, AppendRowCodesRejectsWrongArity) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2}}, {});
+  EXPECT_FALSE(dataset.AppendRowCodes({0, 1}).ok());
+}
+
+TEST(DatasetTest, AppendRowCodesRejectsInvalidCode) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2}}, {});
+  Status status = dataset.AppendRowCodes({5});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dataset.num_rows(), 0);  // nothing partially appended
+}
+
+TEST(DatasetTest, AppendRowValuesGrowsDictionary) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddAttribute(Attribute("A", AttrKind::kNominal));
+  Dataset dataset(schema);
+  ASSERT_TRUE(dataset.AppendRowValues({"x"}).ok());
+  ASSERT_TRUE(dataset.AppendRowValues({"y"}).ok());
+  ASSERT_TRUE(dataset.AppendRowValues({"x"}).ok());
+  EXPECT_EQ(dataset.schema().attribute(0).cardinality(), 2);
+  EXPECT_EQ(dataset.Code(2, 0), 0);
+}
+
+TEST(DatasetTest, SetCodeOverwrites) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 3}}, {{0}});
+  dataset.SetCode(0, 0, 2);
+  EXPECT_EQ(dataset.Code(0, 0), 2);
+}
+
+TEST(DatasetTest, CloneSharesSchemaCopiesCodes) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 3}}, {{1}});
+  Dataset copy = dataset.Clone();
+  EXPECT_EQ(copy.schema_ptr(), dataset.schema_ptr());
+  EXPECT_TRUE(copy.SameCodes(dataset));
+  copy.SetCode(0, 0, 2);
+  EXPECT_EQ(dataset.Code(0, 0), 1);  // original untouched
+  EXPECT_FALSE(copy.SameCodes(dataset));
+}
+
+TEST(DatasetTest, ValidateAcceptsConsistentData) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2},
+                                  {"B", AttrKind::kNominal, 2}},
+                                 {{0, 1}, {1, 0}});
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesCorruptedCode) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2}}, {{0}});
+  dataset.SetCode(0, 0, 99);  // bypasses append-time validation
+  Status status = dataset.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ColumnAccess) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 3}}, {{0}, {2}, {1}});
+  EXPECT_EQ(dataset.column(0), (std::vector<int32_t>{0, 2, 1}));
+  dataset.mutable_column(0)[1] = 0;
+  EXPECT_EQ(dataset.Code(1, 0), 0);
+}
+
+TEST(DatasetTest, NumCells) {
+  Dataset dataset = BuildDataset({{"A", AttrKind::kNominal, 2},
+                                  {"B", AttrKind::kNominal, 2}},
+                                 {{0, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(dataset.num_cells(), 6);
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,80 @@
+#include "data/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+TEST(DictionaryTest, StartsEmpty) {
+  Dictionary dict;
+  EXPECT_EQ(dict.size(), 0);
+  EXPECT_TRUE(dict.values().empty());
+}
+
+TEST(DictionaryTest, GetOrAddAssignsDenseCodes) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("a"), 0);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1);
+  EXPECT_EQ(dict.GetOrAdd("c"), 2);
+  EXPECT_EQ(dict.size(), 3);
+}
+
+TEST(DictionaryTest, GetOrAddIsIdempotent) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  dict.GetOrAdd("b");
+  EXPECT_EQ(dict.GetOrAdd("a"), 0);
+  EXPECT_EQ(dict.size(), 2);
+}
+
+TEST(DictionaryTest, RoundTripCodeValue) {
+  Dictionary dict;
+  dict.GetOrAdd("x");
+  dict.GetOrAdd("y");
+  EXPECT_EQ(dict.ValueOf(0), "x");
+  EXPECT_EQ(dict.ValueOf(1), "y");
+  EXPECT_EQ(dict.CodeOf("y").ValueOrDie(), 1);
+}
+
+TEST(DictionaryTest, CodeOfMissingIsNotFound) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  auto result = dict.CodeOf("zzz");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, Contains) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  EXPECT_TRUE(dict.Contains("a"));
+  EXPECT_FALSE(dict.Contains("b"));
+}
+
+TEST(DictionaryTest, IsValidCode) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  dict.GetOrAdd("b");
+  EXPECT_TRUE(dict.IsValidCode(0));
+  EXPECT_TRUE(dict.IsValidCode(1));
+  EXPECT_FALSE(dict.IsValidCode(2));
+  EXPECT_FALSE(dict.IsValidCode(-1));
+}
+
+TEST(DictionaryTest, InsertionOrderIsCodeOrder) {
+  Dictionary dict;
+  dict.GetOrAdd("low");
+  dict.GetOrAdd("mid");
+  dict.GetOrAdd("high");
+  EXPECT_EQ(dict.values(), (std::vector<std::string>{"low", "mid", "high"}));
+}
+
+TEST(DictionaryTest, EmptyStringIsAValidCategory) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd(""), 0);
+  EXPECT_TRUE(dict.Contains(""));
+  EXPECT_EQ(dict.ValueOf(0), "");
+}
+
+}  // namespace
+}  // namespace evocat

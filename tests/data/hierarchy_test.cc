@@ -1,0 +1,137 @@
+#include "data/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+TEST(BalancedHierarchyTest, StructureForNinaryFanoutTwo) {
+  // 9 categories, fanout 2: levels of group counts 9 -> 5 -> 3 -> 2 -> 1.
+  auto hierarchy = ValueHierarchy::BuildBalanced(9, 2).ValueOrDie();
+  EXPECT_EQ(hierarchy.cardinality(), 9);
+  EXPECT_EQ(hierarchy.num_levels(), 5);
+  EXPECT_EQ(hierarchy.NumGroups(0), 9);
+  EXPECT_EQ(hierarchy.NumGroups(1), 5);
+  EXPECT_EQ(hierarchy.NumGroups(2), 3);
+  EXPECT_EQ(hierarchy.NumGroups(3), 2);
+  EXPECT_EQ(hierarchy.NumGroups(4), 1);
+}
+
+TEST(BalancedHierarchyTest, LevelZeroIsIdentity) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(6, 3).ValueOrDie();
+  for (int32_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(hierarchy.GroupOf(c, 0), c);
+    EXPECT_EQ(hierarchy.RepresentativeOf(c, 0), c);
+  }
+}
+
+TEST(BalancedHierarchyTest, AdjacentCodesMergeFirst) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(8, 2).ValueOrDie();
+  // Level 1 groups: {0,1}, {2,3}, {4,5}, {6,7}.
+  EXPECT_EQ(hierarchy.GroupOf(0, 1), hierarchy.GroupOf(1, 1));
+  EXPECT_NE(hierarchy.GroupOf(1, 1), hierarchy.GroupOf(2, 1));
+  EXPECT_EQ(hierarchy.GroupOf(6, 1), hierarchy.GroupOf(7, 1));
+}
+
+TEST(BalancedHierarchyTest, TopLevelUnitesEverything) {
+  for (int cardinality : {2, 5, 16, 25}) {
+    for (int fanout : {2, 3, 4}) {
+      auto hierarchy =
+          ValueHierarchy::BuildBalanced(cardinality, fanout).ValueOrDie();
+      int top = hierarchy.num_levels() - 1;
+      EXPECT_EQ(hierarchy.NumGroups(top), 1);
+      for (int32_t c = 1; c < cardinality; ++c) {
+        EXPECT_EQ(hierarchy.GroupOf(c, top), hierarchy.GroupOf(0, top));
+      }
+    }
+  }
+}
+
+TEST(BalancedHierarchyTest, LevelsCoarsenMonotonically) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(13, 3).ValueOrDie();
+  for (int level = 1; level < hierarchy.num_levels(); ++level) {
+    EXPECT_LT(hierarchy.NumGroups(level), hierarchy.NumGroups(level - 1));
+    // Coarsening: same group at level-1 implies same group at level.
+    for (int32_t a = 0; a < 13; ++a) {
+      for (int32_t b = 0; b < 13; ++b) {
+        if (hierarchy.GroupOf(a, level - 1) == hierarchy.GroupOf(b, level - 1)) {
+          EXPECT_EQ(hierarchy.GroupOf(a, level), hierarchy.GroupOf(b, level));
+        }
+      }
+    }
+  }
+}
+
+TEST(BalancedHierarchyTest, RepresentativeIsGroupMember) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(11, 2).ValueOrDie();
+  for (int level = 0; level < hierarchy.num_levels(); ++level) {
+    for (int32_t c = 0; c < 11; ++c) {
+      int32_t rep = hierarchy.RepresentativeOf(c, level);
+      EXPECT_GE(rep, 0);
+      EXPECT_LT(rep, 11);
+      EXPECT_EQ(hierarchy.GroupOf(rep, level), hierarchy.GroupOf(c, level));
+    }
+  }
+}
+
+TEST(BalancedHierarchyTest, SingletonDomain) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(1, 2).ValueOrDie();
+  EXPECT_EQ(hierarchy.num_levels(), 1);
+  EXPECT_EQ(hierarchy.GroupOf(0, 0), 0);
+  EXPECT_DOUBLE_EQ(hierarchy.SemanticDistance(0, 0), 0.0);
+}
+
+TEST(BalancedHierarchyTest, RejectsBadInputs) {
+  EXPECT_FALSE(ValueHierarchy::BuildBalanced(0, 2).ok());
+  EXPECT_FALSE(ValueHierarchy::BuildBalanced(5, 1).ok());
+}
+
+TEST(SemanticDistanceTest, ZeroIffEqualAndBounded) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(16, 2).ValueOrDie();
+  for (int32_t a = 0; a < 16; ++a) {
+    for (int32_t b = 0; b < 16; ++b) {
+      double d = hierarchy.SemanticDistance(a, b);
+      if (a == b) {
+        EXPECT_DOUBLE_EQ(d, 0.0);
+      } else {
+        EXPECT_GT(d, 0.0);
+        EXPECT_LE(d, 1.0);
+      }
+      EXPECT_DOUBLE_EQ(d, hierarchy.SemanticDistance(b, a));  // symmetric
+    }
+  }
+}
+
+TEST(SemanticDistanceTest, NearbyCodesCloserThanFarCodes) {
+  auto hierarchy = ValueHierarchy::BuildBalanced(16, 2).ValueOrDie();
+  // 0 and 1 merge at level 1; 0 and 15 merge only at the top.
+  EXPECT_LT(hierarchy.SemanticDistance(0, 1), hierarchy.SemanticDistance(0, 15));
+  EXPECT_DOUBLE_EQ(hierarchy.SemanticDistance(0, 15), 1.0);
+}
+
+TEST(FromLevelMapsTest, AcceptsValidCoarsening) {
+  // 4 codes: {0,1}{2,3} then all-in-one.
+  auto hierarchy = ValueHierarchy::FromLevelMaps(
+                       4, {{0, 0, 1, 1}, {0, 0, 0, 0}})
+                       .ValueOrDie();
+  EXPECT_EQ(hierarchy.num_levels(), 3);
+  EXPECT_EQ(hierarchy.GroupOf(1, 1), 0);
+  EXPECT_EQ(hierarchy.GroupOf(2, 1), 1);
+  EXPECT_EQ(hierarchy.LowestCommonLevel(0, 1), 1);
+  EXPECT_EQ(hierarchy.LowestCommonLevel(0, 3), 2);
+}
+
+TEST(FromLevelMapsTest, RejectsSplitsAndSparseIds) {
+  // Splits a level-1 group at level 2.
+  EXPECT_FALSE(
+      ValueHierarchy::FromLevelMaps(4, {{0, 0, 1, 1}, {0, 1, 1, 1}}).ok());
+  // Non-dense group ids.
+  EXPECT_FALSE(ValueHierarchy::FromLevelMaps(3, {{0, 2, 2}}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(ValueHierarchy::FromLevelMaps(3, {{0, 0}}).ok());
+  // Negative id.
+  EXPECT_FALSE(ValueHierarchy::FromLevelMaps(2, {{-1, 0}}).ok());
+}
+
+}  // namespace
+}  // namespace evocat

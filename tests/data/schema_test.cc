@@ -1,0 +1,68 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+TEST(AttributeTest, BasicProperties) {
+  Attribute attr("COLOR", AttrKind::kNominal);
+  EXPECT_EQ(attr.name(), "COLOR");
+  EXPECT_EQ(attr.kind(), AttrKind::kNominal);
+  EXPECT_EQ(attr.cardinality(), 0);
+  attr.dictionary().GetOrAdd("red");
+  attr.dictionary().GetOrAdd("blue");
+  EXPECT_EQ(attr.cardinality(), 2);
+}
+
+TEST(AttributeTest, DictionaryIsShared) {
+  Attribute attr("A", AttrKind::kOrdinal);
+  auto dict_ptr = attr.dictionary_ptr();
+  attr.dictionary().GetOrAdd("x");
+  EXPECT_EQ(dict_ptr->size(), 1);
+}
+
+TEST(AttrKindTest, Names) {
+  EXPECT_STREQ(AttrKindToString(AttrKind::kNominal), "nominal");
+  EXPECT_STREQ(AttrKindToString(AttrKind::kOrdinal), "ordinal");
+}
+
+TEST(SchemaTest, AddAndAccess) {
+  Schema schema;
+  EXPECT_EQ(schema.num_attributes(), 0);
+  int idx_a = schema.AddAttribute(Attribute("A", AttrKind::kNominal));
+  int idx_b = schema.AddAttribute(Attribute("B", AttrKind::kOrdinal));
+  EXPECT_EQ(idx_a, 0);
+  EXPECT_EQ(idx_b, 1);
+  EXPECT_EQ(schema.num_attributes(), 2);
+  EXPECT_EQ(schema.attribute(0).name(), "A");
+  EXPECT_EQ(schema.attribute(1).kind(), AttrKind::kOrdinal);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema;
+  schema.AddAttribute(Attribute("A", AttrKind::kNominal));
+  schema.AddAttribute(Attribute("B", AttrKind::kNominal));
+  EXPECT_EQ(schema.IndexOf("B").ValueOrDie(), 1);
+  auto missing = schema.IndexOf("C");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, IndicesOfPreservesOrder) {
+  Schema schema;
+  schema.AddAttribute(Attribute("A", AttrKind::kNominal));
+  schema.AddAttribute(Attribute("B", AttrKind::kNominal));
+  schema.AddAttribute(Attribute("C", AttrKind::kNominal));
+  auto indices = schema.IndicesOf({"C", "A"}).ValueOrDie();
+  EXPECT_EQ(indices, (std::vector<int>{2, 0}));
+}
+
+TEST(SchemaTest, IndicesOfFailsOnAnyMissing) {
+  Schema schema;
+  schema.AddAttribute(Attribute("A", AttrKind::kNominal));
+  EXPECT_FALSE(schema.IndicesOf({"A", "missing"}).ok());
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,223 @@
+#include "datagen/generator.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+#include "datagen/profile.h"
+
+namespace evocat {
+namespace datagen {
+namespace {
+
+TEST(ProfileTest, PaperShapesMatch) {
+  // Record counts, attribute counts and protected-attribute cardinalities as
+  // stated in the paper's §3.
+  auto housing = HousingProfile();
+  EXPECT_EQ(housing.num_records, 1000);
+  EXPECT_EQ(housing.attributes.size(), 11u);
+
+  auto german = GermanCreditProfile();
+  EXPECT_EQ(german.num_records, 1000);
+  EXPECT_EQ(german.attributes.size(), 13u);
+
+  auto flare = SolarFlareProfile();
+  EXPECT_EQ(flare.num_records, 1066);
+  EXPECT_EQ(flare.attributes.size(), 13u);
+
+  auto adult = AdultProfile();
+  EXPECT_EQ(adult.num_records, 1000);
+  EXPECT_EQ(adult.attributes.size(), 8u);
+}
+
+struct ProtectedCardinalityCase {
+  const char* profile;
+  const char* attr;
+  int cardinality;
+};
+
+class ProtectedCardinalityTest
+    : public ::testing::TestWithParam<ProtectedCardinalityCase> {};
+
+TEST_P(ProtectedCardinalityTest, MatchesPaper) {
+  const auto& param = GetParam();
+  auto profile = [&]() -> SyntheticProfile {
+    std::string name = param.profile;
+    if (name == "housing") return HousingProfile();
+    if (name == "german") return GermanCreditProfile();
+    if (name == "flare") return SolarFlareProfile();
+    return AdultProfile();
+  }();
+  bool found = false;
+  for (const auto& attr : profile.attributes) {
+    if (attr.name == param.attr) {
+      EXPECT_EQ(attr.cardinality, param.cardinality) << param.attr;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << param.attr << " missing in " << param.profile;
+  // Protected attributes must be declared as such.
+  bool is_protected = false;
+  for (const auto& name : profile.protected_attributes) {
+    if (name == param.attr) is_protected = true;
+  }
+  EXPECT_TRUE(is_protected) << param.attr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAttributes, ProtectedCardinalityTest,
+    ::testing::Values(
+        ProtectedCardinalityCase{"housing", "BUILT", 25},
+        ProtectedCardinalityCase{"housing", "DEGREE", 8},
+        ProtectedCardinalityCase{"housing", "GRADE1", 21},
+        ProtectedCardinalityCase{"german", "EXISTACC", 5},
+        ProtectedCardinalityCase{"german", "SAVINGS", 6},
+        ProtectedCardinalityCase{"german", "PRESEMPLOY", 6},
+        ProtectedCardinalityCase{"flare", "CLASS", 8},
+        ProtectedCardinalityCase{"flare", "LARGSPOT", 7},
+        ProtectedCardinalityCase{"flare", "SPOTDIST", 5},
+        ProtectedCardinalityCase{"adult", "EDUCATION", 16},
+        ProtectedCardinalityCase{"adult", "MARITAL_STATUS", 7},
+        ProtectedCardinalityCase{"adult", "OCCUPATION", 14}));
+
+TEST(GeneratorTest, ShapeMatchesProfile) {
+  auto profile = AdultProfile();
+  Dataset dataset = Generate(profile, 1).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), profile.num_records);
+  EXPECT_EQ(dataset.num_attributes(),
+            static_cast<int>(profile.attributes.size()));
+  for (size_t a = 0; a < profile.attributes.size(); ++a) {
+    EXPECT_EQ(dataset.schema().attribute(static_cast<int>(a)).cardinality(),
+              profile.attributes[a].cardinality);
+    EXPECT_EQ(dataset.schema().attribute(static_cast<int>(a)).kind(),
+              profile.attributes[a].kind);
+  }
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  auto profile = SolarFlareProfile();
+  Dataset a = Generate(profile, 99).ValueOrDie();
+  Dataset b = Generate(profile, 99).ValueOrDie();
+  EXPECT_TRUE(a.SameCodes(b));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto profile = AdultProfile();
+  Dataset a = Generate(profile, 1).ValueOrDie();
+  Dataset b = Generate(profile, 2).ValueOrDie();
+  EXPECT_FALSE(a.SameCodes(b));
+}
+
+TEST(GeneratorTest, FullDomainRegisteredEvenIfUnsampled) {
+  auto profile = UniformTestProfile("t", 5, {50});
+  Dataset dataset = Generate(profile, 3).ValueOrDie();
+  // Only 5 records but all 50 categories exist in the dictionary.
+  EXPECT_EQ(dataset.schema().attribute(0).cardinality(), 50);
+}
+
+TEST(GeneratorTest, MarginalSkewForZipfAttribute) {
+  SyntheticProfile profile;
+  profile.name = "skew";
+  profile.num_records = 4000;
+  SyntheticAttribute attr;
+  attr.name = "S";
+  attr.kind = AttrKind::kNominal;
+  attr.cardinality = 10;
+  attr.zipf_s = 1.2;
+  attr.latent_weight = 0.0;  // pure Zipf marginal
+  profile.attributes = {attr, attr};
+  profile.attributes[1].name = "S2";
+  Dataset dataset = Generate(profile, 5).ValueOrDie();
+  auto counts = CategoryCounts(dataset, 0);
+  EXPECT_GT(counts[0], counts[9] * 3);  // strong head/tail skew
+}
+
+TEST(GeneratorTest, LatentWeightInducesCorrelation) {
+  // Two ordinal attributes fully driven by the latent factor must be highly
+  // rank-correlated; with latent_weight=0 they must not be.
+  auto make = [](double latent) {
+    SyntheticProfile profile;
+    profile.name = "corr";
+    profile.num_records = 2000;
+    SyntheticAttribute attr;
+    attr.kind = AttrKind::kOrdinal;
+    attr.cardinality = 9;
+    attr.zipf_s = 0.0;
+    attr.latent_weight = latent;
+    attr.name = "X";
+    profile.attributes.push_back(attr);
+    attr.name = "Y";
+    profile.attributes.push_back(attr);
+    return Generate(profile, 17).ValueOrDie();
+  };
+  auto correlation = [](const Dataset& dataset) {
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    auto n = static_cast<double>(dataset.num_rows());
+    for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+      double x = dataset.Code(r, 0), y = dataset.Code(r, 1);
+      sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+    }
+    double cov = sxy / n - (sx / n) * (sy / n);
+    double vx = sxx / n - (sx / n) * (sx / n);
+    double vy = syy / n - (sy / n) * (sy / n);
+    return cov / std::sqrt(vx * vy);
+  };
+  EXPECT_GT(correlation(make(1.0)), 0.8);
+  EXPECT_LT(std::fabs(correlation(make(0.0))), 0.1);
+}
+
+TEST(GeneratorTest, RejectsDegenerateProfiles) {
+  SyntheticProfile empty;
+  empty.name = "empty";
+  empty.num_records = 10;
+  EXPECT_FALSE(Generate(empty, 1).ok());
+
+  auto no_rows = AdultProfile();
+  no_rows.num_records = 0;
+  EXPECT_FALSE(Generate(no_rows, 1).ok());
+
+  auto bad_card = AdultProfile();
+  bad_card.attributes[0].cardinality = 1;
+  EXPECT_FALSE(Generate(bad_card, 1).ok());
+
+  auto bad_latent = AdultProfile();
+  bad_latent.attributes[0].latent_weight = 1.5;
+  EXPECT_FALSE(Generate(bad_latent, 1).ok());
+}
+
+TEST(GeneratorTest, ProtectedAttributeIndicesResolve) {
+  auto profile = GermanCreditProfile();
+  Dataset dataset = Generate(profile, 1).ValueOrDie();
+  auto attrs = ProtectedAttributeIndices(profile, dataset).ValueOrDie();
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(dataset.schema().attribute(attrs[0]).name(), "EXISTACC");
+  EXPECT_EQ(dataset.schema().attribute(attrs[1]).name(), "SAVINGS");
+  EXPECT_EQ(dataset.schema().attribute(attrs[2]).name(), "PRESEMPLOY");
+}
+
+TEST(GeneratorTest, AllPaperProfilesGenerateValidData) {
+  for (const auto& profile :
+       {HousingProfile(), GermanCreditProfile(), SolarFlareProfile(),
+        AdultProfile()}) {
+    Dataset dataset = Generate(profile, 7).ValueOrDie();
+    EXPECT_TRUE(dataset.Validate().ok()) << profile.name;
+    // Every protected attribute uses a healthy share of its domain.
+    auto attrs = ProtectedAttributeIndices(profile, dataset).ValueOrDie();
+    for (int attr : attrs) {
+      auto counts = CategoryCounts(dataset, attr);
+      int used = 0;
+      for (int64_t c : counts) {
+        if (c > 0) ++used;
+      }
+      EXPECT_GE(used, static_cast<int>(counts.size() / 2))
+          << profile.name << " attr " << attr;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace evocat

@@ -1,0 +1,85 @@
+#include "experiments/svg_plot.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace experiments {
+namespace {
+
+ExperimentResult FakeResult() {
+  ExperimentResult result;
+  result.dataset = "fake";
+  result.initial = {{"seed_a", 10.0, 60.0, 35.0}, {"seed_b", 40.0, 20.0, 30.0}};
+  result.final_population = {{"child", 22.0, 24.0, 24.0},
+                             {"seed_b", 40.0, 20.0, 30.0}};
+  result.initial_scores = {30.0, 32.5, 35.0};
+  result.final_scores = {24.0, 27.0, 30.0};
+  for (int g = 1; g <= 5; ++g) {
+    core::GenerationRecord record;
+    record.generation = g;
+    record.min_score = 30.0 - g;
+    record.mean_score = 32.0 - g;
+    record.max_score = 35.0 - g;
+    result.history.push_back(record);
+  }
+  return result;
+}
+
+TEST(SvgPlotTest, DispersionContainsAllPoints) {
+  auto svg = RenderDispersionSvg(FakeResult(), "Dispersion");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 2 hollow initial circles + 2 filled final circles + 2 legend markers.
+  size_t circles = 0;
+  for (size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 6u);
+  EXPECT_NE(svg.find("Dispersion"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);  // diagonal
+}
+
+TEST(SvgPlotTest, EvolutionHasThreeSeries) {
+  auto svg = RenderEvolutionSvg(FakeResult(), "Evolution");
+  size_t polylines = 0;
+  for (size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 3u);  // min / mean / max
+  for (const char* label : {">min<", ">mean<", ">max<"}) {
+    EXPECT_NE(svg.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(SvgPlotTest, EvolutionHandlesEmptyHistory) {
+  ExperimentResult result = FakeResult();
+  result.history.clear();
+  auto svg = RenderEvolutionSvg(result, "Empty");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, WriteFigureSvgsCreatesBothFiles) {
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WriteFigureSvgs(FakeResult(), "T", dir, "svg_test").ok());
+  for (const char* suffix : {"_dispersion.svg", "_evolution.svg"}) {
+    std::ifstream in(dir + "/svg_test" + suffix);
+    ASSERT_TRUE(in.good()) << suffix;
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("</svg>"), std::string::npos) << suffix;
+  }
+}
+
+TEST(SvgPlotTest, WriteFigureSvgsFailsOnBadDirectory) {
+  EXPECT_FALSE(
+      WriteFigureSvgs(FakeResult(), "T", "/nonexistent/dir", "x").ok());
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace evocat

@@ -1,0 +1,138 @@
+// Parameterized property sweep: every masking method instance of the paper's
+// German/Flare population grid is checked against all seven measures for
+// range, identity and consistency invariants. This is the broad net that
+// catches metric/method interactions the targeted unit tests miss.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "metrics/ctbil.h"
+#include "metrics/dbil.h"
+#include "metrics/dbrl.h"
+#include "metrics/ebil.h"
+#include "metrics/fitness.h"
+#include "metrics/interval_disclosure.h"
+#include "metrics/prl.h"
+#include "metrics/rsrl.h"
+#include "protection/population_builder.h"
+
+namespace evocat {
+namespace metrics {
+namespace {
+
+struct SweepFixture {
+  Dataset original;
+  std::vector<int> attrs;
+  std::vector<protection::ProtectedFile> files;
+
+  SweepFixture() {
+    auto profile = datagen::SolarFlareProfile();
+    profile.num_records = 150;  // keep the O(n^2) attacks cheap
+    original = datagen::Generate(profile, 99).ValueOrDie();
+    attrs = datagen::ProtectedAttributeIndices(profile, original).ValueOrDie();
+    files = protection::BuildProtections(
+                original, attrs, protection::GermanFlarePopulationSpec(), 5)
+                .ValueOrDie();
+  }
+
+  static SweepFixture& Get() {
+    static auto* fixture = new SweepFixture();
+    return *fixture;
+  }
+};
+
+std::vector<std::unique_ptr<Measure>> AllMeasures() {
+  std::vector<std::unique_ptr<Measure>> measures;
+  measures.push_back(std::make_unique<CtbIl>(2));
+  measures.push_back(std::make_unique<DbIl>());
+  measures.push_back(std::make_unique<EbIl>());
+  measures.push_back(std::make_unique<IntervalDisclosure>(10.0));
+  measures.push_back(std::make_unique<DistanceBasedRecordLinkage>());
+  measures.push_back(std::make_unique<ProbabilisticRecordLinkage>(30));
+  measures.push_back(std::make_unique<RankSwappingRecordLinkage>(15.0));
+  return measures;
+}
+
+class MeasureSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MeasureSweepTest, AllMeasuresBoundedAndFiniteOnEveryMasking) {
+  auto& fixture = SweepFixture::Get();
+  const auto& file = fixture.files[GetParam()];
+  for (const auto& measure : AllMeasures()) {
+    auto result = measure->Compute(fixture.original, file.data, fixture.attrs);
+    ASSERT_TRUE(result.ok()) << measure->Name() << " on " << file.method_label;
+    double value = result.ValueOrDie();
+    EXPECT_TRUE(std::isfinite(value))
+        << measure->Name() << " on " << file.method_label;
+    EXPECT_GE(value, 0.0) << measure->Name() << " on " << file.method_label;
+    EXPECT_LE(value, 100.0) << measure->Name() << " on " << file.method_label;
+  }
+}
+
+TEST_P(MeasureSweepTest, FitnessBreakdownInternallyConsistent) {
+  auto& fixture = SweepFixture::Get();
+  const auto& file = fixture.files[GetParam()];
+  FitnessEvaluator::Options options;
+  options.prl_em_iterations = 30;
+  auto evaluator = std::move(FitnessEvaluator::Create(fixture.original,
+                                                      fixture.attrs, options))
+                       .ValueOrDie();
+  FitnessBreakdown b = evaluator->Evaluate(file.data);
+  EXPECT_NEAR(b.il, (b.ctbil + b.dbil + b.ebil) / 3.0, 1e-9)
+      << file.method_label;
+  EXPECT_NEAR(b.dr, (b.id + b.dbrl + b.prl + b.rsrl) / 4.0, 1e-9)
+      << file.method_label;
+  EXPECT_GE(b.score, std::min(b.il, b.dr) - 1e-9);
+  EXPECT_LE(b.score, std::max(b.il, b.dr) + 1e-9);
+}
+
+// 104 methods in the German/Flare grid.
+INSTANTIATE_TEST_SUITE_P(GermanFlareGrid, MeasureSweepTest,
+                         ::testing::Range<size_t>(0, 104));
+
+// Bound/evaluate equivalence: the one-shot Measure::Compute and a reused
+// BoundMeasure must agree exactly.
+TEST(BindEquivalenceTest, OneShotEqualsBound) {
+  auto& fixture = SweepFixture::Get();
+  for (const auto& measure : AllMeasures()) {
+    auto bound =
+        std::move(measure->Bind(fixture.original, fixture.attrs)).ValueOrDie();
+    for (size_t i = 0; i < fixture.files.size(); i += 20) {
+      double one_shot = measure
+                            ->Compute(fixture.original, fixture.files[i].data,
+                                      fixture.attrs)
+                            .ValueOrDie();
+      double reused = bound->Compute(fixture.files[i].data);
+      EXPECT_DOUBLE_EQ(one_shot, reused)
+          << measure->Name() << " on " << fixture.files[i].method_label;
+    }
+  }
+}
+
+TEST(MeasureKindTest, KindsAreDeclaredCorrectly) {
+  EXPECT_EQ(CtbIl().Kind(), MeasureKind::kInformationLoss);
+  EXPECT_EQ(DbIl().Kind(), MeasureKind::kInformationLoss);
+  EXPECT_EQ(EbIl().Kind(), MeasureKind::kInformationLoss);
+  EXPECT_EQ(IntervalDisclosure().Kind(), MeasureKind::kDisclosureRisk);
+  EXPECT_EQ(DistanceBasedRecordLinkage().Kind(), MeasureKind::kDisclosureRisk);
+  EXPECT_EQ(ProbabilisticRecordLinkage().Kind(), MeasureKind::kDisclosureRisk);
+  EXPECT_EQ(RankSwappingRecordLinkage().Kind(), MeasureKind::kDisclosureRisk);
+}
+
+TEST(MeasureNameTest, NamesAreStable) {
+  EXPECT_EQ(CtbIl().Name(), "CTBIL");
+  EXPECT_EQ(DbIl().Name(), "DBIL");
+  EXPECT_EQ(EbIl().Name(), "EBIL");
+  EXPECT_EQ(IntervalDisclosure().Name(), "ID");
+  EXPECT_EQ(DistanceBasedRecordLinkage().Name(), "DBRL");
+  EXPECT_EQ(ProbabilisticRecordLinkage().Name(), "PRL");
+  EXPECT_EQ(RankSwappingRecordLinkage().Name(), "RSRL");
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace evocat

@@ -1,0 +1,107 @@
+#include "protection/hierarchical_recoding.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "datagen/generator.h"
+
+namespace evocat {
+namespace protection {
+namespace {
+
+using evocat::testing::BuildDataset;
+using evocat::testing::CountDiffs;
+using evocat::testing::TestAttr;
+
+Dataset TestData() {
+  auto profile = datagen::UniformTestProfile("h", 150, {16, 9, 5});
+  profile.attributes[0].kind = AttrKind::kOrdinal;
+  return datagen::Generate(profile, 31).ValueOrDie();
+}
+
+TEST(HierarchicalRecodingTest, LevelOneMergesAdjacentPairs) {
+  Dataset original = BuildDataset({{"A", AttrKind::kOrdinal, 8}},
+                                  {{0}, {1}, {2}, {3}, {6}, {7}});
+  Rng rng(1);
+  Dataset masked = HierarchicalRecoding(1, 2)
+                       .Protect(original, {0}, &rng)
+                       .ValueOrDie();
+  // Level-1 groups {0,1}{2,3}{4,5}{6,7}; representative = lower member.
+  EXPECT_EQ(masked.Code(0, 0), masked.Code(1, 0));
+  EXPECT_EQ(masked.Code(2, 0), masked.Code(3, 0));
+  EXPECT_EQ(masked.Code(4, 0), masked.Code(5, 0));
+  EXPECT_NE(masked.Code(0, 0), masked.Code(2, 0));
+}
+
+TEST(HierarchicalRecodingTest, DeepLevelCollapsesToOneCategory) {
+  Dataset original = TestData();
+  Rng rng(1);
+  Dataset masked = HierarchicalRecoding(10, 2)
+                       .Protect(original, {0, 1, 2}, &rng)
+                       .ValueOrDie();
+  for (int attr : {0, 1, 2}) {
+    std::set<int32_t> distinct(masked.column(attr).begin(),
+                               masked.column(attr).end());
+    EXPECT_EQ(distinct.size(), 1u) << "attr " << attr;
+  }
+}
+
+TEST(HierarchicalRecodingTest, DeeperLevelsCoarsen) {
+  Dataset original = TestData();
+  Rng rng1(1), rng2(1);
+  Dataset level1 = HierarchicalRecoding(1, 2)
+                       .Protect(original, {0}, &rng1)
+                       .ValueOrDie();
+  Dataset level3 = HierarchicalRecoding(3, 2)
+                       .Protect(original, {0}, &rng2)
+                       .ValueOrDie();
+  auto distinct = [](const Dataset& dataset) {
+    return std::set<int32_t>(dataset.column(0).begin(),
+                             dataset.column(0).end())
+        .size();
+  };
+  EXPECT_GT(distinct(level1), distinct(level3));
+  EXPECT_LE(CountDiffs(original, level1, {0}),
+            CountDiffs(original, level3, {0}));
+}
+
+TEST(HierarchicalRecodingTest, DomainClosedAndGlobal) {
+  Dataset original = TestData();
+  Rng rng(1);
+  Dataset masked = HierarchicalRecoding(2, 3)
+                       .Protect(original, {0, 1, 2}, &rng)
+                       .ValueOrDie();
+  EXPECT_TRUE(masked.Validate().ok());
+  // Global: equal originals map to equal masked values.
+  for (int attr : {0, 1, 2}) {
+    std::vector<int32_t> mapping(
+        static_cast<size_t>(original.schema().attribute(attr).cardinality()),
+        -1);
+    for (int64_t r = 0; r < original.num_rows(); ++r) {
+      auto orig = static_cast<size_t>(original.Code(r, attr));
+      if (mapping[orig] < 0) {
+        mapping[orig] = masked.Code(r, attr);
+      } else {
+        EXPECT_EQ(mapping[orig], masked.Code(r, attr));
+      }
+    }
+  }
+}
+
+TEST(HierarchicalRecodingTest, RejectsBadParameters) {
+  Dataset original = TestData();
+  Rng rng(1);
+  EXPECT_FALSE(HierarchicalRecoding(0, 2).Protect(original, {0}, &rng).ok());
+  EXPECT_FALSE(HierarchicalRecoding(1, 1).Protect(original, {0}, &rng).ok());
+}
+
+TEST(HierarchicalRecodingTest, LabelEncodesParameters) {
+  HierarchicalRecoding method(2, 3);
+  EXPECT_EQ(method.Label(), "hierarchicalrecoding(level=2,fanout=3)");
+}
+
+}  // namespace
+}  // namespace protection
+}  // namespace evocat

@@ -1,0 +1,66 @@
+/// \file test_util.h
+/// \brief Shared helpers for the evocat test suite.
+
+#ifndef EVOCAT_TESTS_TEST_UTIL_H_
+#define EVOCAT_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace evocat {
+namespace testing {
+
+/// \brief Attribute blueprint for BuildDataset.
+struct TestAttr {
+  std::string name;
+  AttrKind kind;
+  int cardinality;
+};
+
+/// \brief Builds a dataset with the given attributes (full domains
+/// pre-registered as "<name>_<code>") and rows of codes.
+inline Dataset BuildDataset(const std::vector<TestAttr>& attrs,
+                            const std::vector<std::vector<int32_t>>& rows) {
+  auto schema = std::make_shared<Schema>();
+  for (const auto& spec : attrs) {
+    Attribute attribute(spec.name, spec.kind);
+    for (int c = 0; c < spec.cardinality; ++c) {
+      attribute.dictionary().GetOrAdd(spec.name + "_" + std::to_string(c));
+    }
+    schema->AddAttribute(std::move(attribute));
+  }
+  Dataset dataset(schema);
+  for (const auto& row : rows) {
+    auto status = dataset.AppendRowCodes(row);
+    if (!status.ok()) std::abort();
+  }
+  return dataset;
+}
+
+/// \brief All attribute indices of a dataset.
+inline std::vector<int> AllAttrs(const Dataset& dataset) {
+  std::vector<int> attrs;
+  for (int a = 0; a < dataset.num_attributes(); ++a) attrs.push_back(a);
+  return attrs;
+}
+
+/// \brief Number of cells that differ between two datasets over `attrs`.
+inline int64_t CountDiffs(const Dataset& x, const Dataset& y,
+                          const std::vector<int>& attrs) {
+  int64_t diffs = 0;
+  for (int attr : attrs) {
+    for (int64_t r = 0; r < x.num_rows(); ++r) {
+      if (x.Code(r, attr) != y.Code(r, attr)) ++diffs;
+    }
+  }
+  return diffs;
+}
+
+}  // namespace testing
+}  // namespace evocat
+
+#endif  // EVOCAT_TESTS_TEST_UTIL_H_
