@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include <cstdlib>
@@ -25,6 +26,112 @@ experiments::ExperimentOptions BenchOptions(metrics::ScoreAggregation aggregatio
   options.protection_seed = 0x9A5C;
   options.ga_seed = 42;
   return options;
+}
+
+namespace {
+
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Add(const std::string& key, double value) {
+  // Round-trip precision: the tracked metrics must reflect sub-1e-9 score
+  // differences across PRs.
+  entries_.emplace_back(key, StrFormat("%.17g", value));
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, int64_t value) {
+  entries_.emplace_back(key, StrFormat("%lld", static_cast<long long>(value)));
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + EscapeJson(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const JsonObject& object) {
+  entries_.emplace_back(key, object.ToString(/*indent=*/1));
+  return *this;
+}
+
+std::string JsonObject::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string inner_pad = pad + "  ";
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += inner_pad + "\"" + EscapeJson(entries_[i].first) +
+           "\": " + entries_[i].second;
+  }
+  out += "\n" + pad + "}";
+  return out;
+}
+
+Status WriteJsonFile(const std::string& path, const JsonObject& object) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open '", path, "' for writing");
+  }
+  out << object.ToString() << "\n";
+  out.close();  // surface buffered write errors before reporting success
+  return out.fail() ? Status::Internal("short write to '", path, "'")
+                    : Status::OK();
+}
+
+JsonObject EngineThroughputJson(const experiments::ExperimentResult& result) {
+  const auto& stats = result.stats;
+  int64_t generations = static_cast<int64_t>(result.history.size());
+  double gen_seconds =
+      stats.mutation_total_seconds + stats.crossover_total_seconds;
+  double eval_seconds =
+      stats.mutation_eval_seconds + stats.crossover_eval_seconds;
+  JsonObject json;
+  json.Add("generations", generations)
+      .Add("offspring_evaluated", stats.offspring_evaluated)
+      .Add("generations_per_sec",
+           gen_seconds > 0 ? static_cast<double>(generations) / gen_seconds : 0.0)
+      .Add("evaluations_per_sec",
+           eval_seconds > 0
+               ? static_cast<double>(stats.offspring_evaluated) / eval_seconds
+               : 0.0)
+      .Add("initial_eval_seconds", stats.initial_eval_seconds)
+      .Add("mutation_eval_seconds", stats.mutation_eval_seconds)
+      .Add("crossover_eval_seconds", stats.crossover_eval_seconds)
+      .Add("total_seconds", stats.total_seconds)
+      .Add("final_min_score", result.final_scores.min)
+      .Add("final_mean_score", result.final_scores.mean);
+  return json;
 }
 
 int RunFigureBench(const FigureSpec& spec) {

@@ -13,7 +13,10 @@
 #define EVOCAT_BENCH_BENCH_UTIL_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/result.h"
 #include "experiments/runner.h"
 
 namespace evocat {
@@ -40,6 +43,30 @@ int RunFigureBench(const FigureSpec& spec);
 /// \brief Shared experiment defaults for bench binaries (fixed seeds).
 experiments::ExperimentOptions BenchOptions(metrics::ScoreAggregation aggregation,
                                             int generations);
+
+/// \brief Minimal ordered JSON object writer for machine-readable bench
+/// summaries (`BENCH_engine.json`). Keys keep insertion order; values are
+/// numbers, strings, or nested objects.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, double value);
+  JsonObject& Add(const std::string& key, int64_t value);
+  JsonObject& Add(const std::string& key, const std::string& value);
+  JsonObject& Add(const std::string& key, const JsonObject& object);
+
+  /// \brief Serializes with 2-space indentation.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// \brief Writes `object` to `path` (overwrites), trailing newline included.
+Status WriteJsonFile(const std::string& path, const JsonObject& object);
+
+/// \brief Per-run engine throughput numbers derived from an experiment
+/// result — the stable schema tracked in BENCH_engine.json across PRs.
+JsonObject EngineThroughputJson(const experiments::ExperimentResult& result);
 
 }  // namespace bench
 }  // namespace evocat

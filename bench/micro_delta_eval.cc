@@ -1,0 +1,277 @@
+// Micro-benchmark for the incremental (operator-delta) fitness evaluation
+// subsystem, plus an engine-level before/after throughput comparison.
+//
+// Measures, on a >=1,000-record synthetic Adult file:
+//   1. per-measure single-cell (mutation) re-evaluation: full Compute vs
+//      MeasureState::ApplyDelta+Score, asserting the two scores agree to
+//      1e-9 and reporting the speedup (target: >= 10x with DBRL enabled);
+//   2. whole-fitness delta evaluation vs FitnessEvaluator::Evaluate;
+//   3. the GA engine run end to end with incremental_eval off vs on.
+//
+// Results are printed as CSV-ish lines and written machine-readably to
+// BENCH_engine.json (override the path with EVOCAT_BENCH_JSON) so the perf
+// trajectory is tracked across PRs.
+//
+// Usage: micro_delta_eval [rows] [engine_generations]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datagen/generator.h"
+#include "metrics/ctbil.h"
+#include "metrics/dbil.h"
+#include "metrics/dbrl.h"
+#include "metrics/ebil.h"
+#include "metrics/fitness.h"
+#include "metrics/interval_disclosure.h"
+#include "metrics/prl.h"
+#include "metrics/rsrl.h"
+#include "protection/pram.h"
+
+using namespace evocat;
+
+namespace {
+
+struct MutationStep {
+  int64_t row;
+  int attr;
+  int32_t new_code;
+};
+
+/// Pre-drawn random single-cell mutations so both timing loops replay the
+/// identical workload.
+std::vector<MutationStep> DrawMutations(const Dataset& masked,
+                                        const std::vector<int>& attrs,
+                                        int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MutationStep> steps;
+  steps.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    MutationStep step;
+    step.row = static_cast<int64_t>(
+        rng.UniformIndex(static_cast<size_t>(masked.num_rows())));
+    step.attr = attrs[rng.UniformIndex(attrs.size())];
+    int32_t card = masked.schema().attribute(step.attr).cardinality();
+    step.new_code = static_cast<int32_t>(rng.UniformInt(0, card - 1));
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+struct MeasureTiming {
+  double full_eval_seconds = 0.0;
+  double delta_eval_seconds = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+/// Times single-cell re-evaluation of one measure, full vs delta, over the
+/// same mutation walk (each step: mutate, evaluate, undo).
+MeasureTiming TimeMeasure(const metrics::BoundMeasure& bound, Dataset* masked,
+                          const std::vector<MutationStep>& steps) {
+  MeasureTiming timing;
+
+  // Delta path (also records per-step full scores for the agreement check —
+  // outside the timed sections).
+  auto state = bound.BindState(*masked);
+  {
+    double elapsed = 0.0;
+    for (const MutationStep& step : steps) {
+      int32_t old_code = masked->Code(step.row, step.attr);
+      masked->SetCode(step.row, step.attr, step.new_code);
+      std::vector<metrics::CellDelta> deltas{
+          {step.row, step.attr, old_code, step.new_code}};
+      Timer timer;
+      state->ApplyDelta(*masked, deltas);
+      double delta_score = state->Score();
+      elapsed += timer.ElapsedSeconds();
+      double full_score = bound.Compute(*masked);
+      timing.max_abs_diff =
+          std::max(timing.max_abs_diff, std::fabs(delta_score - full_score));
+      state->Revert();
+      masked->SetCode(step.row, step.attr, old_code);
+    }
+    timing.delta_eval_seconds = elapsed / static_cast<double>(steps.size());
+  }
+
+  // Full path.
+  {
+    double elapsed = 0.0;
+    for (const MutationStep& step : steps) {
+      int32_t old_code = masked->Code(step.row, step.attr);
+      masked->SetCode(step.row, step.attr, step.new_code);
+      Timer timer;
+      volatile double score = bound.Compute(*masked);
+      elapsed += timer.ElapsedSeconds();
+      (void)score;
+      masked->SetCode(step.row, step.attr, old_code);
+    }
+    timing.full_eval_seconds = elapsed / static_cast<double>(steps.size());
+  }
+
+  timing.speedup = timing.delta_eval_seconds > 0
+                       ? timing.full_eval_seconds / timing.delta_eval_seconds
+                       : 0.0;
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  int64_t rows = argc > 1 ? std::atoll(argv[1]) : 1000;
+  int engine_generations = argc > 2 ? std::atoi(argv[2]) : 150;
+
+  auto profile = datagen::AdultProfile();
+  profile.num_records = rows;
+  Dataset original = datagen::Generate(profile, 101).ValueOrDie();
+  auto attrs =
+      datagen::ProtectedAttributeIndices(profile, original).ValueOrDie();
+  Rng rng(7);
+  Dataset masked =
+      protection::Pram(0.7).Protect(original, attrs, &rng).ValueOrDie();
+
+  std::printf("# micro_delta_eval: rows=%lld protected_attrs=%zu\n",
+              static_cast<long long>(rows), attrs.size());
+  std::printf("measure,full_ms,delta_ms,speedup,max_abs_diff\n");
+
+  struct NamedMeasure {
+    std::string name;
+    std::unique_ptr<metrics::Measure> measure;
+  };
+  std::vector<NamedMeasure> measures;
+  measures.push_back({"CTBIL", std::make_unique<metrics::CtbIl>(2)});
+  measures.push_back({"DBIL", std::make_unique<metrics::DbIl>()});
+  measures.push_back({"EBIL", std::make_unique<metrics::EbIl>()});
+  measures.push_back({"ID", std::make_unique<metrics::IntervalDisclosure>(10.0)});
+  measures.push_back(
+      {"DBRL", std::make_unique<metrics::DistanceBasedRecordLinkage>()});
+  measures.push_back(
+      {"PRL", std::make_unique<metrics::ProbabilisticRecordLinkage>(50)});
+  measures.push_back(
+      {"RSRL", std::make_unique<metrics::RankSwappingRecordLinkage>(15.0)});
+
+  const int kSteps = 40;
+  auto steps = DrawMutations(masked, attrs, kSteps, 0xD17A);
+
+  bench::JsonObject measures_json;
+  bool all_within_tolerance = true;
+  double dbrl_speedup = 0.0;
+  for (const auto& [name, measure] : measures) {
+    auto bound = std::move(measure->Bind(original, attrs)).ValueOrDie();
+    MeasureTiming timing = TimeMeasure(*bound, &masked, steps);
+    std::printf("%s,%.4f,%.4f,%.1fx,%.3g\n", name.c_str(),
+                timing.full_eval_seconds * 1e3, timing.delta_eval_seconds * 1e3,
+                timing.speedup, timing.max_abs_diff);
+    bench::JsonObject one;
+    one.Add("full_eval_seconds", timing.full_eval_seconds)
+        .Add("delta_eval_seconds", timing.delta_eval_seconds)
+        .Add("speedup", timing.speedup)
+        .Add("max_abs_diff", timing.max_abs_diff);
+    measures_json.Add(name, one);
+    all_within_tolerance = all_within_tolerance && timing.max_abs_diff <= 1e-9;
+    if (name == "DBRL") dbrl_speedup = timing.speedup;
+  }
+
+  // Whole-fitness comparison (all seven measures enabled).
+  auto evaluator =
+      std::move(metrics::FitnessEvaluator::Create(original, attrs)).ValueOrDie();
+  double fitness_full_s = 0.0, fitness_delta_s = 0.0, fitness_diff = 0.0;
+  {
+    auto state = evaluator->BindState(masked);
+    for (const MutationStep& step : steps) {
+      int32_t old_code = masked.Code(step.row, step.attr);
+      masked.SetCode(step.row, step.attr, step.new_code);
+      std::vector<metrics::CellDelta> deltas{
+          {step.row, step.attr, old_code, step.new_code}};
+      Timer delta_timer;
+      state->ApplyDelta(masked, deltas);
+      double delta_score = state->breakdown().score;
+      fitness_delta_s += delta_timer.ElapsedSeconds();
+      Timer full_timer;
+      double full_score = evaluator->Evaluate(masked).score;
+      fitness_full_s += full_timer.ElapsedSeconds();
+      fitness_diff = std::max(fitness_diff, std::fabs(delta_score - full_score));
+      state->Revert();
+      masked.SetCode(step.row, step.attr, old_code);
+    }
+    fitness_full_s /= kSteps;
+    fitness_delta_s /= kSteps;
+  }
+  double fitness_speedup =
+      fitness_delta_s > 0 ? fitness_full_s / fitness_delta_s : 0.0;
+  std::printf("FITNESS,%.4f,%.4f,%.1fx,%.3g\n", fitness_full_s * 1e3,
+              fitness_delta_s * 1e3, fitness_speedup, fitness_diff);
+
+  // Engine before/after: identical seeds and generation budget, incremental
+  // evaluation off vs on.
+  auto dataset_case = experiments::AdultCase();
+  dataset_case.profile.num_records = rows;
+  auto options = bench::BenchOptions(metrics::ScoreAggregation::kMean,
+                                     engine_generations);
+  options.incremental_eval = false;
+  auto full_run =
+      std::move(experiments::RunExperiment(dataset_case, options)).ValueOrDie();
+  options.incremental_eval = true;
+  auto delta_run =
+      std::move(experiments::RunExperiment(dataset_case, options)).ValueOrDie();
+
+  auto gens_per_sec = [](const experiments::ExperimentResult& result) {
+    double seconds = result.stats.mutation_total_seconds +
+                     result.stats.crossover_total_seconds;
+    return seconds > 0 ? static_cast<double>(result.history.size()) / seconds
+                       : 0.0;
+  };
+  double engine_speedup = gens_per_sec(full_run) > 0
+                              ? gens_per_sec(delta_run) / gens_per_sec(full_run)
+                              : 0.0;
+  std::printf("engine,full_gens_per_sec=%.2f,delta_gens_per_sec=%.2f,"
+              "speedup=%.1fx,final_min_full=%.4f,final_min_delta=%.4f\n",
+              gens_per_sec(full_run), gens_per_sec(delta_run), engine_speedup,
+              full_run.final_scores.min, delta_run.final_scores.min);
+
+  bench::JsonObject json;
+  json.Add("bench", std::string("micro_delta_eval"))
+      .Add("dataset", dataset_case.profile.name)
+      .Add("rows", rows)
+      .Add("protected_attrs", static_cast<int64_t>(attrs.size()));
+  bench::JsonObject fitness_json;
+  fitness_json.Add("full_eval_seconds", fitness_full_s)
+      .Add("delta_eval_seconds", fitness_delta_s)
+      .Add("speedup", fitness_speedup)
+      .Add("max_abs_diff", fitness_diff);
+  json.Add("measures", measures_json)
+      .Add("fitness", fitness_json)
+      .Add("engine_full", bench::EngineThroughputJson(full_run))
+      .Add("engine_incremental", bench::EngineThroughputJson(delta_run))
+      .Add("engine_speedup", engine_speedup);
+
+  const char* json_path = std::getenv("EVOCAT_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_engine.json";
+  Status status = bench::WriteJsonFile(path, json);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("# json written to %s\n", path.c_str());
+
+  if (!all_within_tolerance || fitness_diff > 1e-9) {
+    std::fprintf(stderr, "FAIL: delta/full disagreement above 1e-9\n");
+    return 1;
+  }
+  if (rows >= 1000 && dbrl_speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: DBRL delta speedup %.1fx below 10x target\n",
+                 dbrl_speedup);
+    return 1;
+  }
+  std::printf("# OK\n");
+  return 0;
+}

@@ -1,8 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <future>
 #include <string>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -15,13 +15,18 @@ namespace {
 /// Strips operator wrappers so provenance stays "op<seed-method-label>"
 /// instead of growing a nested chain across generations.
 std::string BaseOrigin(const std::string& origin) {
+  struct Prefix {
+    const char* text;
+    size_t length;
+  };
+  static constexpr Prefix kPrefixes[] = {{"mutation<", 9}, {"cross<", 6}};
   std::string base = origin;
   while (true) {
     bool stripped = false;
-    for (const char* prefix : {"mutation<", "cross<"}) {
-      size_t len = std::string(prefix).size();
-      if (base.rfind(prefix, 0) == 0 && base.size() > len && base.back() == '>') {
-        base = base.substr(len, base.size() - len - 1);
+    for (const Prefix& prefix : kPrefixes) {
+      if (base.size() > prefix.length && base.back() == '>' &&
+          base.compare(0, prefix.length, prefix.text) == 0) {
+        base = base.substr(prefix.length, base.size() - prefix.length - 1);
         stripped = true;
       }
     }
@@ -76,13 +81,21 @@ Result<EvolutionResult> EvolutionEngine::Run(
   Timer run_timer;
   EvolutionResult result;
   result.history.reserve(static_cast<size_t>(config_.generations));
+  const bool incremental = config_.incremental_eval;
 
-  // Evaluate the initial population (embarrassingly parallel).
+  // Evaluate the initial population (embarrassingly parallel). With
+  // incremental evaluation on, binding a state costs about one evaluation
+  // and seeds the per-member delta machinery in the same pass.
   {
     Timer init_timer;
     ParallelFor(0, static_cast<int64_t>(initial.size()), [&](int64_t i) {
-      initial[static_cast<size_t>(i)].fitness =
-          evaluator_->Evaluate(initial[static_cast<size_t>(i)].data);
+      Individual& individual = initial[static_cast<size_t>(i)];
+      if (incremental) {
+        individual.eval_state = evaluator_->BindState(individual.data);
+        individual.fitness = individual.eval_state->breakdown();
+      } else {
+        individual.fitness = evaluator_->Evaluate(individual.data);
+      }
     });
     result.stats.initial_eval_seconds = init_timer.ElapsedSeconds();
   }
@@ -102,6 +115,9 @@ Result<EvolutionResult> EvolutionEngine::Run(
   double best_score = population.MinScore();
   int stale_generations = 0;
 
+  // Deterministic crowding means an offspring only ever competes with its
+  // own parent, so the parent's fitness state can be advanced in place and
+  // reverted on rejection — no state cloning per generation.
   for (int gen = 1; gen <= config_.generations; ++gen) {
     Timer gen_timer;
     GenerationRecord record;
@@ -115,22 +131,40 @@ Result<EvolutionResult> EvolutionEngine::Run(
       record.op = OperatorKind::kMutation;
       size_t parent_idx = selection.Select(population.Scores(), &rng);
       Individual child;
-      child.data = population[parent_idx].data.Clone();
+      child.data = population[parent_idx].data.Clone();  // COW share
       auto mutation = mutate.Apply(&child.data, &rng);
-      (void)mutation;
       child.origin = "mutation<" + BaseOrigin(population[parent_idx].origin) + ">";
       child.id = next_id++;
 
+      auto& parent_state = population[parent_idx].eval_state;
       Timer eval_timer;
-      child.fitness = evaluator_->Evaluate(child.data);
+      if (incremental && parent_state) {
+        std::vector<metrics::CellDelta> deltas;
+        if (mutation.new_code != mutation.old_code) {
+          deltas.push_back(metrics::CellDelta{mutation.row, mutation.attr,
+                                              mutation.old_code,
+                                              mutation.new_code});
+        }
+        parent_state->ApplyDelta(child.data, deltas);
+        child.fitness = parent_state->breakdown();
+      } else {
+        child.fitness = evaluator_->Evaluate(child.data);
+      }
       eval_seconds = eval_timer.ElapsedSeconds();
       record.evaluations = 1;
 
       // Elitist replacement: the offspring survives only if strictly better.
       if (child.score() < population[parent_idx].score()) {
+        if (incremental && parent_state) {
+          child.eval_state = std::move(parent_state);  // state is the child's
+        } else if (incremental) {
+          child.eval_state = evaluator_->BindState(child.data);
+        }
         population[parent_idx] = std::move(child);
         record.accepted = true;
         ++result.stats.accepted_mutations;
+      } else if (incremental && parent_state) {
+        parent_state->Revert();
       }
       ++result.stats.mutation_generations;
     } else {
@@ -143,37 +177,90 @@ Result<EvolutionResult> EvolutionEngine::Run(
       size_t i2 = selection.Select(population.Scores(), &rng);
 
       Individual child1, child2;
-      cross.Apply(population[i1].data, population[i2].data, &child1.data,
-                  &child2.data, &rng);
+      auto segment = cross.Apply(population[i1].data, population[i2].data,
+                                 &child1.data, &child2.data, &rng);
       child1.origin = "cross<" + BaseOrigin(population[i1].origin) + ">";
       child2.origin = "cross<" + BaseOrigin(population[i2].origin) + ">";
       child1.id = next_id++;
       child2.id = next_id++;
 
+      const bool delta_pair = incremental && i1 != i2 &&
+                              population[i1].eval_state != nullptr &&
+                              population[i2].eval_state != nullptr;
+      // Concurrency trade-off: a leg evaluated inside ParallelFor(0, 2)
+      // cannot fan out its own inner loops (nested pool regions run
+      // serially), so the two-leg split only pays when each leg is cheap —
+      // i.e. a delta batch small enough to skip the full-rebuild path.
+      // Heavy legs (full evaluation, or a rebuild-sized segment) run
+      // sequentially so each keeps the whole pool for its O(n^2) measures.
+      int64_t rebuild_cells = static_cast<int64_t>(
+          evaluator_->options().delta_rebuild_fraction *
+          static_cast<double>(layout.Length()));
+      const bool cheap_legs =
+          delta_pair &&
+          static_cast<int64_t>(std::max(segment.deltas1.size(),
+                                        segment.deltas2.size())) <
+              rebuild_cells;
       Timer eval_timer;
-      if (config_.parallel_offspring_eval) {
-        auto future = std::async(std::launch::async, [&]() {
-          return evaluator_->Evaluate(child1.data);
-        });
-        child2.fitness = evaluator_->Evaluate(child2.data);
-        child1.fitness = future.get();
+      if (delta_pair) {
+        auto eval_leg = [&](int64_t leg) {
+          Individual& child = leg == 0 ? child1 : child2;
+          size_t parent = leg == 0 ? i1 : i2;
+          const auto& deltas = leg == 0 ? segment.deltas1 : segment.deltas2;
+          population[parent].eval_state->ApplyDelta(child.data, deltas);
+          child.fitness = population[parent].eval_state->breakdown();
+        };
+        if (config_.parallel_offspring_eval && cheap_legs) {
+          ParallelFor(0, 2, eval_leg);
+        } else {
+          eval_leg(0);
+          eval_leg(1);
+        }
       } else {
-        child1.fitness = evaluator_->Evaluate(child1.data);
-        child2.fitness = evaluator_->Evaluate(child2.data);
+        // Full evaluation: overlap the two legs on the pool only when no
+        // enabled measure fans out internally (the linkage attacks use
+        // nested ParallelFor, which a pool region would serialize).
+        const auto& opts = evaluator_->options();
+        bool pool_heavy = opts.use_dbrl || opts.use_prl || opts.use_rsrl;
+        if (config_.parallel_offspring_eval && !pool_heavy) {
+          ParallelFor(0, 2, [&](int64_t leg) {
+            Individual& child = leg == 0 ? child1 : child2;
+            child.fitness = evaluator_->Evaluate(child.data);
+          });
+        } else {
+          child1.fitness = evaluator_->Evaluate(child1.data);
+          child2.fitness = evaluator_->Evaluate(child2.data);
+        }
       }
       eval_seconds = eval_timer.ElapsedSeconds();
       record.evaluations = 2;
 
       // Deterministic crowding: each offspring competes with its own parent.
       if (child1.score() < population[i1].score()) {
+        if (delta_pair) {
+          child1.eval_state = std::move(population[i1].eval_state);
+        } else if (incremental) {
+          child1.eval_state = evaluator_->BindState(child1.data);
+        }
         population[i1] = std::move(child1);
         record.accepted = true;
         ++result.stats.accepted_crossovers;
+      } else if (delta_pair) {
+        population[i1].eval_state->Revert();
       }
       if (child2.score() < population[i2].score()) {
+        if (delta_pair) {
+          child2.eval_state = std::move(population[i2].eval_state);
+        } else if (incremental) {
+          // Covers the i1 == i2 self-mating corner: offspring were scored in
+          // full, so an accepted one needs a fresh state of its own.
+          child2.eval_state = evaluator_->BindState(child2.data);
+        }
         population[i2] = std::move(child2);
         record.accepted = true;
         ++result.stats.accepted_crossovers;
+      } else if (delta_pair) {
+        population[i2].eval_state->Revert();
       }
       ++result.stats.crossover_generations;
     }
@@ -210,6 +297,10 @@ Result<EvolutionResult> EvolutionEngine::Run(
   }
 
   result.stats.total_seconds = run_timer.ElapsedSeconds();
+  // The delta states exist to serve the run; returning them would pin
+  // megabytes per member and a pointer into the (caller-owned, possibly
+  // shorter-lived) evaluator.
+  for (auto& member : population.members()) member.eval_state.reset();
   result.population = std::move(population);
   return result;
 }

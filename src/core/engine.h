@@ -47,8 +47,17 @@ struct GaConfig {
   /// Early stop after this many generations without best-score improvement
   /// (0 disables; the paper runs a fixed generation budget).
   int no_improvement_window = 0;
-  /// Evaluate crossover offspring on two threads.
+  /// Evaluate crossover offspring concurrently (on the shared worker pool).
+  /// Only applies to small-delta incremental legs; heavy legs (full
+  /// evaluation or rebuild-sized segments) always run sequentially so each
+  /// keeps the whole pool for its inner parallel loops.
   bool parallel_offspring_eval = true;
+  /// Score offspring through incremental delta evaluation: each population
+  /// member carries a `metrics::FitnessState`, and a mutation/crossover is
+  /// re-scored from its operator delta instead of a full re-walk of the
+  /// masked file. Scores agree with full evaluation to within 1e-9; set to
+  /// false to force the paper's original full-recompute path.
+  bool incremental_eval = true;
 };
 
 /// \brief Per-generation record (drives the paper's evolution figures).

@@ -9,6 +9,7 @@
 #define EVOCAT_CORE_INDIVIDUAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ struct Individual {
   std::string origin;
   /// Unique id within a run (assigned by the engine).
   uint64_t id = 0;
+  /// Incremental evaluation state for `data` (engine-managed; null when the
+  /// engine runs with `incremental_eval` off or the individual was never
+  /// evaluated through the delta path).
+  std::shared_ptr<metrics::FitnessState> eval_state;
 
   double score() const { return fitness.score; }
 };

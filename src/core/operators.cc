@@ -45,8 +45,13 @@ CrossoverOperator::Record CrossoverOperator::Apply(const Dataset& x,
   *z2 = y.Clone();
   for (int64_t flat = record.s; flat <= record.r; ++flat) {
     auto [row, attr] = layout_.Cell(flat);
-    z1->SetCode(row, attr, y.Code(row, attr));
-    z2->SetCode(row, attr, x.Code(row, attr));
+    int32_t xc = x.Code(row, attr);
+    int32_t yc = y.Code(row, attr);
+    if (xc == yc) continue;  // no-op swap: keep the COW columns shared
+    z1->SetCode(row, attr, yc);
+    z2->SetCode(row, attr, xc);
+    record.deltas1.push_back(metrics::CellDelta{row, attr, xc, yc});
+    record.deltas2.push_back(metrics::CellDelta{row, attr, yc, xc});
   }
   return record;
 }

@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "metrics/measure.h"
 
 namespace evocat {
 namespace core {
@@ -81,15 +82,23 @@ class CrossoverOperator {
  public:
   explicit CrossoverOperator(GenomeLayout layout) : layout_(std::move(layout)) {}
 
-  /// \brief The crossing points chosen (inclusive segment).
+  /// \brief The crossing points chosen (inclusive segment) and the cells
+  /// that actually changed in each offspring relative to its base parent.
+  ///
+  /// Only segment positions where the parents disagree are written (and
+  /// recorded), so `deltas1`/`deltas2` feed the incremental fitness states
+  /// directly: z1 = x + deltas1, z2 = y + deltas2.
   struct Record {
     int64_t s = 0;
     int64_t r = 0;
+    std::vector<metrics::CellDelta> deltas1;
+    std::vector<metrics::CellDelta> deltas2;
   };
 
   /// \brief Produces offspring (z1, z2) from parents (x, y).
   ///
-  /// z1 = x with the segment [s, r] taken from y; z2 symmetric.
+  /// z1 = x with the segment [s, r] taken from y; z2 symmetric. The
+  /// offspring share their base parent's untouched columns (COW).
   Record Apply(const Dataset& x, const Dataset& y, Dataset* z1, Dataset* z2,
                Rng* rng) const;
 

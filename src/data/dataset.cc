@@ -17,7 +17,7 @@ Status Dataset::AppendRowCodes(const std::vector<int32_t>& codes) {
     }
   }
   for (int a = 0; a < num_attributes(); ++a) {
-    columns_[static_cast<size_t>(a)].push_back(codes[static_cast<size_t>(a)]);
+    mutable_column(a).push_back(codes[static_cast<size_t>(a)]);
   }
   return Status::OK();
 }
@@ -30,21 +30,30 @@ Status Dataset::AppendRowValues(const std::vector<std::string>& values) {
   for (int a = 0; a < num_attributes(); ++a) {
     int32_t code =
         schema_->attribute(a).dictionary().GetOrAdd(values[static_cast<size_t>(a)]);
-    columns_[static_cast<size_t>(a)].push_back(code);
+    mutable_column(a).push_back(code);
   }
   return Status::OK();
 }
 
 Dataset Dataset::Clone() const {
   Dataset copy(schema_);
-  copy.columns_ = columns_;
+  copy.columns_ = columns_;  // COW: buffers shared until first write
   return copy;
+}
+
+bool Dataset::SameCodes(const Dataset& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    if (columns_[a] == other.columns_[a]) continue;  // shared buffer
+    if (*columns_[a] != *other.columns_[a]) return false;
+  }
+  return true;
 }
 
 Status Dataset::Validate() const {
   for (int a = 0; a < num_attributes(); ++a) {
     const auto& dict = schema_->attribute(a).dictionary();
-    const auto& col = columns_[static_cast<size_t>(a)];
+    const auto& col = column(a);
     if (col.size() != static_cast<size_t>(num_rows())) {
       return Status::Internal("ragged column for attribute '",
                               schema_->attribute(a).name(), "'");

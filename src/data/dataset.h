@@ -5,8 +5,22 @@
 /// names, kinds and dictionaries) is shared by reference between a dataset
 /// and all masked copies derived from it, which makes codes directly
 /// comparable across files — the property every metric and genetic operator
-/// relies on. Masked copies are cheap: the schema is shared, only the code
-/// columns are duplicated.
+/// relies on.
+///
+/// Code columns are copy-on-write: copying a dataset (or calling `Clone`)
+/// shares the column buffers, and the first mutation of a column through
+/// `SetCode` / `mutable_column` / the append API detaches a private copy of
+/// just that column. The GA derives thousands of offspring per run that each
+/// differ from their parent in one cell or one short gene segment, so
+/// offspring construction is O(attributes) pointer copies plus one column
+/// copy per *touched* attribute instead of a deep copy of the whole file.
+///
+/// Thread-safety: concurrent reads of datasets sharing columns are safe, and
+/// two *different* dataset objects may detach a shared column concurrently
+/// (the reference count is atomic). Mutating one dataset object from two
+/// threads is a data race, exactly as before. References returned by
+/// `column()` remain valid while any dataset still holding that buffer is
+/// alive; a detach in a sibling dataset never moves this dataset's buffer.
 
 #ifndef EVOCAT_DATA_DATASET_H_
 #define EVOCAT_DATA_DATASET_H_
@@ -24,13 +38,18 @@ namespace evocat {
 /// \brief A categorical microdata table (records x attributes).
 class Dataset {
  public:
+  using Column = std::vector<int32_t>;
+
   /// \brief Empty dataset over an empty schema (placeholder/moved-from use).
   Dataset() : Dataset(std::make_shared<Schema>()) {}
 
   /// \brief Creates an empty dataset over `schema`.
-  explicit Dataset(std::shared_ptr<Schema> schema)
-      : schema_(std::move(schema)),
-        columns_(static_cast<size_t>(schema_->num_attributes())) {}
+  explicit Dataset(std::shared_ptr<Schema> schema) : schema_(std::move(schema)) {
+    columns_.reserve(static_cast<size_t>(schema_->num_attributes()));
+    for (int a = 0; a < schema_->num_attributes(); ++a) {
+      columns_.push_back(std::make_shared<Column>());
+    }
+  }
 
   /// Shared schema accessors.
   const Schema& schema() const { return *schema_; }
@@ -38,7 +57,7 @@ class Dataset {
   const std::shared_ptr<Schema>& schema_ptr() const { return schema_; }
 
   int64_t num_rows() const {
-    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0].size());
+    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0]->size());
   }
   int num_attributes() const { return schema_->num_attributes(); }
 
@@ -50,12 +69,14 @@ class Dataset {
 
   /// \brief Code at (row, attribute); bounds unchecked on release hot paths.
   int32_t Code(int64_t row, int attr) const {
-    return columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)];
+    return (*columns_[static_cast<size_t>(attr)])[static_cast<size_t>(row)];
   }
 
-  /// \brief Overwrites the code at (row, attribute).
+  /// \brief Overwrites the code at (row, attribute), detaching the column
+  /// from any copy-on-write siblings first.
   void SetCode(int64_t row, int attr, int32_t code) {
-    columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)] = code;
+    DetachColumn(attr);
+    (*columns_[static_cast<size_t>(attr)])[static_cast<size_t>(row)] = code;
   }
 
   /// \brief Category string at (row, attribute).
@@ -63,29 +84,47 @@ class Dataset {
     return schema_->attribute(attr).dictionary().ValueOf(Code(row, attr));
   }
 
-  /// \brief Whole code column for an attribute.
-  const std::vector<int32_t>& column(int attr) const {
-    return columns_[static_cast<size_t>(attr)];
-  }
-  std::vector<int32_t>& mutable_column(int attr) {
-    return columns_[static_cast<size_t>(attr)];
+  /// \brief Whole code column for an attribute (read-only view).
+  const Column& column(int attr) const {
+    return *columns_[static_cast<size_t>(attr)];
   }
 
-  /// \brief Deep copy of the code columns; schema stays shared.
+  /// \brief Mutable column access; detaches the column from COW siblings.
+  Column& mutable_column(int attr) {
+    DetachColumn(attr);
+    return *columns_[static_cast<size_t>(attr)];
+  }
+
+  /// \brief Cheap copy sharing the column buffers (copy-on-write); schema
+  /// stays shared. Mutating the clone never affects this dataset.
   Dataset Clone() const;
 
   /// \brief Verifies every code is valid for its attribute's dictionary.
   Status Validate() const;
 
   /// \brief True when the code matrices are identical (same schema assumed).
-  bool SameCodes(const Dataset& other) const { return columns_ == other.columns_; }
+  bool SameCodes(const Dataset& other) const;
+
+  /// \brief True when this dataset and `other` share the same underlying
+  /// buffer for `attr` (COW introspection, used by tests and diagnostics).
+  bool SharesColumnStorage(int attr, const Dataset& other) const {
+    return columns_[static_cast<size_t>(attr)] ==
+           other.columns_[static_cast<size_t>(attr)];
+  }
 
   /// \brief Number of cells (rows x attributes).
   int64_t num_cells() const { return num_rows() * num_attributes(); }
 
  private:
+  /// \brief Gives this dataset a private copy of `attr`'s column if the
+  /// buffer is shared with another dataset.
+  void DetachColumn(int attr) {
+    auto& col = columns_[static_cast<size_t>(attr)];
+    if (col.use_count() > 1) col = std::make_shared<Column>(*col);
+  }
+
   std::shared_ptr<Schema> schema_;
-  std::vector<std::vector<int32_t>> columns_;
+  std::vector<std::shared_ptr<Column>> columns_;
 };
 
 }  // namespace evocat

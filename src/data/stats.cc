@@ -80,7 +80,10 @@ int64_t ContingencyTable::L1Distance(const ContingencyTable& other) const {
 }
 
 std::vector<double> CategoryMidranks(const Dataset& dataset, int attr) {
-  auto counts = CategoryCounts(dataset, attr);
+  return MidranksFromCounts(CategoryCounts(dataset, attr));
+}
+
+std::vector<double> MidranksFromCounts(const std::vector<int64_t>& counts) {
   std::vector<double> midranks(counts.size(), 0.0);
   double cum = 0.0;
   for (size_t c = 0; c < counts.size(); ++c) {

@@ -69,6 +69,11 @@ class ContingencyTable {
 /// interval disclosure and the rank-swapping attack.
 std::vector<double> CategoryMidranks(const Dataset& dataset, int attr);
 
+/// \brief Mid-ranks straight from per-category counts (the kernel behind
+/// `CategoryMidranks`, exposed so incremental masked-side states can rebuild
+/// ranks bit-identically from maintained counts).
+std::vector<double> MidranksFromCounts(const std::vector<int64_t>& counts);
+
 /// \brief All subsets of {0..n-1} with exactly `k` elements (lexicographic).
 std::vector<std::vector<int>> SubsetsOfSize(int n, int k);
 

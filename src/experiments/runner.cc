@@ -109,6 +109,7 @@ Result<ExperimentResult> RunExperiment(const DatasetCase& dataset_case,
   config.leader_group_size = options.leader_group_size;
   config.selection = options.selection;
   config.mutation_excludes_current = options.mutation_excludes_current;
+  config.incremental_eval = options.incremental_eval;
   config.seed = options.ga_seed;
 
   core::EvolutionEngine engine(evaluator.get(), config);

@@ -1,5 +1,6 @@
 #include "metrics/dbil.h"
 
+#include "metrics/delta.h"
 #include "metrics/distance.h"
 
 namespace evocat {
@@ -17,22 +18,103 @@ class BoundDbIl : public BoundMeasure {
     int64_t n = original_->num_rows();
     double total = 0.0;
     for (size_t i = 0; i < attrs.size(); ++i) {
-      int attr = attrs[i];
-      const auto& orig_col = original_->column(attr);
-      const auto& mask_col = masked.column(attr);
-      for (int64_t r = 0; r < n; ++r) {
-        total += tables_.At(i, orig_col[static_cast<size_t>(r)],
-                            mask_col[static_cast<size_t>(r)]);
-      }
+      total += AttrTotal(masked, i);
     }
     double cells = static_cast<double>(n) * static_cast<double>(attrs.size());
     return cells > 0 ? 100.0 * total / cells : 0.0;
   }
 
+  std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
+
+  /// \brief Summed value distance of one bound attribute's column.
+  double AttrTotal(const Dataset& masked, size_t i) const {
+    int attr = tables_.attrs()[i];
+    int64_t n = original_->num_rows();
+    const auto& orig_col = original_->column(attr);
+    const auto& mask_col = masked.column(attr);
+    double total = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      total += tables_.At(i, orig_col[static_cast<size_t>(r)],
+                          mask_col[static_cast<size_t>(r)]);
+    }
+    return total;
+  }
+
+  const Dataset& original() const { return *original_; }
+  const DistanceTables& tables() const { return tables_; }
+
  private:
   const Dataset* original_;
   DistanceTables tables_;
 };
+
+/// DBIL is a sum of independent per-cell distance terms, so a delta just
+/// swaps the changed cells' terms inside per-attribute running totals.
+class DbIlState : public MeasureState {
+ public:
+  DbIlState(const BoundDbIl* bound, const Dataset& masked)
+      : bound_(bound),
+        attr_pos_(AttrPositions(bound->tables().attrs(),
+                                masked.num_attributes())) {
+    InitFrom(masked);
+    backup_ = core_;
+  }
+
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) override {
+    backup_ = core_;
+    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+      InitFrom(masked_after);
+      return;
+    }
+    const auto& tables = bound_->tables();
+    for (const CellDelta& delta : deltas) {
+      int pos = attr_pos_[static_cast<size_t>(delta.attr)];
+      if (pos < 0 || delta.old_code == delta.new_code) continue;
+      int32_t orig = bound_->original().Code(delta.row, delta.attr);
+      auto i = static_cast<size_t>(pos);
+      core_.attr_totals[i] +=
+          tables.At(i, orig, delta.new_code) - tables.At(i, orig, delta.old_code);
+    }
+    RefreshScore();
+  }
+
+  void Revert() override { core_ = backup_; }
+
+  double Score() const override { return core_.score; }
+
+ private:
+  struct Core {
+    std::vector<double> attr_totals;
+    double score = 0.0;
+  };
+
+  void InitFrom(const Dataset& masked) {
+    size_t num_attrs = bound_->tables().attrs().size();
+    core_.attr_totals.assign(num_attrs, 0.0);
+    for (size_t i = 0; i < num_attrs; ++i) {
+      core_.attr_totals[i] = bound_->AttrTotal(masked, i);
+    }
+    RefreshScore();
+  }
+
+  void RefreshScore() {
+    double total = 0.0;
+    for (double t : core_.attr_totals) total += t;
+    double cells = static_cast<double>(bound_->original().num_rows()) *
+                   static_cast<double>(core_.attr_totals.size());
+    core_.score = cells > 0 ? 100.0 * total / cells : 0.0;
+  }
+
+  const BoundDbIl* bound_;
+  std::vector<int> attr_pos_;
+  Core core_;
+  Core backup_;
+};
+
+std::unique_ptr<MeasureState> BoundDbIl::BindState(const Dataset& masked) const {
+  return std::make_unique<DbIlState>(this, masked);
+}
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "metrics/dbrl.h"
 
 #include "common/parallel.h"
+#include "metrics/delta.h"
 #include "metrics/distance.h"
 
 namespace evocat {
@@ -15,38 +16,117 @@ class BoundDbrl : public BoundMeasure {
 
   double Compute(const Dataset& masked) const override {
     int64_t n = original_->num_rows();
-    constexpr double kEps = 1e-12;
-    // Each original record's linkage is independent: parallelize over i and
-    // reduce serially (deterministic).
-    std::vector<double> credits(static_cast<size_t>(n), 0.0);
+    std::vector<LinkageRowBest> rows(static_cast<size_t>(n));
     ParallelFor(0, n, [&](int64_t i) {
-      double best = 1e100;
-      int64_t best_count = 0;
-      bool self_is_best = false;
-      for (int64_t j = 0; j < n; ++j) {
-        double d = tables_.RecordDistance(*original_, i, masked, j);
-        if (d < best - kEps) {
-          best = d;
-          best_count = 1;
-          self_is_best = (j == i);
-        } else if (d <= best + kEps) {
-          ++best_count;
-          if (j == i) self_is_best = true;
-        }
-      }
-      if (self_is_best && best_count > 0) {
-        credits[static_cast<size_t>(i)] = 1.0 / static_cast<double>(best_count);
-      }
+      rows[static_cast<size_t>(i)] = ScanRow(masked, i);
     });
-    double credit = 0.0;
-    for (double c : credits) credit += c;
-    return n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
+    return LinkageCreditScore(rows);
   }
+
+  std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
+
+  /// \brief Fresh linkage of original record `i` against every masked record
+  /// (the kernel shared by Compute, state init and state rescans).
+  LinkageRowBest ScanRow(const Dataset& masked, int64_t i) const {
+    int64_t n = original_->num_rows();
+    LinkageRowBest row;
+    for (int64_t j = 0; j < n; ++j) {
+      double d = tables_.RecordDistance(*original_, i, masked, j);
+      LinkageAdd(&row, d, j == i);
+    }
+    return row;
+  }
+
+  const Dataset& original() const { return *original_; }
+  const DistanceTables& tables() const { return tables_; }
 
  private:
   const Dataset* original_;
   DistanceTables tables_;
 };
+
+/// A changed masked record j only perturbs the distances d(., j), so each
+/// original record's linkage updates in O(1) distance evaluations per
+/// changed row; only records whose entire best-match support disappears are
+/// rescanned in full.
+class DbrlState : public MeasureState {
+ public:
+  DbrlState(const BoundDbrl* bound, const Dataset& masked) : bound_(bound) {
+    InitFrom(masked);
+    backup_ = core_;
+  }
+
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) override {
+    backup_ = core_;
+    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+      InitFrom(masked_after);
+      return;
+    }
+    auto row_deltas = GroupDeltasByRow(deltas);
+    if (row_deltas.empty()) return;
+
+    int64_t n = bound_->original().num_rows();
+    const auto& attrs = bound_->tables().attrs();
+    std::vector<uint8_t> rescan(static_cast<size_t>(n), 0);
+
+    ParallelFor(0, n, [&](int64_t i) {
+      LinkageRowBest& row = core_.rows[static_cast<size_t>(i)];
+      uint8_t* needs_rescan = &rescan[static_cast<size_t>(i)];
+      for (const RowDelta& rd : row_deltas) {
+        if (*needs_rescan) break;  // a rescan recomputes the final truth
+        int64_t j = rd.row;
+        // Distances to the pre/post images of changed record j, summed in
+        // bound-attribute order exactly like RecordDistance.
+        double sum_old = 0.0, sum_new = 0.0;
+        for (size_t k = 0; k < attrs.size(); ++k) {
+          int32_t orig_code = bound_->original().Code(i, attrs[k]);
+          sum_old += bound_->tables().At(
+              k, orig_code, rd.OldCode(masked_after, attrs[k]));
+          sum_new += bound_->tables().At(k, orig_code,
+                                         masked_after.Code(j, attrs[k]));
+        }
+        double denom = static_cast<double>(attrs.size());
+        LinkageRemove(&row, sum_old / denom, j == i, needs_rescan);
+        if (!*needs_rescan) LinkageAdd(&row, sum_new / denom, j == i);
+      }
+    });
+
+    ParallelFor(0, n, [&](int64_t i) {
+      if (rescan[static_cast<size_t>(i)]) {
+        core_.rows[static_cast<size_t>(i)] = bound_->ScanRow(masked_after, i);
+      }
+    });
+    core_.score = LinkageCreditScore(core_.rows);
+  }
+
+  void Revert() override { core_ = backup_; }
+
+  double Score() const override { return core_.score; }
+
+ private:
+  struct Core {
+    std::vector<LinkageRowBest> rows;
+    double score = 0.0;
+  };
+
+  void InitFrom(const Dataset& masked) {
+    int64_t n = bound_->original().num_rows();
+    core_.rows.assign(static_cast<size_t>(n), LinkageRowBest{});
+    ParallelFor(0, n, [&](int64_t i) {
+      core_.rows[static_cast<size_t>(i)] = bound_->ScanRow(masked, i);
+    });
+    core_.score = LinkageCreditScore(core_.rows);
+  }
+
+  const BoundDbrl* bound_;
+  Core core_;
+  Core backup_;
+};
+
+std::unique_ptr<MeasureState> BoundDbrl::BindState(const Dataset& masked) const {
+  return std::make_unique<DbrlState>(this, masked);
+}
 
 }  // namespace
 

@@ -1,0 +1,58 @@
+#include "metrics/delta.h"
+
+#include <unordered_map>
+
+namespace evocat {
+namespace metrics {
+
+std::vector<RowDelta> GroupDeltasByRow(const std::vector<CellDelta>& deltas) {
+  std::vector<RowDelta> rows;
+  // Operator batches arrive row-sorted (flat gene order), so the common case
+  // is an append to the last group; the map covers arbitrary batches.
+  std::unordered_map<int64_t, size_t> index;
+  for (const CellDelta& delta : deltas) {
+    size_t slot;
+    if (!rows.empty() && rows.back().row == delta.row) {
+      slot = rows.size() - 1;
+    } else {
+      auto it = index.find(delta.row);
+      if (it == index.end()) {
+        slot = rows.size();
+        index.emplace(delta.row, slot);
+        rows.push_back(RowDelta{delta.row, {}});
+      } else {
+        slot = it->second;
+      }
+    }
+    rows[slot].cells.push_back(
+        RowDelta::Cell{delta.attr, delta.old_code, delta.new_code});
+  }
+  return rows;
+}
+
+double LinkageCreditScore(const std::vector<LinkageRowBest>& rows) {
+  double credit = 0.0;
+  for (const LinkageRowBest& row : rows) {
+    if (row.self && row.count > 0) {
+      credit += 1.0 / static_cast<double>(row.count);
+    }
+  }
+  return rows.empty()
+             ? 0.0
+             : 100.0 * credit / static_cast<double>(rows.size());
+}
+
+std::vector<int> AttrPositions(const std::vector<int>& attrs,
+                               int num_schema_attrs) {
+  std::vector<int> positions(static_cast<size_t>(num_schema_attrs), -1);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    int attr = attrs[i];
+    if (attr >= 0 && attr < num_schema_attrs) {
+      positions[static_cast<size_t>(attr)] = static_cast<int>(i);
+    }
+  }
+  return positions;
+}
+
+}  // namespace metrics
+}  // namespace evocat

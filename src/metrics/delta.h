@@ -1,0 +1,104 @@
+/// \file delta.h
+/// \brief Shared plumbing for incremental measure states.
+///
+/// The measures reason about deltas per *masked record*: a crossover segment
+/// that swaps several attributes of the same row must be treated as one row
+/// transition (old row image -> new row image), otherwise contingency keys
+/// and record distances would be computed against half-updated rows. This
+/// header groups a flat `CellDelta` batch by row and reconstructs the
+/// pre-batch value of any cell.
+
+#ifndef EVOCAT_METRICS_DELTA_H_
+#define EVOCAT_METRICS_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/measure.h"
+
+namespace evocat {
+namespace metrics {
+
+/// \brief All changed cells of one masked record.
+struct RowDelta {
+  int64_t row = 0;
+
+  struct Cell {
+    int attr = 0;  ///< schema attribute index
+    int32_t old_code = 0;
+    int32_t new_code = 0;
+  };
+  /// Changed cells of this row (a handful at most: one per protected attr).
+  std::vector<Cell> cells;
+
+  /// \brief The pre-batch code of (row, attr): the recorded old value for a
+  /// changed cell, the current value otherwise.
+  int32_t OldCode(const Dataset& masked_after, int attr) const {
+    for (const Cell& cell : cells) {
+      if (cell.attr == attr) return cell.old_code;
+    }
+    return masked_after.Code(row, attr);
+  }
+
+  /// \brief Whether `attr` changed in this row.
+  bool Touches(int attr) const {
+    for (const Cell& cell : cells) {
+      if (cell.attr == attr) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief Groups a delta batch by row, preserving first-appearance order.
+std::vector<RowDelta> GroupDeltasByRow(const std::vector<CellDelta>& deltas);
+
+/// \brief Maps schema attribute index -> position in `attrs` (-1 when the
+/// attribute is not bound). Sized to `num_schema_attrs`.
+std::vector<int> AttrPositions(const std::vector<int>& attrs,
+                               int num_schema_attrs);
+
+/// \brief Tie epsilon of the record-linkage attacks' best-match comparison
+/// (matches the full Compute scans of DBRL/RSRL).
+inline constexpr double kLinkageEps = 1e-12;
+
+/// \brief Per-original-record linkage record maintained by the DBRL/RSRL
+/// states: the best (minimum) distance over the masked records considered,
+/// the size of its tie set, and whether the true match j == i is in it.
+struct LinkageRowBest {
+  double best = 1e100;
+  int32_t count = 0;
+  uint8_t self = 0;
+};
+
+/// \brief Folds a masked record's distance into the support set (mirrors the
+/// full scan's tie handling).
+inline void LinkageAdd(LinkageRowBest* row, double d, bool is_self) {
+  if (d < row->best - kLinkageEps) {
+    row->best = d;
+    row->count = 1;
+    row->self = is_self;
+  } else if (d <= row->best + kLinkageEps) {
+    ++row->count;
+    if (is_self) row->self = 1;
+  }
+}
+
+/// \brief Removes a masked record's previous distance from the support set;
+/// flags `rescan` when the support empties (the row needs a fresh scan).
+inline void LinkageRemove(LinkageRowBest* row, double d, bool is_self,
+                          uint8_t* rescan) {
+  if (d <= row->best + kLinkageEps && d >= row->best - kLinkageEps) {
+    --row->count;
+    if (is_self) row->self = 0;
+    if (row->count <= 0) *rescan = 1;
+  }
+}
+
+/// \brief The linkage measures' credit score: each correctly self-linked
+/// record contributes 1/|tie set|, scaled to 0..100.
+double LinkageCreditScore(const std::vector<LinkageRowBest>& rows);
+
+}  // namespace metrics
+}  // namespace evocat
+
+#endif  // EVOCAT_METRICS_DELTA_H_

@@ -3,11 +3,32 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "metrics/delta.h"
 
 namespace evocat {
 namespace metrics {
 
 namespace {
+
+/// Normalized expected conditional entropy H(O|M) of one attribute from its
+/// (masked, original) joint count table — the kernel shared by the full and
+/// incremental paths so both produce bit-identical values.
+double AttrEntropyLoss(const std::vector<double>& joint, int card, int64_t n) {
+  double cond_entropy = 0.0;
+  std::vector<double> row(static_cast<size_t>(card));
+  for (int m = 0; m < card; ++m) {
+    double row_total = 0.0;
+    for (int o = 0; o < card; ++o) {
+      row[static_cast<size_t>(o)] =
+          joint[static_cast<size_t>(m) * card + static_cast<size_t>(o)];
+      row_total += row[static_cast<size_t>(o)];
+    }
+    if (row_total <= 0.0) continue;
+    cond_entropy += (row_total / static_cast<double>(n)) * Entropy(row);
+  }
+  double max_entropy = std::log2(static_cast<double>(card));
+  return max_entropy > 0 ? cond_entropy / max_entropy : 0.0;
+}
 
 class BoundEbIl : public BoundMeasure {
  public:
@@ -15,45 +36,127 @@ class BoundEbIl : public BoundMeasure {
       : original_(&original), attrs_(attrs) {}
 
   double Compute(const Dataset& masked) const override {
-    int64_t n = original_->num_rows();
     double sum_attr_loss = 0.0;
-    for (int attr : attrs_) {
-      int card = original_->schema().attribute(attr).cardinality();
-      // Joint counts J[m][o] of (masked, original) pairs.
-      std::vector<double> joint(static_cast<size_t>(card) * card, 0.0);
-      const auto& orig_col = original_->column(attr);
-      const auto& mask_col = masked.column(attr);
-      for (int64_t r = 0; r < n; ++r) {
-        auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
-        auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
-        joint[m * static_cast<size_t>(card) + o] += 1.0;
-      }
-      // Expected conditional entropy Σ_m P(m) H(O|M=m), normalized by the
-      // attribute's maximum entropy.
-      double cond_entropy = 0.0;
-      std::vector<double> row(static_cast<size_t>(card));
-      for (int m = 0; m < card; ++m) {
-        double row_total = 0.0;
-        for (int o = 0; o < card; ++o) {
-          row[static_cast<size_t>(o)] =
-              joint[static_cast<size_t>(m) * card + static_cast<size_t>(o)];
-          row_total += row[static_cast<size_t>(o)];
-        }
-        if (row_total <= 0.0) continue;
-        cond_entropy += (row_total / static_cast<double>(n)) * Entropy(row);
-      }
-      double max_entropy = std::log2(static_cast<double>(card));
-      sum_attr_loss += max_entropy > 0 ? cond_entropy / max_entropy : 0.0;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      sum_attr_loss += AttrEntropyLoss(BuildJoint(masked, attrs_[i]),
+                                       Cardinality(attrs_[i]),
+                                       original_->num_rows());
     }
     return attrs_.empty()
                ? 0.0
                : 100.0 * sum_attr_loss / static_cast<double>(attrs_.size());
   }
 
+  std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
+
+  /// \brief Joint counts J[m][o] of (masked, original) category pairs.
+  std::vector<double> BuildJoint(const Dataset& masked, int attr) const {
+    int card = Cardinality(attr);
+    std::vector<double> joint(static_cast<size_t>(card) * card, 0.0);
+    const auto& orig_col = original_->column(attr);
+    const auto& mask_col = masked.column(attr);
+    int64_t n = original_->num_rows();
+    for (int64_t r = 0; r < n; ++r) {
+      auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
+      auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
+      joint[m * static_cast<size_t>(card) + o] += 1.0;
+    }
+    return joint;
+  }
+
+  int Cardinality(int attr) const {
+    return original_->schema().attribute(attr).cardinality();
+  }
+
+  const Dataset& original() const { return *original_; }
+  const std::vector<int>& attrs() const { return attrs_; }
+
  private:
   const Dataset* original_;
   std::vector<int> attrs_;
 };
+
+/// EBIL depends on the masked file only through per-attribute joint count
+/// tables; a delta moves one unit of mass per changed cell and re-derives
+/// the entropy term of just the touched attributes.
+class EbIlState : public MeasureState {
+ public:
+  EbIlState(const BoundEbIl* bound, const Dataset& masked)
+      : bound_(bound),
+        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
+    InitFrom(masked);
+    backup_ = core_;
+  }
+
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) override {
+    backup_ = core_;
+    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+      InitFrom(masked_after);
+      return;
+    }
+    std::vector<uint8_t> dirty(bound_->attrs().size(), 0);
+    for (const CellDelta& delta : deltas) {
+      int pos = attr_pos_[static_cast<size_t>(delta.attr)];
+      if (pos < 0 || delta.old_code == delta.new_code) continue;
+      auto i = static_cast<size_t>(pos);
+      auto card = static_cast<size_t>(bound_->Cardinality(delta.attr));
+      auto o = static_cast<size_t>(bound_->original().Code(delta.row, delta.attr));
+      core_.joints[i][static_cast<size_t>(delta.old_code) * card + o] -= 1.0;
+      core_.joints[i][static_cast<size_t>(delta.new_code) * card + o] += 1.0;
+      dirty[i] = 1;
+    }
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      if (dirty[i]) {
+        core_.attr_loss[i] =
+            AttrEntropyLoss(core_.joints[i], bound_->Cardinality(bound_->attrs()[i]),
+                            bound_->original().num_rows());
+      }
+    }
+    RefreshScore();
+  }
+
+  void Revert() override { core_ = backup_; }
+
+  double Score() const override { return core_.score; }
+
+ private:
+  struct Core {
+    std::vector<std::vector<double>> joints;  ///< per bound attr
+    std::vector<double> attr_loss;
+    double score = 0.0;
+  };
+
+  void InitFrom(const Dataset& masked) {
+    const auto& attrs = bound_->attrs();
+    core_.joints.resize(attrs.size());
+    core_.attr_loss.assign(attrs.size(), 0.0);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      core_.joints[i] = bound_->BuildJoint(masked, attrs[i]);
+      core_.attr_loss[i] =
+          AttrEntropyLoss(core_.joints[i], bound_->Cardinality(attrs[i]),
+                          bound_->original().num_rows());
+    }
+    RefreshScore();
+  }
+
+  void RefreshScore() {
+    double sum = 0.0;
+    for (double loss : core_.attr_loss) sum += loss;
+    core_.score = core_.attr_loss.empty()
+                      ? 0.0
+                      : 100.0 * sum / static_cast<double>(core_.attr_loss.size());
+  }
+
+  const BoundEbIl* bound_;
+  std::vector<int> attr_pos_;
+  Core core_;
+  Core backup_;
+};
+
+std::unique_ptr<MeasureState> BoundEbIl::BindState(const Dataset& masked) const {
+  return std::make_unique<EbIlState>(this, masked);
+}
 
 }  // namespace
 

@@ -94,36 +94,113 @@ Result<std::unique_ptr<FitnessEvaluator>> FitnessEvaluator::Create(
   return evaluator;
 }
 
-FitnessBreakdown FitnessEvaluator::Evaluate(const Dataset& masked) const {
-  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+namespace {
+
+/// Folds the seven per-measure values (NaN = disabled) into IL/DR means and
+/// the aggregate score — shared by the full and incremental paths so both
+/// run the identical floating-point sequence.
+FitnessBreakdown FoldBreakdown(double ctbil, double dbil, double ebil,
+                               double id, double dbrl, double prl, double rsrl,
+                               ScoreAggregation aggregation, double il_weight) {
   FitnessBreakdown b;
+  b.ctbil = ctbil;
+  b.dbil = dbil;
+  b.ebil = ebil;
+  b.id = id;
+  b.dbrl = dbrl;
+  b.prl = prl;
+  b.rsrl = rsrl;
   double il_sum = 0.0, dr_sum = 0.0;
   int il_count = 0, dr_count = 0;
-
-  auto apply = [&](const std::unique_ptr<BoundMeasure>& bound, double* slot,
-                   double* sum, int* count) {
-    if (bound) {
-      *slot = bound->Compute(masked);
-      *sum += *slot;
-      *count += 1;
-    } else {
-      *slot = kNaN;
+  for (double v : {b.ctbil, b.dbil, b.ebil}) {
+    if (!std::isnan(v)) {
+      il_sum += v;
+      il_count += 1;
     }
-  };
-
-  apply(ctbil_, &b.ctbil, &il_sum, &il_count);
-  apply(dbil_, &b.dbil, &il_sum, &il_count);
-  apply(ebil_, &b.ebil, &il_sum, &il_count);
-  apply(id_, &b.id, &dr_sum, &dr_count);
-  apply(dbrl_, &b.dbrl, &dr_sum, &dr_count);
-  apply(prl_, &b.prl, &dr_sum, &dr_count);
-  apply(rsrl_, &b.rsrl, &dr_sum, &dr_count);
-
+  }
+  for (double v : {b.id, b.dbrl, b.prl, b.rsrl}) {
+    if (!std::isnan(v)) {
+      dr_sum += v;
+      dr_count += 1;
+    }
+  }
   b.il = il_count > 0 ? il_sum / il_count : 0.0;
   b.dr = dr_count > 0 ? dr_sum / dr_count : 0.0;
-  b.score = AggregateScore(options_.aggregation, b.il, b.dr, options_.il_weight);
+  b.score = AggregateScore(aggregation, b.il, b.dr, il_weight);
+  return b;
+}
+
+}  // namespace
+
+FitnessBreakdown FitnessEvaluator::Evaluate(const Dataset& masked) const {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  auto value = [&](const std::unique_ptr<BoundMeasure>& bound) {
+    return bound ? bound->Compute(masked) : kNaN;
+  };
+  FitnessBreakdown b = FoldBreakdown(
+      value(ctbil_), value(dbil_), value(ebil_), value(id_), value(dbrl_),
+      value(prl_), value(rsrl_), options_.aggregation, options_.il_weight);
   num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   return b;
+}
+
+std::unique_ptr<FitnessState> FitnessEvaluator::BindState(
+    const Dataset& masked) const {
+  std::unique_ptr<FitnessState> state(new FitnessState());
+  state->evaluator_ = this;
+  int64_t rebuild_cells = static_cast<int64_t>(
+      options_.delta_rebuild_fraction *
+      static_cast<double>(masked.num_rows()) *
+      static_cast<double>(attrs_.size()));
+  auto bind = [&](const std::unique_ptr<BoundMeasure>& bound,
+                  std::unique_ptr<MeasureState>* slot) {
+    if (bound) {
+      *slot = bound->BindState(masked);
+      (*slot)->set_full_rebuild_threshold(rebuild_cells);
+    }
+  };
+  bind(ctbil_, &state->ctbil_);
+  bind(dbil_, &state->dbil_);
+  bind(ebil_, &state->ebil_);
+  bind(id_, &state->id_);
+  bind(dbrl_, &state->dbrl_);
+  bind(prl_, &state->prl_);
+  bind(rsrl_, &state->rsrl_);
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  auto value = [](const std::unique_ptr<MeasureState>& s) {
+    return s ? s->Score() : kNaN;
+  };
+  state->breakdown_ = FoldBreakdown(
+      value(state->ctbil_), value(state->dbil_), value(state->ebil_),
+      value(state->id_), value(state->dbrl_), value(state->prl_),
+      value(state->rsrl_), options_.aggregation, options_.il_weight);
+  state->prev_breakdown_ = state->breakdown_;
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return state;
+}
+
+void FitnessState::ApplyDelta(const Dataset& masked_after,
+                              const std::vector<CellDelta>& deltas) {
+  prev_breakdown_ = breakdown_;
+  for (auto* slot : {&ctbil_, &dbil_, &ebil_, &id_, &dbrl_, &prl_, &rsrl_}) {
+    if (*slot) (*slot)->ApplyDelta(masked_after, deltas);
+  }
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  auto value = [](const std::unique_ptr<MeasureState>& s) {
+    return s ? s->Score() : kNaN;
+  };
+  breakdown_ = FoldBreakdown(value(ctbil_), value(dbil_), value(ebil_),
+                             value(id_), value(dbrl_), value(prl_),
+                             value(rsrl_), evaluator_->options_.aggregation,
+                             evaluator_->options_.il_weight);
+  evaluator_->num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FitnessState::Revert() {
+  for (auto* slot : {&ctbil_, &dbil_, &ebil_, &id_, &dbrl_, &prl_, &rsrl_}) {
+    if (*slot) (*slot)->Revert();
+  }
+  breakdown_ = prev_breakdown_;
 }
 
 }  // namespace metrics

@@ -59,6 +59,45 @@ struct FitnessBreakdown {
   double score = 0.0;  ///< aggregated fitness (lower is better)
 };
 
+class FitnessEvaluator;
+
+/// \brief Incremental fitness evaluation state for one masked file.
+///
+/// Bundles one `MeasureState` per enabled measure. The engine keeps one per
+/// population member; a GA operator's cell deltas re-score an offspring in
+/// O(delta) instead of re-walking the whole file (and its O(n^2) linkage
+/// attacks). `Revert` undoes the last `ApplyDelta`, which is how rejected
+/// offspring hand their parent's state back untouched.
+class FitnessState {
+ public:
+  /// \brief Current per-measure breakdown (equals a full `Evaluate` of the
+  /// file last passed to ApplyDelta, within 1e-9).
+  const FitnessBreakdown& breakdown() const { return breakdown_; }
+
+  /// \brief Folds a batch of cell deltas into every measure state and
+  /// refreshes the breakdown. Counts as one evaluation.
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas);
+
+  /// \brief Undoes the most recent ApplyDelta (single level).
+  void Revert();
+
+ private:
+  friend class FitnessEvaluator;
+  FitnessState() = default;
+
+  const FitnessEvaluator* evaluator_ = nullptr;
+  std::unique_ptr<MeasureState> ctbil_;
+  std::unique_ptr<MeasureState> dbil_;
+  std::unique_ptr<MeasureState> ebil_;
+  std::unique_ptr<MeasureState> id_;
+  std::unique_ptr<MeasureState> dbrl_;
+  std::unique_ptr<MeasureState> prl_;
+  std::unique_ptr<MeasureState> rsrl_;
+  FitnessBreakdown breakdown_;
+  FitnessBreakdown prev_breakdown_;
+};
+
 /// \brief Evaluates masked files against one original under the paper's
 /// fitness; binds all measures once so repeated evaluation is cheap.
 class FitnessEvaluator {
@@ -84,6 +123,10 @@ class FitnessEvaluator {
     bool use_dbrl = true;
     bool use_prl = true;
     bool use_rsrl = true;
+    /// Incremental evaluation: fraction of the protected cells a delta batch
+    /// may touch before a measure state recomputes from scratch instead of
+    /// updating incrementally (large crossover segments).
+    double delta_rebuild_fraction = 0.25;
   };
 
   /// \brief Binds all enabled measures to `original` over `attrs`.
@@ -104,6 +147,13 @@ class FitnessEvaluator {
   /// to the original — same schema and row count).
   FitnessBreakdown Evaluate(const Dataset& masked) const;
 
+  /// \brief Opens incremental evaluation for one masked file.
+  ///
+  /// The returned state's breakdown starts equal to `Evaluate(masked)` and
+  /// is re-derived in O(delta) after each `ApplyDelta`. The evaluator must
+  /// outlive the state. See `metrics::MeasureState` for the delta contract.
+  std::unique_ptr<FitnessState> BindState(const Dataset& masked) const;
+
   /// \brief Aggregates an (il, dr) pair under this evaluator's options.
   double Score(double il, double dr) const {
     return AggregateScore(options_.aggregation, il, dr, options_.il_weight);
@@ -119,6 +169,8 @@ class FitnessEvaluator {
   int64_t num_evaluations() const { return num_evaluations_.load(); }
 
  private:
+  friend class FitnessState;
+
   FitnessEvaluator(const Dataset& original, std::vector<int> attrs,
                    Options options)
       : original_(&original), attrs_(std::move(attrs)), options_(options) {}

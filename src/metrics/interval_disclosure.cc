@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "data/stats.h"
+#include "metrics/delta.h"
 
 namespace evocat {
 namespace metrics {
@@ -40,12 +41,134 @@ class BoundIntervalDisclosure : public BoundMeasure {
     return cells > 0 ? 100.0 * disclosed / cells : 0.0;
   }
 
+  std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
+
+  const Dataset& original() const { return *original_; }
+  const std::vector<int>& attrs() const { return attrs_; }
+  const std::vector<double>& original_midranks(size_t i) const {
+    return original_midranks_[i];
+  }
+  double window() const { return window_; }
+
  private:
   const Dataset* original_;
   std::vector<int> attrs_;
   std::vector<std::vector<double>> original_midranks_;
   double window_ = 0.0;
 };
+
+/// ID depends on the masked file only through (a) per-attribute category
+/// counts (which determine the masked mid-ranks) and (b) per-attribute
+/// (original category, masked category) pair counts. Both update in O(1) per
+/// changed cell; the per-attribute disclosed total is then re-derived in
+/// O(cardinality^2), independent of the number of records.
+class IntervalDisclosureState : public MeasureState {
+ public:
+  IntervalDisclosureState(const BoundIntervalDisclosure* bound,
+                          const Dataset& masked)
+      : bound_(bound),
+        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
+    InitFrom(masked);
+    backup_ = core_;
+  }
+
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) override {
+    backup_ = core_;
+    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+      InitFrom(masked_after);
+      return;
+    }
+    std::vector<uint8_t> dirty(bound_->attrs().size(), 0);
+    for (const CellDelta& delta : deltas) {
+      int pos = attr_pos_[static_cast<size_t>(delta.attr)];
+      if (pos < 0 || delta.old_code == delta.new_code) continue;
+      auto i = static_cast<size_t>(pos);
+      auto o = static_cast<size_t>(bound_->original().Code(delta.row, delta.attr));
+      size_t card = core_.counts[i].size();
+      core_.counts[i][static_cast<size_t>(delta.old_code)] -= 1;
+      core_.counts[i][static_cast<size_t>(delta.new_code)] += 1;
+      core_.paircounts[i][o * card + static_cast<size_t>(delta.old_code)] -= 1;
+      core_.paircounts[i][o * card + static_cast<size_t>(delta.new_code)] += 1;
+      dirty[i] = 1;
+    }
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      if (dirty[i]) RefreshAttr(i);
+    }
+    RefreshScore();
+  }
+
+  void Revert() override { core_ = backup_; }
+
+  double Score() const override { return core_.score; }
+
+ private:
+  struct Core {
+    std::vector<std::vector<int64_t>> counts;      ///< masked marginals
+    std::vector<std::vector<int64_t>> paircounts;  ///< [orig][masked] per attr
+    std::vector<int64_t> disclosed;
+    double score = 0.0;
+  };
+
+  void InitFrom(const Dataset& masked) {
+    const auto& attrs = bound_->attrs();
+    int64_t n = bound_->original().num_rows();
+    core_.counts.resize(attrs.size());
+    core_.paircounts.resize(attrs.size());
+    core_.disclosed.assign(attrs.size(), 0);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      int attr = attrs[i];
+      core_.counts[i] = CategoryCounts(masked, attr);
+      size_t card = core_.counts[i].size();
+      core_.paircounts[i].assign(card * card, 0);
+      const auto& orig_col = bound_->original().column(attr);
+      const auto& mask_col = masked.column(attr);
+      for (int64_t r = 0; r < n; ++r) {
+        auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
+        auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
+        core_.paircounts[i][o * card + m] += 1;
+      }
+      RefreshAttr(i);
+    }
+    RefreshScore();
+  }
+
+  void RefreshAttr(size_t i) {
+    auto masked_midranks = MidranksFromCounts(core_.counts[i]);
+    const auto& orig_midranks = bound_->original_midranks(i);
+    size_t card = core_.counts[i].size();
+    double window = bound_->window();
+    int64_t disclosed = 0;
+    for (size_t o = 0; o < card; ++o) {
+      for (size_t m = 0; m < card; ++m) {
+        int64_t count = core_.paircounts[i][o * card + m];
+        if (count != 0 &&
+            std::fabs(orig_midranks[o] - masked_midranks[m]) <= window) {
+          disclosed += count;
+        }
+      }
+    }
+    core_.disclosed[i] = disclosed;
+  }
+
+  void RefreshScore() {
+    double disclosed = 0.0;
+    for (int64_t d : core_.disclosed) disclosed += static_cast<double>(d);
+    double cells = static_cast<double>(bound_->original().num_rows()) *
+                   static_cast<double>(bound_->attrs().size());
+    core_.score = cells > 0 ? 100.0 * disclosed / cells : 0.0;
+  }
+
+  const BoundIntervalDisclosure* bound_;
+  std::vector<int> attr_pos_;
+  Core core_;
+  Core backup_;
+};
+
+std::unique_ptr<MeasureState> BoundIntervalDisclosure::BindState(
+    const Dataset& masked) const {
+  return std::make_unique<IntervalDisclosureState>(this, masked);
+}
 
 }  // namespace
 

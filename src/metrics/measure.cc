@@ -3,6 +3,40 @@
 namespace evocat {
 namespace metrics {
 
+namespace {
+
+/// Correct-by-construction fallback: every ApplyDelta is a full Compute of
+/// the post-image. Used for measures without a true delta implementation and
+/// for configurations where the incremental structures would be too large
+/// (e.g. PRL with a very wide pattern space).
+class FullRecomputeState : public MeasureState {
+ public:
+  FullRecomputeState(const BoundMeasure* bound, double initial_score)
+      : bound_(bound), score_(initial_score), prev_score_(initial_score) {}
+
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) override {
+    prev_score_ = score_;
+    if (!deltas.empty()) score_ = bound_->Compute(masked_after);
+  }
+
+  void Revert() override { score_ = prev_score_; }
+
+  double Score() const override { return score_; }
+
+ private:
+  const BoundMeasure* bound_;
+  double score_;
+  double prev_score_;
+};
+
+}  // namespace
+
+std::unique_ptr<MeasureState> BoundMeasure::BindState(
+    const Dataset& masked) const {
+  return std::make_unique<FullRecomputeState>(this, Compute(masked));
+}
+
 Status ValidateComparable(const Dataset& original, const Dataset& masked,
                           const std::vector<int>& attrs) {
   if (original.num_rows() == 0) {

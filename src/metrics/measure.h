@@ -8,10 +8,19 @@
 /// `Measure::Bind(original, attrs)` precomputes all original-side state
 /// (contingency tables, rank maps, distance tables) into a `BoundMeasure`
 /// whose `Compute(masked)` is the hot path.
+///
+/// On top of that, the GA's operators change very little per generation — a
+/// mutation rewrites exactly one cell, a crossover swaps one gene segment —
+/// so `BoundMeasure::BindState(masked)` opens a second, *incremental*
+/// protocol: a `MeasureState` carries per-masked-file sufficient statistics
+/// (contingency cells, per-row best-match records, agreement-pattern
+/// histograms) and re-scores after a batch of `CellDelta`s in time
+/// proportional to the delta instead of the file.
 
 #ifndef EVOCAT_METRICS_MEASURE_H_
 #define EVOCAT_METRICS_MEASURE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +34,67 @@ namespace metrics {
 /// \brief Which side of the privacy trade-off a measure quantifies.
 enum class MeasureKind { kInformationLoss, kDisclosureRisk };
 
+/// \brief One changed cell of a masked file: the GA operators' unit of work.
+///
+/// `old_code` is the value before the whole delta batch was applied and
+/// `new_code` the value after; a batch contains at most one delta per cell.
+struct CellDelta {
+  int64_t row = 0;
+  int attr = 0;  ///< schema attribute index
+  int32_t old_code = 0;
+  int32_t new_code = 0;
+};
+
+/// \brief Incremental evaluation state for one masked file under one measure.
+///
+/// Obtained from `BoundMeasure::BindState(masked)`. The caller mutates its
+/// copy of the masked file, then reports the change:
+///
+/// ```
+/// state->ApplyDelta(masked_after, deltas);   // O(|delta|)-ish update
+/// double score = state->Score();             // cached, cheap
+/// state->Revert();                           // undo the last ApplyDelta
+/// ```
+///
+/// Contract for `ApplyDelta`:
+///  - `masked_after` already reflects every delta (post-image);
+///  - each delta's `old_code` is the value before the batch; at most one
+///    delta per (row, attr) cell; cells outside the bound attribute set are
+///    ignored;
+///  - scores agree with a from-scratch `Compute(masked_after)` to within
+///    1e-9 (integer-exact for the counting measures);
+///  - when the batch exceeds `full_rebuild_threshold()` cells the state
+///    falls back to a full recompute automatically (large crossover
+///    segments), which is still revertible.
+///
+/// `Revert` undoes exactly one `ApplyDelta` (one level deep). States never
+/// retain a pointer to the masked dataset — every call passes the current
+/// file — so they survive the copy-on-write dataset reshuffling the engine
+/// performs when offspring replace parents.
+class MeasureState {
+ public:
+  virtual ~MeasureState() = default;
+
+  /// \brief Folds a batch of cell changes into the state (see contract).
+  virtual void ApplyDelta(const Dataset& masked_after,
+                          const std::vector<CellDelta>& deltas) = 0;
+
+  /// \brief Undoes the most recent ApplyDelta (single level).
+  virtual void Revert() = 0;
+
+  /// \brief Current score in [0, 100]; cached, O(1).
+  virtual double Score() const = 0;
+
+  /// \brief Delta size (in cells) at which ApplyDelta recomputes in full.
+  int64_t full_rebuild_threshold() const { return full_rebuild_threshold_; }
+  void set_full_rebuild_threshold(int64_t cells) {
+    full_rebuild_threshold_ = cells < 1 ? 1 : cells;
+  }
+
+ private:
+  int64_t full_rebuild_threshold_ = INT64_MAX;
+};
+
 /// \brief A measure bound to one original dataset and attribute set.
 class BoundMeasure {
  public:
@@ -35,6 +105,13 @@ class BoundMeasure {
   /// `masked` must share the original's schema and row count (checked by
   /// `Measure::Compute`; callers on the hot path are trusted).
   virtual double Compute(const Dataset& masked) const = 0;
+
+  /// \brief Opens incremental evaluation for `masked`.
+  ///
+  /// The default implementation returns a correct fallback state that runs a
+  /// full `Compute` on every ApplyDelta; measures override it with true
+  /// delta updates. The bound measure must outlive the state.
+  virtual std::unique_ptr<MeasureState> BindState(const Dataset& masked) const;
 };
 
 /// \brief Factory/descriptor for one measure.

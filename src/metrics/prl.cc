@@ -1,9 +1,11 @@
 #include "metrics/prl.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/math_utils.h"
 #include "common/parallel.h"
+#include "metrics/delta.h"
 
 namespace evocat {
 namespace metrics {
@@ -11,6 +13,9 @@ namespace metrics {
 namespace {
 constexpr double kProbFloor = 1e-6;
 constexpr double kProbCeil = 1.0 - 1e-6;
+// Weight-tie epsilon; shared with the distance-tie epsilon of the other
+// linkage attacks so the tie semantics stay uniform.
+constexpr double kEps = kLinkageEps;
 }  // namespace
 
 double FellegiSunterModel::PatternWeight(uint32_t pattern) const {
@@ -127,7 +132,6 @@ class BoundPrl : public BoundMeasure {
     }
 
     // Pass 2: link each original record to the max-weight masked record.
-    constexpr double kEps = 1e-12;
     std::vector<double> credits(static_cast<size_t>(n), 0.0);
     ParallelFor(0, n, [&](int64_t i) {
       double best = -1e100;
@@ -153,7 +157,8 @@ class BoundPrl : public BoundMeasure {
     return n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
   }
 
- private:
+  std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
+
   uint32_t PatternOf(int64_t orig_row, const Dataset& masked,
                      int64_t masked_row) const {
     uint32_t pattern = 0;
@@ -166,10 +171,214 @@ class BoundPrl : public BoundMeasure {
     return pattern;
   }
 
+  const Dataset& original() const { return *original_; }
+  const std::vector<int>& attrs() const { return attrs_; }
+  int em_iterations() const { return em_iterations_; }
+
+ private:
   const Dataset* original_;
   std::vector<int> attrs_;
   int em_iterations_;
 };
+
+/// PRL's sufficient statistic is, per original record, the histogram of
+/// agreement patterns against every masked record (plus the global pattern
+/// counts feeding the EM fit). A changed masked record j shifts one
+/// histogram unit per original record — O(n * |attrs|) per changed row —
+/// after which the EM refit and the per-record argmax are O(n * 2^attrs),
+/// independent of the O(n^2) pair space.
+class PrlState : public MeasureState {
+ public:
+  PrlState(const BoundPrl* bound, const Dataset& masked) : bound_(bound) {
+    InitFrom(masked);
+    undo_.counts = core_.counts;
+    undo_.score = core_.score;
+  }
+
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) override {
+    undo_.counts = core_.counts;
+    undo_.score = core_.score;
+    undo_.row_logs.clear();
+    undo_.rebuilt = false;
+    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+      undo_.rebuilt = true;
+      undo_.hist_backup = core_.hist;
+      InitFrom(masked_after);
+      return;
+    }
+    auto row_deltas = GroupDeltasByRow(deltas);
+    if (row_deltas.empty()) return;
+
+    const auto& attrs = bound_->attrs();
+    int64_t n = bound_->original().num_rows();
+    size_t num_patterns = static_cast<size_t>(1) << attrs.size();
+
+    for (const RowDelta& rd : row_deltas) {
+      bool relevant = false;
+      for (const auto& cell : rd.cells) {
+        for (int attr : attrs) relevant = relevant || cell.attr == attr;
+      }
+      if (!relevant) continue;
+      // Per original record: shift one histogram unit from the changed
+      // row's old pattern to its new one; the per-record (old, new) pair is
+      // logged so Revert can replay the shift backwards in O(delta).
+      undo_.row_logs.emplace_back(static_cast<size_t>(n), 0);
+      auto& log = undo_.row_logs.back();
+      ParallelFor(0, n, [&](int64_t i) {
+        uint32_t p_old = 0, p_new = 0;
+        for (size_t k = 0; k < attrs.size(); ++k) {
+          int32_t orig_code = bound_->original().Code(i, attrs[k]);
+          if (orig_code == rd.OldCode(masked_after, attrs[k])) {
+            p_old |= (1u << k);
+          }
+          if (orig_code == masked_after.Code(rd.row, attrs[k])) {
+            p_new |= (1u << k);
+          }
+        }
+        log[static_cast<size_t>(i)] =
+            static_cast<uint16_t>((p_old << 8) | p_new);
+        if (p_old != p_new) {
+          auto base = static_cast<size_t>(i) * num_patterns;
+          core_.hist[base + p_old] -= 1;
+          core_.hist[base + p_new] += 1;
+        }
+      });
+    }
+    // Global pattern counts are the histograms' column sums (exact integer
+    // totals, same values a from-scratch pass 1 produces).
+    RefreshCounts();
+    RefreshScore(masked_after);
+  }
+
+  void Revert() override {
+    if (undo_.rebuilt) {
+      core_.hist = undo_.hist_backup;
+    } else {
+      size_t num_patterns =
+          static_cast<size_t>(1) << bound_->attrs().size();
+      int64_t n = bound_->original().num_rows();
+      for (auto it = undo_.row_logs.rbegin(); it != undo_.row_logs.rend();
+           ++it) {
+        const auto& log = *it;
+        ParallelFor(0, n, [&](int64_t i) {
+          auto p_old = static_cast<uint32_t>(log[static_cast<size_t>(i)] >> 8);
+          auto p_new =
+              static_cast<uint32_t>(log[static_cast<size_t>(i)] & 0xFF);
+          if (p_old != p_new) {
+            auto base = static_cast<size_t>(i) * num_patterns;
+            core_.hist[base + p_new] -= 1;
+            core_.hist[base + p_old] += 1;
+          }
+        });
+      }
+    }
+    core_.counts = undo_.counts;
+    core_.score = undo_.score;
+    undo_.row_logs.clear();
+  }
+
+  double Score() const override { return core_.score; }
+
+ private:
+  struct Core {
+    std::vector<double> counts;   ///< global pattern counts (EM input)
+    std::vector<int32_t> hist;    ///< [i * 2^attrs + pattern] counts
+    double score = 0.0;
+  };
+
+  /// One-level undo: counts/score snapshots are small; histogram changes are
+  /// replayed backwards from per-changed-row (old, new) pattern logs instead
+  /// of copying the whole O(n * 2^attrs) table per evaluation.
+  struct Undo {
+    std::vector<double> counts;
+    double score = 0.0;
+    std::vector<std::vector<uint16_t>> row_logs;
+    bool rebuilt = false;
+    std::vector<int32_t> hist_backup;
+  };
+
+  void InitFrom(const Dataset& masked) {
+    const auto& attrs = bound_->attrs();
+    int64_t n = bound_->original().num_rows();
+    size_t num_patterns = static_cast<size_t>(1) << attrs.size();
+    core_.counts.assign(num_patterns, 0.0);
+    core_.hist.assign(static_cast<size_t>(n) * num_patterns, 0);
+    ParallelFor(0, n, [&](int64_t i) {
+      auto base = static_cast<size_t>(i) * num_patterns;
+      for (int64_t j = 0; j < n; ++j) {
+        core_.hist[base + bound_->PatternOf(i, masked, j)] += 1;
+      }
+    });
+    RefreshCounts();
+    RefreshScore(masked);
+  }
+
+  void RefreshCounts() {
+    int64_t n = bound_->original().num_rows();
+    size_t num_patterns = static_cast<size_t>(1) << bound_->attrs().size();
+    core_.counts.assign(num_patterns, 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      auto base = static_cast<size_t>(i) * num_patterns;
+      for (size_t p = 0; p < num_patterns; ++p) {
+        core_.counts[p] += static_cast<double>(core_.hist[base + p]);
+      }
+    }
+  }
+
+  void RefreshScore(const Dataset& masked) {
+    const auto& attrs = bound_->attrs();
+    int64_t n = bound_->original().num_rows();
+    size_t num_patterns = static_cast<size_t>(1) << attrs.size();
+    FellegiSunterModel model = FitFellegiSunter(
+        core_.counts, static_cast<int>(attrs.size()), bound_->em_iterations());
+    std::vector<double> weights(num_patterns);
+    for (uint32_t p = 0; p < num_patterns; ++p) {
+      weights[p] = model.PatternWeight(p);
+    }
+    std::vector<double> credits(static_cast<size_t>(n), 0.0);
+    ParallelFor(0, n, [&](int64_t i) {
+      auto base = static_cast<size_t>(i) * num_patterns;
+      // Best weight attained by any masked record, support size, and whether
+      // the true match is in the support (scan-equivalent, see Compute).
+      double best = -1e100;
+      for (size_t p = 0; p < num_patterns; ++p) {
+        if (core_.hist[base + p] > 0 && weights[p] > best) best = weights[p];
+      }
+      int64_t best_count = 0;
+      for (size_t p = 0; p < num_patterns; ++p) {
+        if (core_.hist[base + p] > 0 && weights[p] >= best - kEps) {
+          best_count += core_.hist[base + p];
+        }
+      }
+      uint32_t p_self = bound_->PatternOf(i, masked, i);
+      bool self_is_best = weights[p_self] >= best - kEps;
+      if (self_is_best && best_count > 0) {
+        credits[static_cast<size_t>(i)] = 1.0 / static_cast<double>(best_count);
+      }
+    });
+    double credit = 0.0;
+    for (double c : credits) credit += c;
+    core_.score = n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
+  }
+
+  const BoundPrl* bound_;
+  Core core_;
+  Undo undo_;
+};
+
+std::unique_ptr<MeasureState> BoundPrl::BindState(const Dataset& masked) const {
+  // The per-record histograms need n * 2^attrs counters; beyond a sane
+  // budget (wide pattern spaces or huge files) fall back to full recompute.
+  int64_t n = original_->num_rows();
+  int64_t hist_bytes =
+      n * (static_cast<int64_t>(1) << attrs_.size()) *
+      static_cast<int64_t>(sizeof(int32_t));
+  if (attrs_.size() > 8 || hist_bytes > (8 << 20)) {
+    return BoundMeasure::BindState(masked);
+  }
+  return std::make_unique<PrlState>(this, masked);
+}
 
 }  // namespace
 

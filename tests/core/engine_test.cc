@@ -307,6 +307,33 @@ TEST(EngineTest, MaxAggregationReducesImbalance) {
   EXPECT_LE(std::fabs(best.fitness.il - best.fitness.dr), 25.0);
 }
 
+TEST(EngineTest, IncrementalAndFullEvaluationAgree) {
+  // The delta path must retrace the full-evaluation run: same operator
+  // sequence, same acceptances, scores equal to numerical tolerance.
+  EngineFixture fixture;
+  GaConfig config;
+  config.generations = 60;
+  config.seed = 31;
+  config.incremental_eval = true;
+  auto incremental = std::move(EvolutionEngine(fixture.evaluator.get(), config)
+                                   .Run(fixture.SeedPopulation(13)))
+                         .ValueOrDie();
+  config.incremental_eval = false;
+  auto full = std::move(EvolutionEngine(fixture.evaluator.get(), config)
+                            .Run(fixture.SeedPopulation(13)))
+                  .ValueOrDie();
+  ASSERT_EQ(incremental.history.size(), full.history.size());
+  for (size_t i = 0; i < incremental.history.size(); ++i) {
+    EXPECT_EQ(incremental.history[i].op, full.history[i].op);
+    EXPECT_NEAR(incremental.history[i].min_score, full.history[i].min_score,
+                1e-6);
+    EXPECT_NEAR(incremental.history[i].mean_score, full.history[i].mean_score,
+                1e-6);
+  }
+  EXPECT_NEAR(incremental.population.best().score(),
+              full.population.best().score(), 1e-6);
+}
+
 TEST(EngineTest, ParallelAndSerialOffspringEvalAgree) {
   EngineFixture fixture;
   GaConfig config;

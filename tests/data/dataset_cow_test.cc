@@ -1,0 +1,94 @@
+// Copy-on-write semantics of Dataset code columns: copies are cheap (shared
+// buffers), mutating a child never changes its parent, and only the touched
+// column detaches.
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace evocat {
+namespace {
+
+using evocat::testing::BuildDataset;
+using evocat::testing::TestAttr;
+
+Dataset ThreeByFour() {
+  return BuildDataset({{"A", AttrKind::kNominal, 4},
+                       {"B", AttrKind::kOrdinal, 5},
+                       {"C", AttrKind::kNominal, 3}},
+                      {{0, 1, 2}, {1, 2, 0}, {2, 3, 1}, {3, 4, 2}});
+}
+
+TEST(DatasetCowTest, CloneSharesAllColumns) {
+  Dataset parent = ThreeByFour();
+  Dataset child = parent.Clone();
+  for (int a = 0; a < parent.num_attributes(); ++a) {
+    EXPECT_TRUE(child.SharesColumnStorage(a, parent));
+  }
+  EXPECT_TRUE(child.SameCodes(parent));
+}
+
+TEST(DatasetCowTest, MutatingChildNeverChangesParent) {
+  Dataset parent = ThreeByFour();
+  Dataset child = parent.Clone();
+  child.SetCode(1, 1, 4);
+  EXPECT_EQ(parent.Code(1, 1), 2);  // parent untouched
+  EXPECT_EQ(child.Code(1, 1), 4);
+  EXPECT_FALSE(child.SameCodes(parent));
+}
+
+TEST(DatasetCowTest, OnlyTouchedColumnDetaches) {
+  Dataset parent = ThreeByFour();
+  Dataset child = parent.Clone();
+  child.SetCode(0, 1, 0);
+  EXPECT_TRUE(child.SharesColumnStorage(0, parent));
+  EXPECT_FALSE(child.SharesColumnStorage(1, parent));
+  EXPECT_TRUE(child.SharesColumnStorage(2, parent));
+}
+
+TEST(DatasetCowTest, MutatingParentNeverChangesChild) {
+  Dataset parent = ThreeByFour();
+  Dataset child = parent.Clone();
+  parent.SetCode(2, 0, 0);
+  EXPECT_EQ(child.Code(2, 0), 2);
+  EXPECT_EQ(parent.Code(2, 0), 0);
+}
+
+TEST(DatasetCowTest, WriteOnUnsharedColumnKeepsBuffer) {
+  Dataset solo = ThreeByFour();
+  const auto* before = &solo.column(0);
+  solo.SetCode(0, 0, 1);  // no sibling: write in place
+  EXPECT_EQ(&solo.column(0), before);
+}
+
+TEST(DatasetCowTest, ChainOfClonesIsolatesEveryGeneration) {
+  Dataset a = ThreeByFour();
+  Dataset b = a.Clone();
+  Dataset c = b.Clone();
+  c.SetCode(0, 2, 0);
+  b.SetCode(0, 2, 1);
+  EXPECT_EQ(a.Code(0, 2), 2);
+  EXPECT_EQ(b.Code(0, 2), 1);
+  EXPECT_EQ(c.Code(0, 2), 0);
+}
+
+TEST(DatasetCowTest, MutableColumnDetaches) {
+  Dataset parent = ThreeByFour();
+  Dataset child = parent.Clone();
+  child.mutable_column(2)[0] = 0;
+  EXPECT_EQ(parent.Code(0, 2), 2);
+  EXPECT_EQ(child.Code(0, 2), 0);
+}
+
+TEST(DatasetCowTest, AppendAfterCloneLeavesParentLength) {
+  Dataset parent = ThreeByFour();
+  Dataset child = parent.Clone();
+  ASSERT_TRUE(child.AppendRowCodes({0, 0, 0}).ok());
+  EXPECT_EQ(parent.num_rows(), 4);
+  EXPECT_EQ(child.num_rows(), 5);
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,259 @@
+// Randomized delta-vs-full equivalence: long sequences of mutations and
+// crossover-style segment swaps are applied to a masked file while each
+// measure's incremental state tracks them; after every batch the state's
+// score must match a from-scratch Compute() within 1e-9, and Revert() must
+// restore the previous score exactly. Also exercises the automatic
+// full-rebuild fallback for oversized batches and the COW dataset plumbing
+// the engine relies on.
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "metrics/ctbil.h"
+#include "metrics/dbil.h"
+#include "metrics/dbrl.h"
+#include "metrics/ebil.h"
+#include "metrics/fitness.h"
+#include "metrics/interval_disclosure.h"
+#include "metrics/prl.h"
+#include "metrics/rsrl.h"
+#include "protection/pram.h"
+
+namespace evocat {
+namespace metrics {
+namespace {
+
+using evocat::testing::AllAttrs;
+
+constexpr double kTol = 1e-9;
+
+struct World {
+  Dataset original;
+  Dataset masked;
+  std::vector<int> attrs;
+};
+
+World MakeWorld(uint64_t seed, int64_t rows = 120) {
+  auto profile = datagen::UniformTestProfile("d", rows, {7, 5, 9});
+  profile.attributes[1].kind = AttrKind::kOrdinal;
+  World world;
+  world.original = datagen::Generate(profile, seed).ValueOrDie();
+  world.attrs = AllAttrs(world.original);
+  Rng rng(seed + 1);
+  world.masked = protection::Pram(0.6)
+                     .Protect(world.original, world.attrs, &rng)
+                     .ValueOrDie();
+  return world;
+}
+
+/// Applies a random batch of 1..max_cells distinct-cell changes to `masked`
+/// and returns the deltas (old -> new per cell).
+std::vector<CellDelta> RandomBatch(Dataset* masked,
+                                   const std::vector<int>& attrs, Rng* rng,
+                                   int max_cells) {
+  int cells = static_cast<int>(rng->UniformInt(1, max_cells));
+  std::map<std::pair<int64_t, int>, CellDelta> unique;
+  for (int c = 0; c < cells; ++c) {
+    int64_t row = static_cast<int64_t>(rng->UniformIndex(
+        static_cast<size_t>(masked->num_rows())));
+    int attr = attrs[rng->UniformIndex(attrs.size())];
+    int32_t card = masked->schema().attribute(attr).cardinality();
+    auto new_code = static_cast<int32_t>(rng->UniformInt(0, card - 1));
+    auto key = std::make_pair(row, attr);
+    auto it = unique.find(key);
+    if (it == unique.end()) {
+      CellDelta delta{row, attr, masked->Code(row, attr), new_code};
+      unique.emplace(key, delta);
+    } else {
+      it->second.new_code = new_code;  // collapse repeat writes to one delta
+    }
+  }
+  std::vector<CellDelta> deltas;
+  for (auto& [key, delta] : unique) {
+    masked->SetCode(delta.row, delta.attr, delta.new_code);
+    deltas.push_back(delta);
+  }
+  return deltas;
+}
+
+void RunMeasureSequence(const Measure& measure, uint64_t seed, int steps,
+                        int max_cells, bool force_rebuilds = false) {
+  World world = MakeWorld(seed);
+  auto bound =
+      std::move(measure.Bind(world.original, world.attrs)).ValueOrDie();
+  auto state = bound->BindState(world.masked);
+  if (force_rebuilds) state->set_full_rebuild_threshold(2);
+
+  EXPECT_NEAR(state->Score(), bound->Compute(world.masked), kTol)
+      << measure.Name() << " initial";
+
+  Rng rng(seed + 17);
+  for (int step = 0; step < steps; ++step) {
+    double score_before = state->Score();
+    Dataset before = world.masked.Clone();
+    auto deltas = RandomBatch(&world.masked, world.attrs, &rng, max_cells);
+    state->ApplyDelta(world.masked, deltas);
+    double full = bound->Compute(world.masked);
+    ASSERT_NEAR(state->Score(), full, kTol)
+        << measure.Name() << " diverged at step " << step << " (batch of "
+        << deltas.size() << " cells)";
+
+    // Every fourth batch: revert both the state and the file, confirm the
+    // state rewinds exactly, then re-apply so the walk keeps moving.
+    if (step % 4 == 3) {
+      state->Revert();
+      ASSERT_NEAR(state->Score(), score_before, kTol)
+          << measure.Name() << " revert broke at step " << step;
+      Dataset after = world.masked;
+      world.masked = before;
+      ASSERT_NEAR(state->Score(), bound->Compute(world.masked), kTol);
+      world.masked = after;
+      state->ApplyDelta(world.masked, deltas);
+      ASSERT_NEAR(state->Score(), full, kTol)
+          << measure.Name() << " re-apply after revert at step " << step;
+    }
+  }
+}
+
+TEST(DeltaEvalTest, CtbIlMatchesFullEvaluation) {
+  RunMeasureSequence(CtbIl(2), 11, 120, 6);
+}
+
+TEST(DeltaEvalTest, DbIlMatchesFullEvaluation) {
+  RunMeasureSequence(DbIl(), 12, 120, 6);
+}
+
+TEST(DeltaEvalTest, EbIlMatchesFullEvaluation) {
+  RunMeasureSequence(EbIl(), 13, 120, 6);
+}
+
+TEST(DeltaEvalTest, IntervalDisclosureMatchesFullEvaluation) {
+  RunMeasureSequence(IntervalDisclosure(10.0), 14, 120, 6);
+}
+
+TEST(DeltaEvalTest, DbrlMatchesFullEvaluation) {
+  RunMeasureSequence(DistanceBasedRecordLinkage(), 15, 120, 6);
+}
+
+TEST(DeltaEvalTest, PrlMatchesFullEvaluation) {
+  RunMeasureSequence(ProbabilisticRecordLinkage(20), 16, 60, 6);
+}
+
+TEST(DeltaEvalTest, RsrlMatchesFullEvaluation) {
+  RunMeasureSequence(RankSwappingRecordLinkage(15.0), 17, 120, 6);
+}
+
+TEST(DeltaEvalTest, WideBatchesTriggerRebuildAndStayExact) {
+  // Batches regularly exceeding the rebuild threshold take the fallback
+  // path; scores must stay exact and revertible either way.
+  RunMeasureSequence(DistanceBasedRecordLinkage(), 21, 40, 24,
+                     /*force_rebuilds=*/true);
+  RunMeasureSequence(RankSwappingRecordLinkage(15.0), 22, 40, 24,
+                     /*force_rebuilds=*/true);
+  RunMeasureSequence(CtbIl(2), 23, 40, 24, /*force_rebuilds=*/true);
+  RunMeasureSequence(ProbabilisticRecordLinkage(10), 24, 20, 24,
+                     /*force_rebuilds=*/true);
+}
+
+TEST(DeltaEvalTest, SingleCellMutationsStressRankWindows) {
+  // Pure single-cell walks exercise the RSRL mid-rank flip handling (every
+  // mutation shifts a masked mid-rank by one).
+  RunMeasureSequence(RankSwappingRecordLinkage(15.0), 31, 250, 1);
+  RunMeasureSequence(IntervalDisclosure(10.0), 32, 250, 1);
+}
+
+TEST(DeltaEvalTest, FitnessStateMatchesEvaluatorAndReverts) {
+  World world = MakeWorld(41);
+  FitnessEvaluator::Options options;
+  options.prl_em_iterations = 20;
+  auto evaluator =
+      std::move(FitnessEvaluator::Create(world.original, world.attrs, options))
+          .ValueOrDie();
+  auto state = evaluator->BindState(world.masked);
+
+  FitnessBreakdown full = evaluator->Evaluate(world.masked);
+  EXPECT_NEAR(state->breakdown().score, full.score, kTol);
+  EXPECT_NEAR(state->breakdown().il, full.il, kTol);
+  EXPECT_NEAR(state->breakdown().dr, full.dr, kTol);
+
+  Rng rng(42);
+  for (int step = 0; step < 40; ++step) {
+    double score_before = state->breakdown().score;
+    auto deltas = RandomBatch(&world.masked, world.attrs, &rng, 5);
+    state->ApplyDelta(world.masked, deltas);
+    full = evaluator->Evaluate(world.masked);
+    ASSERT_NEAR(state->breakdown().score, full.score, kTol) << "step " << step;
+    ASSERT_NEAR(state->breakdown().ctbil, full.ctbil, kTol);
+    ASSERT_NEAR(state->breakdown().dbil, full.dbil, kTol);
+    ASSERT_NEAR(state->breakdown().ebil, full.ebil, kTol);
+    ASSERT_NEAR(state->breakdown().id, full.id, kTol);
+    ASSERT_NEAR(state->breakdown().dbrl, full.dbrl, kTol);
+    ASSERT_NEAR(state->breakdown().prl, full.prl, kTol);
+    ASSERT_NEAR(state->breakdown().rsrl, full.rsrl, kTol);
+    if (step % 5 == 4) {
+      state->Revert();
+      ASSERT_NEAR(state->breakdown().score, score_before, kTol);
+      state->ApplyDelta(world.masked, deltas);
+    }
+  }
+}
+
+TEST(DeltaEvalTest, FitnessStateRespectsAblation) {
+  World world = MakeWorld(51);
+  FitnessEvaluator::Options options;
+  options.use_ctbil = false;
+  options.use_prl = false;
+  auto evaluator =
+      std::move(FitnessEvaluator::Create(world.original, world.attrs, options))
+          .ValueOrDie();
+  auto state = evaluator->BindState(world.masked);
+  EXPECT_TRUE(std::isnan(state->breakdown().ctbil));
+  EXPECT_TRUE(std::isnan(state->breakdown().prl));
+
+  Rng rng(52);
+  for (int step = 0; step < 10; ++step) {
+    auto deltas = RandomBatch(&world.masked, world.attrs, &rng, 4);
+    state->ApplyDelta(world.masked, deltas);
+    FitnessBreakdown full = evaluator->Evaluate(world.masked);
+    ASSERT_NEAR(state->breakdown().score, full.score, kTol);
+    ASSERT_TRUE(std::isnan(state->breakdown().ctbil));
+  }
+}
+
+TEST(DeltaEvalTest, CowOffspringKeepParentStateValid) {
+  // Engine-shaped usage: the child is a COW clone of the parent, gets one
+  // mutated cell, and the parent's state advances and reverts against it.
+  World world = MakeWorld(61);
+  auto evaluator =
+      std::move(FitnessEvaluator::Create(world.original, world.attrs))
+          .ValueOrDie();
+  auto state = evaluator->BindState(world.masked);
+  Rng rng(62);
+  for (int step = 0; step < 10; ++step) {
+    Dataset child = world.masked.Clone();
+    auto deltas = RandomBatch(&child, world.attrs, &rng, 1);
+    ASSERT_TRUE(world.masked.SameCodes(world.masked));  // parent untouched
+    state->ApplyDelta(child, deltas);
+    FitnessBreakdown full = evaluator->Evaluate(child);
+    ASSERT_NEAR(state->breakdown().score, full.score, kTol);
+    if (step % 2 == 0) {
+      world.masked = std::move(child);  // accept: state stays advanced
+    } else {
+      state->Revert();  // reject: state rewinds to the parent
+      ASSERT_NEAR(state->breakdown().score,
+                  evaluator->Evaluate(world.masked).score, kTol);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace evocat
