@@ -1,0 +1,93 @@
+// micro_session_batch — Session::RunBatch vs serial Session::Run.
+//
+// Runs the same set of JobSpecs (paper Adult case, trimmed generation
+// budget) serially and as one batch on the shared worker pool, checks the
+// results are bit-identical per job seed, and prints both wall times plus
+// the speedup. Appends the numbers to BENCH_session.json.
+
+#include <cstdio>
+#include <thread>
+
+#include "api/session.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "datagen/profile.h"
+
+using namespace evocat;
+
+int main() {
+  // Small files with a long evolution: the GA loop is inherently serial per
+  // job (one offspring at a time), which is exactly the regime where batch
+  // execution pays — jobs spread across the pool instead of idling it.
+  constexpr int kJobs = 6;
+  constexpr int kGenerations = 400;
+  std::vector<api::JobSpec> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    api::JobSpec spec;
+    spec.name = "batch-" + std::to_string(i);
+    spec.source.kind = api::SourceSpec::Kind::kSynthetic;
+    spec.source.has_inline_profile = true;
+    spec.source.profile =
+        datagen::UniformTestProfile("tiny", 200, {9, 7, 11});
+    spec.ga.generations = kGenerations;
+    spec.seeds.master = 1000 + static_cast<uint64_t>(i);
+    spec.outputs.initial_population = false;
+    spec.outputs.final_population = false;
+    spec.outputs.history = false;
+    jobs.push_back(std::move(spec));
+  }
+
+  api::Session serial_session;
+  Timer serial_timer;
+  std::vector<api::RunArtifacts> serial;
+  for (const auto& job : jobs) {
+    auto run = serial_session.Run(job);
+    if (!run.ok()) {
+      std::fprintf(stderr, "serial %s: %s\n", job.name.c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    serial.push_back(std::move(run).ValueOrDie());
+  }
+  double serial_seconds = serial_timer.ElapsedSeconds();
+
+  api::Session batch_session;
+  Timer batch_timer;
+  auto batch = batch_session.RunBatch(jobs);
+  double batch_seconds = batch_timer.ElapsedSeconds();
+
+  for (int i = 0; i < kJobs; ++i) {
+    if (!batch[static_cast<size_t>(i)].ok()) {
+      std::fprintf(stderr, "batch %s: %s\n", jobs[static_cast<size_t>(i)].name.c_str(),
+                   batch[static_cast<size_t>(i)].status().ToString().c_str());
+      return 1;
+    }
+    const auto& b = batch[static_cast<size_t>(i)].ValueOrDie();
+    if (!b.best_data.SameCodes(serial[static_cast<size_t>(i)].best_data)) {
+      std::fprintf(stderr, "job %d: batch result differs from serial run\n", i);
+      return 1;
+    }
+  }
+
+  double speedup = batch_seconds > 0 ? serial_seconds / batch_seconds : 0.0;
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("jobs=%d generations=%d hardware_threads=%d\n", kJobs,
+              kGenerations, threads);
+  std::printf("serial: %.2fs  batch: %.2fs  speedup: %.2fx (bit-identical; "
+              "batch parallelism is bounded by hardware threads)\n",
+              serial_seconds, batch_seconds, speedup);
+
+  bench::JsonObject summary;
+  summary.Add("jobs", static_cast<int64_t>(kJobs));
+  summary.Add("hardware_threads", static_cast<int64_t>(threads));
+  summary.Add("serial_seconds", serial_seconds);
+  summary.Add("batch_seconds", batch_seconds);
+  summary.Add("batch_speedup", speedup);
+  Status status = bench::WriteJsonFile("BENCH_session.json", summary);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_session.json\n");
+  return 0;
+}

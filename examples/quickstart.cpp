@@ -1,107 +1,78 @@
 // Quickstart: protect a categorical dataset and optimize the protection.
 //
-// This walks the full evocat pipeline on the Adult-like dataset:
-//   1. generate (or load) a categorical microdata file,
-//   2. mask it with the classical SDC methods to seed a population,
-//   3. evolve the population under the max(IL, DR) fitness (paper Eq. 2),
-//   4. inspect the best protection found and export it as CSV.
+// The whole evocat pipeline — dataset, masking roster, fitness, evolution —
+// is driven by one declarative JobSpec through the evocat::api façade:
+//   1. describe the job as JSON (a file, a string, or a built JobSpec),
+//   2. run it with api::Session,
+//   3. inspect the structured RunArtifacts that come back.
 //
-// Run:  ./build/examples/quickstart
+// Run:  ./build/example_quickstart
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/session.h"
 #include "common/logging.h"
-#include "core/engine.h"
-#include "data/csv.h"
-#include "datagen/generator.h"
-#include "experiments/dataset_case.h"
-#include "metrics/fitness.h"
-#include "protection/population_builder.h"
 
 using namespace evocat;
 
 int main() {
   SetLogLevel(LogLevel::kWarning);
 
-  // 1. A categorical microdata file. Here we synthesize the Adult-like file;
-  //    with real data you would call ReadCsvFile(path, options) instead.
-  auto profile = datagen::AdultProfile();
-  auto original_result = datagen::Generate(profile, /*seed=*/2024);
-  if (!original_result.ok()) {
-    std::cerr << original_result.status().ToString() << "\n";
+  // 1. One JSON document describes the whole job. Swap the synthetic source
+  //    for {"kind": "csv", "path": "yours.csv"} (plus protected_attributes)
+  //    to protect real data; add a "methods" roster to change the masking
+  //    mix. Everything omitted keeps its documented default (docs/api.md).
+  const char* job_json = R"({
+    "name": "quickstart",
+    "source": {"kind": "synthetic", "case": "adult"},
+    "measures": {"aggregation": "max"},
+    "ga": {"generations": 150},
+    "seeds": {"master": 2024},
+    "outputs": {"best_csv_path": "/tmp/evocat_best.csv"}
+  })";
+
+  auto spec_result = api::JobSpec::FromJsonText(job_json);
+  if (!spec_result.ok()) {
+    std::cerr << spec_result.status().ToString() << "\n";
     return 1;
   }
-  Dataset original = std::move(original_result).ValueOrDie();
-  auto attrs =
-      std::move(datagen::ProtectedAttributeIndices(profile, original)).ValueOrDie();
-  std::printf("dataset: %lld records, %d attributes, protecting %zu\n",
-              static_cast<long long>(original.num_rows()),
-              original.num_attributes(), attrs.size());
 
-  // 2. Seed population: the paper's Adult mix (86 protections from
-  //    microaggregation, coding, recoding, rank swapping and PRAM).
-  auto protections_result = protection::BuildProtections(
-      original, attrs, protection::AdultPopulationSpec(), /*seed=*/7);
-  if (!protections_result.ok()) {
-    std::cerr << protections_result.status().ToString() << "\n";
-    return 1;
-  }
-  auto protections = std::move(protections_result).ValueOrDie();
-  std::printf("initial population: %zu protected files\n", protections.size());
-
-  // 3. Fitness: IL = mean(CTBIL, DBIL, EBIL), DR = mean(ID, DBRL, PRL, RSRL),
-  //    score = max(IL, DR) — penalizes unbalanced protections.
-  metrics::FitnessEvaluator::Options fitness_options;
-  fitness_options.aggregation = metrics::ScoreAggregation::kMax;
-  auto evaluator_result =
-      metrics::FitnessEvaluator::Create(original, attrs, fitness_options);
-  if (!evaluator_result.ok()) {
-    std::cerr << evaluator_result.status().ToString() << "\n";
-    return 1;
-  }
-  auto evaluator = std::move(evaluator_result).ValueOrDie();
-
-  std::vector<core::Individual> seeds;
-  for (auto& file : protections) {
-    core::Individual individual;
-    individual.data = std::move(file.data);
-    individual.origin = std::move(file.method_label);
-    seeds.push_back(std::move(individual));
-  }
-
-  core::GaConfig config;
-  config.generations = 150;
-  config.seed = 1;
-  core::EvolutionEngine engine(evaluator.get(), config);
-
-  auto run_result = engine.Run(std::move(seeds));
+  // 2. A Session executes JobSpecs (and caches shared inputs across jobs —
+  //    see Session::RunBatch for running many specs concurrently).
+  api::Session session;
+  auto run_result = session.Run(spec_result.ValueOrDie());
   if (!run_result.ok()) {
     std::cerr << run_result.status().ToString() << "\n";
     return 1;
   }
-  auto evolution = std::move(run_result).ValueOrDie();
+  const api::RunArtifacts& artifacts = run_result.ValueOrDie();
 
-  // 4. The best individual is a full protected file, ready to publish.
-  const core::Individual& best = evolution.population.best();
+  // 3. Structured artifacts: populations, history, stats, the best file.
+  std::printf("dataset: %s, %lld records, protecting %zu attributes\n",
+              artifacts.dataset.c_str(),
+              static_cast<long long>(artifacts.num_rows),
+              artifacts.protected_attrs.size());
+  std::printf("initial population: %zu protected files, score %.2f..%.2f\n",
+              artifacts.initial.size(), artifacts.initial_scores.min,
+              artifacts.initial_scores.max);
   std::printf("generations: %zu  (mutation %lld / crossover %lld)\n",
-              evolution.history.size(),
-              static_cast<long long>(evolution.stats.mutation_generations),
-              static_cast<long long>(evolution.stats.crossover_generations));
+              artifacts.history.size(),
+              static_cast<long long>(artifacts.stats.mutation_generations),
+              static_cast<long long>(artifacts.stats.crossover_generations));
   std::printf("best protection: score=%.2f  IL=%.2f  DR=%.2f  origin=%s\n",
-              best.fitness.score, best.fitness.il, best.fitness.dr,
-              best.origin.c_str());
+              artifacts.best.fitness.score, artifacts.best.fitness.il,
+              artifacts.best.fitness.dr, artifacts.best.origin.c_str());
   std::printf("  measures: CTBIL=%.1f DBIL=%.1f EBIL=%.1f | ID=%.1f DBRL=%.1f "
               "PRL=%.1f RSRL=%.1f\n",
-              best.fitness.ctbil, best.fitness.dbil, best.fitness.ebil,
-              best.fitness.id, best.fitness.dbrl, best.fitness.prl,
-              best.fitness.rsrl);
+              artifacts.best.fitness.ctbil, artifacts.best.fitness.dbil,
+              artifacts.best.fitness.ebil, artifacts.best.fitness.id,
+              artifacts.best.fitness.dbrl, artifacts.best.fitness.prl,
+              artifacts.best.fitness.rsrl);
 
-  Status write_status = WriteCsvFile(best.data, "/tmp/evocat_best.csv");
-  if (!write_status.ok()) {
-    std::cerr << write_status.ToString() << "\n";
-    return 1;
-  }
-  std::printf("best protected file written to /tmp/evocat_best.csv\n");
+  // The exact spec that ran (all seeds pinned) re-runs this job bit-for-bit.
+  std::printf("resolved spec:\n%s", artifacts.spec.ToJsonText().c_str());
+  std::printf("best protected file written to %s\n",
+              artifacts.spec.outputs.best_csv_path.c_str());
   return 0;
 }

@@ -1,0 +1,457 @@
+#include "api/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/params.h"
+
+namespace evocat {
+namespace api {
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v = OfType(Type::kBool);
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v = OfType(Type::kNumber);
+  v.number_ = value;
+  // Integral doubles within int64 range serialize without a fraction. The
+  // upper bound is exclusive: the double 2^63 itself is out of int64 range
+  // (the cast would be UB); the lower bound -2^63 is exactly representable.
+  if (std::isfinite(value) && value == std::floor(value) &&
+      value >= -9223372036854775808.0 && value < 9223372036854775808.0) {
+    v.is_integer_ = true;
+    v.int_ = static_cast<int64_t>(value);
+  }
+  return v;
+}
+
+JsonValue JsonValue::MakeInt(int64_t value) {
+  JsonValue v = OfType(Type::kNumber);
+  v.is_integer_ = true;
+  v.int_ = value;
+  v.number_ = static_cast<double>(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v = OfType(Type::kString);
+  v.string_ = std::move(value);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+namespace {
+
+/// Recursive-descent parser tracking 1-based line/column for error messages.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    EVOCAT_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing content");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& detail) const {
+    return Status::Invalid("JSON parse error at line ", line_, ", column ",
+                           column_, ": ", detail);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Expect(char expected) {
+    if (AtEnd() || Peek() != expected) {
+      return Error(std::string("expected '") + expected + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        return ParseString(out);
+      case 't':
+      case 'f':
+        return ParseBool(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status ParseLiteral(const char* literal) {
+    for (const char* p = literal; *p; ++p) {
+      if (AtEnd() || Peek() != *p) {
+        return Error(std::string("invalid literal (expected '") + literal +
+                     "')");
+      }
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseNull(JsonValue* out) {
+    EVOCAT_RETURN_NOT_OK(ParseLiteral("null"));
+    *out = JsonValue::MakeNull();
+    return Status::OK();
+  }
+
+  Status ParseBool(JsonValue* out) {
+    if (Peek() == 't') {
+      EVOCAT_RETURN_NOT_OK(ParseLiteral("true"));
+      *out = JsonValue::MakeBool(true);
+    } else {
+      EVOCAT_RETURN_NOT_OK(ParseLiteral("false"));
+      *out = JsonValue::MakeBool(false);
+    }
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    bool is_integer = true;
+    if (!AtEnd() && Peek() == '-') Advance();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (!AtEnd() && Peek() == '.') {
+      is_integer = false;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_integer = false;
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      int64_t value = 0;
+      if (ParseInt64(token, &value).ok()) {
+        *out = JsonValue::MakeInt(value);
+        return Status::OK();
+      }
+      // Falls through for magnitudes beyond int64 (kept as a double).
+    }
+    double value = 0.0;
+    Status status = ParseDouble(token, &value);
+    if (!status.ok()) return Error("malformed number '" + token + "'");
+    *out = JsonValue::MakeNumber(value);
+    return Status::OK();
+  }
+
+  Status ParseHex4(unsigned* out) {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (AtEnd()) return Error("truncated \\u escape");
+      char h = Advance();
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    *out = code;
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    std::string value;
+    EVOCAT_RETURN_NOT_OK(ParseRawString(&value));
+    *out = JsonValue::MakeString(std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    EVOCAT_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = Advance();
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape sequence");
+      char escape = Advance();
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          EVOCAT_RETURN_NOT_OK(ParseHex4(&code));
+          // UTF-16 surrogate pair: a high half must be followed by an
+          // escaped low half; emitting halves separately would produce
+          // invalid UTF-8 (CESU-8) that standard JSON tooling rejects.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (AtEnd() || Advance() != '\\' || AtEnd() || Advance() != 'u') {
+              return Error("high surrogate not followed by \\u escape");
+            }
+            unsigned low = 0;
+            EVOCAT_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate in \\u pair");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate \\u escape");
+          }
+          // UTF-8 encode the code point.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else if (code < 0x10000) {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error(std::string("invalid escape '\\") + escape + "'");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    EVOCAT_RETURN_NOT_OK(Expect('['));
+    *out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue item;
+      EVOCAT_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      char c = Advance();
+      if (c == ']') return Status::OK();
+      if (c != ',') return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    EVOCAT_RETURN_NOT_OK(Expect('{'));
+    *out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      EVOCAT_RETURN_NOT_OK(ParseRawString(&key));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      EVOCAT_RETURN_NOT_OK(Expect(':'));
+      SkipWhitespace();
+      JsonValue value;
+      EVOCAT_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      char c = Advance();
+      if (c == '}') return Status::OK();
+      if (c != ',') return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int64_t line_ = 1;
+  int64_t column_ = 1;
+};
+
+void AppendEscaped(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * level), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (is_integer_) {
+        *out += std::to_string(int_);
+      } else if (std::isfinite(number_)) {
+        *out += FormatDouble(number_);
+      } else {
+        *out += "null";  // JSON has no NaN/Inf
+      }
+      break;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline(depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline(depth + 1);
+        AppendEscaped(members_[i].first, out);
+        *out += pretty ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace api
+}  // namespace evocat

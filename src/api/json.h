@@ -1,0 +1,100 @@
+/// \file json.h
+/// \brief Self-contained JSON value type for the evocat::api façade.
+///
+/// JobSpecs are parsed from and serialized to JSON; no third-party JSON
+/// dependency is available in the build image, so the façade carries its own
+/// small implementation. Design points that matter to the API:
+///  - objects preserve insertion order (method parameter grids expand in the
+///    order the spec lists their keys, and dumps are diff-stable);
+///  - integers are kept exact (seeds are 64-bit), doubles serialize with the
+///    shortest representation that round-trips;
+///  - parse errors carry 1-based line/column positions.
+
+#ifndef EVOCAT_API_JSON_H_
+#define EVOCAT_API_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace evocat {
+namespace api {
+
+/// \brief One JSON value: null, bool, number, string, array or object.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeInt(int64_t value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray() { return OfType(Type::kArray); }
+  static JsonValue MakeObject() { return OfType(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+  /// \brief True for numbers written without fraction/exponent (exact int64).
+  bool is_integer() const { return type_ == Type::kNumber && is_integer_; }
+
+  /// Value accessors; calling the wrong one for the type is a programming
+  /// error (checked only by the typed JobSpec readers, not here).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const { return int_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Array access.
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t index) const { return items_[index]; }
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  /// Object access (insertion-ordered).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// \brief Member lookup; nullptr when absent.
+  const JsonValue* Find(const std::string& key) const;
+  /// \brief Sets (or replaces) a member, keeping first-insertion order.
+  void Set(const std::string& key, JsonValue value);
+
+  /// \brief Parses a complete JSON document (errors carry line/column).
+  static Result<JsonValue> Parse(const std::string& text);
+
+  /// \brief Serializes; `indent > 0` pretty-prints, 0 is compact.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  static JsonValue OfType(Type type) {
+    JsonValue value;
+    value.type_ = type;
+    return value;
+  }
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  bool is_integer_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace api
+}  // namespace evocat
+
+#endif  // EVOCAT_API_JSON_H_

@@ -1,0 +1,290 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/parallel.h"
+#include "common/params.h"
+#include "common/string_utils.h"
+#include "data/csv.h"
+#include "datagen/generator.h"
+#include "protection/registry.h"
+
+namespace evocat {
+namespace api {
+
+namespace {
+
+MemberSummary Summarize(const core::Individual& individual) {
+  MemberSummary summary;
+  summary.origin = individual.origin;
+  summary.fitness = individual.fitness;
+  return summary;
+}
+
+ScoreStats StatsOf(const std::vector<core::Individual>& members) {
+  ScoreStats stats;
+  std::vector<double> scores;
+  scores.reserve(members.size());
+  for (const auto& m : members) scores.push_back(m.fitness.score);
+  stats.min = Min(scores);
+  stats.mean = Mean(scores);
+  stats.max = Max(scores);
+  return stats;
+}
+
+void AppendGrid(std::vector<MethodGridSpec>* roster, const std::string& name,
+                std::vector<std::pair<std::string, std::vector<std::string>>>
+                    grid) {
+  for (const auto& [key, values] : grid) {
+    (void)key;
+    if (values.empty()) return;  // empty dimension -> no instances
+  }
+  if (grid.empty()) return;
+  MethodGridSpec method;
+  method.name = name;
+  method.grid = std::move(grid);
+  roster->push_back(std::move(method));
+}
+
+std::vector<std::string> IntValues(const std::vector<int>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (int v : values) out.push_back(std::to_string(v));
+  return out;
+}
+
+std::vector<std::string> DoubleValues(const std::vector<double>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(FormatDouble(v));
+  return out;
+}
+
+/// Default population mix keyed by synthetic case name; anything else
+/// (CSV files, custom profiles) gets the generic Adult mix.
+protection::PopulationSpec DefaultSpecFor(const std::string& case_name) {
+  if (case_name == "housing") return protection::HousingPopulationSpec();
+  if (case_name == "german" || case_name == "flare") {
+    return protection::GermanFlarePopulationSpec();
+  }
+  return protection::AdultPopulationSpec();
+}
+
+}  // namespace
+
+std::vector<MethodGridSpec> RosterFromPopulationSpec(
+    const protection::PopulationSpec& spec) {
+  std::vector<MethodGridSpec> roster;
+  std::vector<std::string> orderings;
+  orderings.reserve(spec.microagg_orderings.size());
+  for (protection::MicroOrdering ordering : spec.microagg_orderings) {
+    orderings.push_back(protection::MicroOrderingToString(ordering));
+  }
+  // Grid order mirrors protection::InstantiateMethods: k outermost, then
+  // ordering; method families in the same sequence.
+  AppendGrid(&roster, "microaggregation",
+             {{"k", IntValues(spec.microagg_ks)}, {"ordering", orderings}});
+  AppendGrid(&roster, "bottomcoding",
+             {{"fraction", DoubleValues(spec.bottom_fractions)}});
+  AppendGrid(&roster, "topcoding",
+             {{"fraction", DoubleValues(spec.top_fractions)}});
+  AppendGrid(&roster, "globalrecoding",
+             {{"group_size", IntValues(spec.recoding_group_sizes)}});
+  AppendGrid(&roster, "rankswapping",
+             {{"p_percent", DoubleValues(spec.rankswap_percents)}});
+  AppendGrid(&roster, "pram", {{"retain", DoubleValues(spec.pram_retains)}});
+  return roster;
+}
+
+Result<Session::SourceData> Session::LoadSource(const JobSpec& spec) {
+  SourceData source;
+  if (spec.source.kind == SourceSpec::Kind::kCsv) {
+    CsvReadOptions csv_options;
+    csv_options.has_header = spec.source.has_header;
+    csv_options.separator = spec.source.separator[0];
+    for (const auto& name : spec.source.ordinal_attributes) {
+      csv_options.ordinal_attributes.insert(name);
+    }
+    std::string cache_key = spec.source.path + "\n" + spec.source.separator +
+                            (spec.source.has_header ? "H" : "-") + "\n" +
+                            Join(spec.source.ordinal_attributes, ',');
+    bool cached = false;
+    if (options_.cache_sources) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = csv_cache_.find(cache_key);
+      if (it != csv_cache_.end()) {
+        source.original = it->second.Clone();
+        cached = true;
+      }
+    }
+    if (!cached) {
+      EVOCAT_ASSIGN_OR_RETURN(source.original,
+                              ReadCsvFile(spec.source.path, csv_options));
+      if (options_.cache_sources) {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        csv_cache_.emplace(cache_key, source.original.Clone());
+      }
+    }
+    source.label = spec.source.path;
+    source.default_spec = protection::AdultPopulationSpec();
+    EVOCAT_ASSIGN_OR_RETURN(
+        source.attrs,
+        source.original.schema().IndicesOf(spec.protected_attributes));
+    return source;
+  }
+
+  datagen::SyntheticProfile profile;
+  if (spec.source.has_inline_profile) {
+    profile = spec.source.profile;
+  } else {
+    EVOCAT_ASSIGN_OR_RETURN(profile,
+                            datagen::ProfileByName(spec.source.case_name));
+  }
+  EVOCAT_ASSIGN_OR_RETURN(source.original,
+                          datagen::Generate(profile, spec.seeds.DataSeed()));
+  source.label = profile.name;
+  source.default_spec = DefaultSpecFor(spec.source.has_inline_profile
+                                           ? std::string()
+                                           : spec.source.case_name);
+  const std::vector<std::string>& names = spec.protected_attributes.empty()
+                                              ? profile.protected_attributes
+                                              : spec.protected_attributes;
+  EVOCAT_ASSIGN_OR_RETURN(source.attrs,
+                          source.original.schema().IndicesOf(names));
+  return source;
+}
+
+Result<RunArtifacts> Session::Run(const JobSpec& input_spec) {
+  EVOCAT_RETURN_NOT_OK(input_spec.Validate());
+  JobSpec spec = input_spec;
+  spec.seeds.MakeExplicit();
+
+  // (1) Original dataset + protected attribute indices.
+  EVOCAT_ASSIGN_OR_RETURN(SourceData source, LoadSource(spec));
+
+  // (2) Method roster: the spec's, or the paper mix for this source.
+  std::vector<MethodGridSpec> roster =
+      spec.methods.empty() ? RosterFromPopulationSpec(source.default_spec)
+                           : spec.methods;
+  std::vector<std::unique_ptr<protection::ProtectionMethod>> methods;
+  for (size_t i = 0; i < roster.size(); ++i) {
+    for (const ParamMap& params : ExpandGrid(roster[i])) {
+      auto method =
+          protection::MethodRegistry::Global().Create(roster[i].name, params);
+      if (!method.ok()) {
+        return Status::Invalid("methods[", i, "]: ",
+                               method.status().message());
+      }
+      methods.push_back(std::move(method).ValueOrDie());
+    }
+  }
+  if (methods.empty()) {
+    return Status::Invalid("methods: the roster expands to zero instances");
+  }
+
+  // (3) Seed protections, one forked RNG stream per method instance.
+  EVOCAT_ASSIGN_OR_RETURN(
+      auto protections,
+      protection::BuildProtectionsWith(source.original, source.attrs, methods,
+                                       spec.seeds.ProtectionSeed()));
+
+  // (4) Fitness evaluator over the spec's measure configuration.
+  EVOCAT_ASSIGN_OR_RETURN(auto evaluator,
+                          metrics::FitnessEvaluator::Create(
+                              source.original, source.attrs,
+                              spec.FitnessOptions()));
+
+  std::vector<core::Individual> initial;
+  initial.reserve(protections.size());
+  for (auto& file : protections) {
+    core::Individual individual;
+    individual.data = std::move(file.data);
+    individual.origin = std::move(file.method_label);
+    initial.push_back(std::move(individual));
+  }
+
+  // Evaluate the seeds now: callers want the initial cloud, and best-removal
+  // needs scores. Mirrors the original experiment runner exactly.
+  ParallelFor(0, static_cast<int64_t>(initial.size()), [&](int64_t i) {
+    initial[static_cast<size_t>(i)].fitness =
+        evaluator->Evaluate(initial[static_cast<size_t>(i)].data);
+  });
+  std::stable_sort(initial.begin(), initial.end(),
+                   [](const core::Individual& a, const core::Individual& b) {
+                     return a.score() < b.score();
+                   });
+
+  if (spec.remove_best_fraction > 0.0 && initial.size() > 2) {
+    auto removed = static_cast<size_t>(
+        std::llround(spec.remove_best_fraction *
+                     static_cast<double>(initial.size())));
+    removed = std::min(removed, initial.size() - 2);  // keep a viable population
+    initial.erase(initial.begin(),
+                  initial.begin() + static_cast<std::ptrdiff_t>(removed));
+  }
+
+  RunArtifacts artifacts;
+  artifacts.job_name = spec.name;
+  artifacts.dataset = source.label;
+  artifacts.protected_attrs = source.attrs;
+  artifacts.num_rows = source.original.num_rows();
+  artifacts.population_size = static_cast<int64_t>(initial.size());
+  if (spec.outputs.initial_population) {
+    artifacts.initial.reserve(initial.size());
+    for (const auto& individual : initial) {
+      artifacts.initial.push_back(Summarize(individual));
+    }
+  }
+  artifacts.initial_scores = StatsOf(initial);
+
+  // (5) Evolution.
+  core::GaConfig config = spec.ga;
+  config.seed = spec.seeds.GaSeed();
+  core::EvolutionEngine engine(evaluator.get(), config);
+  EVOCAT_ASSIGN_OR_RETURN(core::EvolutionResult evolution,
+                          engine.Run(std::move(initial)));
+
+  if (spec.outputs.history) artifacts.history = std::move(evolution.history);
+  artifacts.stats = evolution.stats;
+  artifacts.final_scores = StatsOf(evolution.population.members());
+  if (spec.outputs.final_population) {
+    artifacts.final_population.reserve(evolution.population.size());
+    for (const auto& individual : evolution.population.members()) {
+      artifacts.final_population.push_back(Summarize(individual));
+    }
+  }
+  const core::Individual& best = evolution.population.best();
+  artifacts.best = Summarize(best);
+  artifacts.best_data = best.data.Clone();
+  artifacts.evaluations = evaluator->num_evaluations();
+  artifacts.spec = std::move(spec);
+
+  // (6) Requested file outputs.
+  if (!artifacts.spec.outputs.best_csv_path.empty()) {
+    EVOCAT_RETURN_NOT_OK(
+        WriteCsvFile(artifacts.best_data, artifacts.spec.outputs.best_csv_path));
+  }
+  if (!artifacts.spec.outputs.original_csv_path.empty()) {
+    EVOCAT_RETURN_NOT_OK(WriteCsvFile(
+        source.original, artifacts.spec.outputs.original_csv_path));
+  }
+  return artifacts;
+}
+
+std::vector<Result<RunArtifacts>> Session::RunBatch(
+    const std::vector<JobSpec>& specs) {
+  std::vector<Result<RunArtifacts>> results(
+      specs.size(), Result<RunArtifacts>(Status::Internal("job not executed")));
+  // Jobs fan out across the worker pool; the nested-region guard makes each
+  // job's inner loops serial, so N jobs use N workers without
+  // oversubscription. Each slot is written by exactly one iteration.
+  ParallelFor(0, static_cast<int64_t>(specs.size()), [&](int64_t i) {
+    results[static_cast<size_t>(i)] = Run(specs[static_cast<size_t>(i)]);
+  });
+  return results;
+}
+
+}  // namespace api
+}  // namespace evocat

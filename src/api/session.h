@@ -1,0 +1,122 @@
+/// \file session.h
+/// \brief The façade's execution engine: JobSpec in, RunArtifacts out.
+///
+/// A `Session` owns everything a job needs at runtime — dataset loading
+/// (with a CSV cache shared across jobs), registry-based method
+/// construction, population building, fitness binding and engine execution —
+/// and returns structured `RunArtifacts`. `RunBatch` executes a vector of
+/// JobSpecs concurrently on the shared worker pool; every job is seeded from
+/// its own spec with isolated RNG streams, so batch results are bit-identical
+/// to running each job alone.
+
+#ifndef EVOCAT_API_SESSION_H_
+#define EVOCAT_API_SESSION_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/jobspec.h"
+#include "common/result.h"
+#include "core/engine.h"
+#include "metrics/fitness.h"
+#include "protection/population_builder.h"
+
+namespace evocat {
+namespace api {
+
+/// \brief Min/mean/max of a population's scores.
+struct ScoreStats {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// \brief One population member: provenance plus its full breakdown.
+struct MemberSummary {
+  std::string origin;
+  metrics::FitnessBreakdown fitness;
+};
+
+/// \brief Everything a caller can want back from one job.
+struct RunArtifacts {
+  std::string job_name;
+  /// Dataset label: the synthetic profile name or the CSV path.
+  std::string dataset;
+  /// The spec as executed, with all stage seeds made explicit — serializing
+  /// this spec reproduces the run exactly.
+  JobSpec spec;
+  std::vector<int> protected_attrs;
+  int64_t num_rows = 0;
+  /// Population size after any best-removal (always set, unlike the
+  /// population vectors below, which respect the output toggles).
+  int64_t population_size = 0;
+
+  /// Initial population after best-removal (empty unless requested).
+  std::vector<MemberSummary> initial;
+  /// Final population, sorted by ascending score (empty unless requested).
+  std::vector<MemberSummary> final_population;
+  /// Per-generation trajectory (empty unless requested).
+  std::vector<core::GenerationRecord> history;
+  core::EvolutionStats stats;
+  ScoreStats initial_scores;
+  ScoreStats final_scores;
+
+  /// The best individual and its protected file.
+  MemberSummary best;
+  Dataset best_data;
+  /// Fitness evaluations served over the whole run.
+  int64_t evaluations = 0;
+};
+
+/// \brief Executes JobSpecs; reusable across jobs and threads.
+class Session {
+ public:
+  struct Options {
+    /// Cache CSV originals across jobs (keyed by path + read options).
+    bool cache_sources = true;
+  };
+
+  Session() = default;
+  explicit Session(Options options) : options_(options) {}
+
+  /// \brief Runs one job end to end.
+  Result<RunArtifacts> Run(const JobSpec& spec);
+
+  /// \brief Runs every spec concurrently on the shared worker pool.
+  ///
+  /// Slot i holds job i's artifacts or the Status explaining its failure;
+  /// one failing job never aborts its siblings.
+  std::vector<Result<RunArtifacts>> RunBatch(const std::vector<JobSpec>& specs);
+
+  /// \brief A loaded original plus resolved protected attribute indices.
+  struct SourceData {
+    Dataset original;
+    std::vector<int> attrs;
+    /// Dataset label (profile name or CSV path).
+    std::string label;
+    /// The paper's default population mix for this source (used when the
+    /// spec's method roster is empty).
+    protection::PopulationSpec default_spec;
+  };
+
+  /// \brief Loads/generates the spec's original dataset (shared with the
+  /// evaluation tool, which scores external files against it).
+  Result<SourceData> LoadSource(const JobSpec& spec);
+
+ private:
+  Options options_;
+  std::mutex cache_mutex_;
+  std::map<std::string, Dataset> csv_cache_;
+};
+
+/// \brief The paper's population mix as a declarative roster (grid order
+/// matches `protection::InstantiateMethods` exactly).
+std::vector<MethodGridSpec> RosterFromPopulationSpec(
+    const protection::PopulationSpec& spec);
+
+}  // namespace api
+}  // namespace evocat
+
+#endif  // EVOCAT_API_SESSION_H_

@@ -20,6 +20,14 @@ std::vector<std::string> Split(std::string_view s, char sep) {
   return out;
 }
 
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& field : Split(s, sep)) {
+    if (!field.empty()) out.push_back(std::move(field));
+  }
+  return out;
+}
+
 std::vector<std::string> SplitCsvLine(std::string_view line, char sep) {
   std::vector<std::string> out;
   std::string field;

@@ -13,6 +13,10 @@ namespace evocat {
 /// \brief Splits `s` on `sep` (no quoting); always yields at least one field.
 std::vector<std::string> Split(std::string_view s, char sep);
 
+/// \brief Splits `s` on `sep` and drops empty fields (CLI name lists:
+/// "a,,b," -> {"a", "b"}).
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
 /// \brief Splits one CSV line honouring double-quoted fields with "" escapes.
 std::vector<std::string> SplitCsvLine(std::string_view line, char sep = ',');
 

@@ -24,6 +24,16 @@ const char* SelectionStrategyToString(SelectionStrategy strategy) {
   return "?";
 }
 
+Result<SelectionStrategy> SelectionStrategyFromString(const std::string& name) {
+  for (SelectionStrategy strategy :
+       {SelectionStrategy::kInverseScore, SelectionStrategy::kLiteralScore,
+        SelectionStrategy::kRank, SelectionStrategy::kUniform}) {
+    if (name == SelectionStrategyToString(strategy)) return strategy;
+  }
+  return Status::Invalid("unknown selection strategy '", name,
+                         "'; expected inverse|literal|rank|uniform");
+}
+
 std::vector<double> SelectionPolicy::Weights(
     const std::vector<double>& scores) const {
   std::vector<double> weights(scores.size(), 1.0);

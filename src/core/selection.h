@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 
 namespace evocat {
@@ -36,6 +37,9 @@ enum class SelectionStrategy {
 };
 
 const char* SelectionStrategyToString(SelectionStrategy strategy);
+
+/// \brief Inverse of SelectionStrategyToString; rejects unknown names.
+Result<SelectionStrategy> SelectionStrategyFromString(const std::string& name);
 
 /// \brief Draws parent indices according to a strategy.
 class SelectionPolicy {

@@ -19,6 +19,7 @@ Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& options) {
   }
 
   std::vector<std::vector<std::string>> rows;
+  std::vector<int64_t> row_lines;  // 1-based source line of each kept row
   int expected_fields = options.has_header ? static_cast<int>(header.size()) : -1;
   int64_t line_no = options.has_header ? 1 : 0;
   while (std::getline(in, line)) {
@@ -28,13 +29,64 @@ Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& options) {
     auto fields = SplitCsvLine(trimmed, options.separator);
     if (expected_fields < 0) expected_fields = static_cast<int>(fields.size());
     if (static_cast<int>(fields.size()) != expected_fields) {
-      return Status::Invalid("line ", line_no, ": expected ", expected_fields,
-                             " fields, got ", fields.size());
+      // The offending cell: the first missing column, or the first extra one.
+      int column = std::min(static_cast<int>(fields.size()), expected_fields) + 1;
+      return Status::Invalid("line ", line_no, ", column ", column,
+                             ": expected ", expected_fields, " fields, got ",
+                             fields.size());
     }
     rows.push_back(std::move(fields));
+    row_lines.push_back(line_no);
   }
   if (expected_fields <= 0) {
     return Status::Invalid("CSV input has no data rows and no header");
+  }
+
+  if (options.bind_schema) {
+    // Strict decode onto the caller's schema: positions must line up and
+    // every value must already be a known category, so each failure names
+    // its exact 1-based line and column.
+    const Schema& schema = *options.bind_schema;
+    if (schema.num_attributes() != expected_fields) {
+      return Status::Invalid("file has ", expected_fields,
+                             " attributes, bound schema has ",
+                             schema.num_attributes());
+    }
+    // With a header available, also require the names to line up — a
+    // reordered file would otherwise decode values against the wrong
+    // dictionaries, silently whenever category sets overlap.
+    if (options.has_header) {
+      for (int a = 0; a < expected_fields; ++a) {
+        if (header[static_cast<size_t>(a)] != schema.attribute(a).name()) {
+          return Status::Invalid("column ", a + 1, ": header '",
+                                 header[static_cast<size_t>(a)],
+                                 "' does not match bound schema attribute '",
+                                 schema.attribute(a).name(), "'");
+        }
+      }
+    }
+    Dataset dataset(options.bind_schema);
+    std::vector<int32_t> codes(static_cast<size_t>(expected_fields));
+    for (size_t r = 0; r < rows.size(); ++r) {
+      for (int a = 0; a < expected_fields; ++a) {
+        const std::string& value = rows[r][static_cast<size_t>(a)];
+        auto code = schema.attribute(a).dictionary().CodeOf(value);
+        if (!code.ok()) {
+          return Status::Invalid("line ", row_lines[r], ", column ", a + 1,
+                                 ": value '", value,
+                                 "' is not a category of attribute '",
+                                 schema.attribute(a).name(), "'");
+        }
+        codes[static_cast<size_t>(a)] = code.ValueOrDie();
+      }
+      Status append_status = dataset.AppendRowCodes(codes);
+      if (!append_status.ok()) {
+        return Status(append_status.code(),
+                      "line " + std::to_string(row_lines[r]) + ": " +
+                          append_status.message());
+      }
+    }
+    return dataset;
   }
 
   auto schema = std::make_shared<Schema>();
@@ -48,8 +100,13 @@ Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& options) {
   }
 
   Dataset dataset(schema);
-  for (const auto& row : rows) {
-    EVOCAT_RETURN_NOT_OK(dataset.AppendRowValues(row));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Status row_status = dataset.AppendRowValues(rows[r]);
+    if (!row_status.ok()) {
+      return Status(row_status.code(),
+                    "line " + std::to_string(row_lines[r]) + ": " +
+                        row_status.message());
+    }
   }
   return dataset;
 }
@@ -60,7 +117,13 @@ Result<Dataset> ReadCsvFile(const std::string& path,
   if (!in) {
     return Status::IOError("cannot open '", path, "' for reading");
   }
-  return ReadCsvStream(in, options);
+  auto dataset = ReadCsvStream(in, options);
+  if (!dataset.ok()) {
+    // Stream errors name line/column; prepend the file for full context.
+    return Status(dataset.status().code(),
+                  path + ": " + dataset.status().message());
+  }
+  return dataset;
 }
 
 Status WriteCsvStream(const Dataset& dataset, std::ostream& out, char separator) {

@@ -5,6 +5,7 @@
 #define EVOCAT_DATA_CSV_H_
 
 #include <iosfwd>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -23,9 +24,18 @@ struct CsvReadOptions {
   /// Attributes (by name) to treat as ordinal; category order follows first
   /// appearance in file order, so pre-sorted files give natural order.
   std::set<std::string> ordinal_attributes;
+  /// When set, the file is decoded *onto this schema*: attribute count must
+  /// match (positional), dictionaries are closed (a value outside an
+  /// attribute's dictionary is an error naming its line and column), and
+  /// `ordinal_attributes` is ignored. This is how a masked file is read so
+  /// its codes are comparable with the original's.
+  std::shared_ptr<Schema> bind_schema;
 };
 
 /// \brief Reads a whole CSV file into a dataset (all attributes categorical).
+///
+/// Malformed input fails with the file, 1-based line, and column of the
+/// offending cell in the Status message.
 Result<Dataset> ReadCsvFile(const std::string& path,
                             const CsvReadOptions& options = {});
 

@@ -117,5 +117,14 @@ SyntheticProfile UniformTestProfile(const std::string& name, int64_t num_records
   return p;
 }
 
+Result<SyntheticProfile> ProfileByName(const std::string& name) {
+  if (name == "housing") return HousingProfile();
+  if (name == "german") return GermanCreditProfile();
+  if (name == "flare") return SolarFlareProfile();
+  if (name == "adult") return AdultProfile();
+  return Status::NotFound("unknown synthetic profile '", name,
+                          "'; expected housing|german|flare|adult");
+}
+
 }  // namespace datagen
 }  // namespace evocat

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "data/schema.h"
 
 namespace evocat {
@@ -67,6 +68,10 @@ SyntheticProfile AdultProfile();
 /// attribute, attribute names a0, a1, ...
 SyntheticProfile UniformTestProfile(const std::string& name, int64_t num_records,
                                     const std::vector<int>& cards);
+
+/// \brief Named-profile lookup ("housing" | "german" | "flare" | "adult"),
+/// the spelling a JobSpec's synthetic source uses.
+Result<SyntheticProfile> ProfileByName(const std::string& name);
 
 }  // namespace datagen
 }  // namespace evocat

@@ -40,9 +40,13 @@ void PrintEvolutionCsv(const ExperimentResult& result, std::ostream& out) {
 void PrintImprovementSummary(const ExperimentResult& result, std::ostream& out) {
   auto line = [&](const char* stat, double start, double end) {
     out << "  " << stat << " score: " << std::fixed << std::setprecision(2)
-        << start << " -> " << end << "  ("
-        << ExperimentResult::ImprovementPercent(start, end)
-        << "% improvement)\n";
+        << start << " -> " << end;
+    double improvement = ExperimentResult::ImprovementPercent(start, end);
+    if (std::isnan(improvement)) {
+      out << "  (improvement n/a: non-positive start score)\n";
+    } else {
+      out << "  (" << improvement << "% improvement)\n";
+    }
   };
   out << "[" << result.dataset << "] aggregation="
       << metrics::ScoreAggregationToString(result.options.aggregation)

@@ -1,128 +1,118 @@
 #include "experiments/runner.h"
 
-#include <algorithm>
-#include <cmath>
+#include <limits>
 
-#include "common/math_utils.h"
-#include "common/parallel.h"
-#include "datagen/generator.h"
+#include "api/session.h"
 
 namespace evocat {
 namespace experiments {
 
 namespace {
 
-IndividualSummary Summarize(const core::Individual& individual) {
-  IndividualSummary summary;
-  summary.origin = individual.origin;
-  summary.il = individual.fitness.il;
-  summary.dr = individual.fitness.dr;
-  summary.score = individual.fitness.score;
-  return summary;
+/// api summaries -> the runner's (IL, DR, score) triples.
+std::vector<IndividualSummary> ToSummaries(
+    const std::vector<api::MemberSummary>& members) {
+  std::vector<IndividualSummary> summaries;
+  summaries.reserve(members.size());
+  for (const auto& member : members) {
+    IndividualSummary summary;
+    summary.origin = member.origin;
+    summary.il = member.fitness.il;
+    summary.dr = member.fitness.dr;
+    summary.score = member.fitness.score;
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
 }
 
-ScoreTriple TripleOf(const std::vector<IndividualSummary>& members) {
+ScoreTriple ToTriple(const api::ScoreStats& stats) {
   ScoreTriple triple;
-  std::vector<double> scores;
-  scores.reserve(members.size());
-  for (const auto& m : members) scores.push_back(m.score);
-  triple.min = Min(scores);
-  triple.mean = Mean(scores);
-  triple.max = Max(scores);
+  triple.min = stats.min;
+  triple.mean = stats.mean;
+  triple.max = stats.max;
   return triple;
+}
+
+/// Measure toggles -> the JobSpec's enabled-measure list (empty == all).
+std::vector<std::string> EnabledMeasures(
+    const metrics::FitnessEvaluator::Options& options) {
+  if (options.use_ctbil && options.use_dbil && options.use_ebil &&
+      options.use_id && options.use_dbrl && options.use_prl &&
+      options.use_rsrl) {
+    return {};
+  }
+  std::vector<std::string> enabled;
+  if (options.use_ctbil) enabled.push_back("CTBIL");
+  if (options.use_dbil) enabled.push_back("DBIL");
+  if (options.use_ebil) enabled.push_back("EBIL");
+  if (options.use_id) enabled.push_back("ID");
+  if (options.use_dbrl) enabled.push_back("DBRL");
+  if (options.use_prl) enabled.push_back("PRL");
+  if (options.use_rsrl) enabled.push_back("RSRL");
+  return enabled;
 }
 
 }  // namespace
 
+double ExperimentResult::ImprovementPercent(double start, double end) {
+  if (start <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return 100.0 * (start - end) / start;
+}
+
 Result<ExperimentResult> RunExperiment(const DatasetCase& dataset_case,
                                        const ExperimentOptions& options) {
-  if (options.remove_best_fraction < 0.0 ||
-      options.remove_best_fraction >= 1.0) {
-    return Status::Invalid("remove_best_fraction must be in [0, 1), got ",
-                           options.remove_best_fraction);
+  // The runner is a thin adapter now: a DatasetCase + ExperimentOptions is
+  // exactly one JobSpec with all stage seeds pinned, executed by the façade.
+  api::JobSpec spec;
+  spec.name = dataset_case.profile.name;
+  spec.source.kind = api::SourceSpec::Kind::kSynthetic;
+  spec.source.has_inline_profile = true;
+  spec.source.profile = dataset_case.profile;
+  spec.methods = api::RosterFromPopulationSpec(dataset_case.population_spec);
+
+  metrics::FitnessEvaluator::Options fitness = options.fitness;
+  fitness.aggregation = options.aggregation;
+  // All-toggles-false would map onto MeasureSpec's empty list, which means
+  // "all enabled" — reject it here as FitnessEvaluator::Create always did.
+  // (Every partially-disabled case is validated by the spec itself.)
+  if (!fitness.use_ctbil && !fitness.use_dbil && !fitness.use_ebil &&
+      !fitness.use_id && !fitness.use_dbrl && !fitness.use_prl &&
+      !fitness.use_rsrl) {
+    return Status::Invalid("at least one information-loss measure is required");
   }
+  spec.measures.aggregation = fitness.aggregation;
+  spec.measures.il_weight = fitness.il_weight;
+  spec.measures.enabled = EnabledMeasures(fitness);
+  spec.measures.ctbil_max_dimension = fitness.ctbil_max_dimension;
+  spec.measures.id_window_percent = fitness.id_window_percent;
+  spec.measures.rsrl_assumed_p_percent = fitness.rsrl_assumed_p_percent;
+  spec.measures.prl_em_iterations = fitness.prl_em_iterations;
+  spec.measures.delta_rebuild_fraction = fitness.delta_rebuild_fraction;
 
-  // (1) Synthetic dataset standing in for the UCI file.
-  EVOCAT_ASSIGN_OR_RETURN(Dataset original,
-                          datagen::Generate(dataset_case.profile,
-                                            options.data_seed));
-  EVOCAT_ASSIGN_OR_RETURN(
-      std::vector<int> attrs,
-      datagen::ProtectedAttributeIndices(dataset_case.profile, original));
+  spec.ga.generations = options.generations;
+  spec.ga.mutation_rate = options.mutation_rate;
+  spec.ga.leader_group_size = options.leader_group_size;
+  spec.ga.selection = options.selection;
+  spec.ga.mutation_excludes_current = options.mutation_excludes_current;
+  spec.ga.incremental_eval = options.incremental_eval;
 
-  // (2) Initial population of protections (paper §3 method mixes).
-  EVOCAT_ASSIGN_OR_RETURN(
-      auto protections,
-      protection::BuildProtections(original, attrs,
-                                   dataset_case.population_spec,
-                                   options.protection_seed));
+  spec.remove_best_fraction = options.remove_best_fraction;
+  spec.seeds.data = options.data_seed;
+  spec.seeds.protection = options.protection_seed;
+  spec.seeds.ga = options.ga_seed;
 
-  // (3) Fitness evaluator with the experiment's aggregation.
-  metrics::FitnessEvaluator::Options fitness_options = options.fitness;
-  fitness_options.aggregation = options.aggregation;
-  EVOCAT_ASSIGN_OR_RETURN(
-      auto evaluator,
-      metrics::FitnessEvaluator::Create(original, attrs, fitness_options));
-
-  std::vector<core::Individual> initial;
-  initial.reserve(protections.size());
-  for (auto& file : protections) {
-    core::Individual individual;
-    individual.data = std::move(file.data);
-    individual.origin = std::move(file.method_label);
-    initial.push_back(std::move(individual));
-  }
-
-  // Evaluate the seeds now: the dispersion figures need the initial cloud,
-  // and the robustness experiment removes the best seeds by score.
-  ParallelFor(0, static_cast<int64_t>(initial.size()), [&](int64_t i) {
-    initial[static_cast<size_t>(i)].fitness =
-        evaluator->Evaluate(initial[static_cast<size_t>(i)].data);
-  });
-  std::stable_sort(initial.begin(), initial.end(),
-                   [](const core::Individual& a, const core::Individual& b) {
-                     return a.score() < b.score();
-                   });
-
-  if (options.remove_best_fraction > 0.0) {
-    auto removed = static_cast<size_t>(
-        std::llround(options.remove_best_fraction *
-                     static_cast<double>(initial.size())));
-    removed = std::min(removed, initial.size() - 2);  // keep a viable population
-    initial.erase(initial.begin(),
-                  initial.begin() + static_cast<std::ptrdiff_t>(removed));
-  }
+  api::Session session;
+  EVOCAT_ASSIGN_OR_RETURN(api::RunArtifacts artifacts, session.Run(spec));
 
   ExperimentResult result;
-  result.dataset = dataset_case.profile.name;
+  result.dataset = artifacts.dataset;
   result.options = options;
-  result.initial.reserve(initial.size());
-  for (const auto& individual : initial) {
-    result.initial.push_back(Summarize(individual));
-  }
-  result.initial_scores = TripleOf(result.initial);
-
-  // (4) Evolve.
-  core::GaConfig config;
-  config.generations = options.generations;
-  config.mutation_rate = options.mutation_rate;
-  config.leader_group_size = options.leader_group_size;
-  config.selection = options.selection;
-  config.mutation_excludes_current = options.mutation_excludes_current;
-  config.incremental_eval = options.incremental_eval;
-  config.seed = options.ga_seed;
-
-  core::EvolutionEngine engine(evaluator.get(), config);
-  EVOCAT_ASSIGN_OR_RETURN(core::EvolutionResult evolution,
-                          engine.Run(std::move(initial)));
-
-  result.history = std::move(evolution.history);
-  result.stats = evolution.stats;
-  result.final_population.reserve(evolution.population.size());
-  for (const auto& individual : evolution.population.members()) {
-    result.final_population.push_back(Summarize(individual));
-  }
-  result.final_scores = TripleOf(result.final_population);
+  result.initial = ToSummaries(artifacts.initial);
+  result.final_population = ToSummaries(artifacts.final_population);
+  result.history = std::move(artifacts.history);
+  result.stats = artifacts.stats;
+  result.initial_scores = ToTriple(artifacts.initial_scores);
+  result.final_scores = ToTriple(artifacts.final_scores);
   return result;
 }
 

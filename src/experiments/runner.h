@@ -76,9 +76,11 @@ struct ExperimentResult {
   ScoreTriple final_scores;
 
   /// \brief Percentage improvement (start -> end) of a score statistic.
-  static double ImprovementPercent(double start, double end) {
-    return start > 0.0 ? 100.0 * (start - end) / start : 0.0;
-  }
+  ///
+  /// Undefined for non-positive start scores — the ratio would claim "no
+  /// improvement" (or a nonsensical sign) — so those return NaN; reports
+  /// print "n/a" for NaN rather than a number.
+  static double ImprovementPercent(double start, double end);
 };
 
 /// \brief Runs one experiment end to end.

@@ -1,5 +1,7 @@
 #include "metrics/ctbil.h"
 
+#include "metrics/registry.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <unordered_map>
@@ -245,6 +247,17 @@ Result<std::unique_ptr<BoundMeasure>> CtbIl::Bind(
   }
   return std::unique_ptr<BoundMeasure>(
       new BoundCtbIl(original, std::move(subsets)));
+}
+
+void RegisterCtbilMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "CTBIL", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("CTBIL", params);
+        int64_t max_dimension = reader.GetInt("max_dimension", 2);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(
+            new CtbIl(static_cast<int>(max_dimension)));
+      });
 }
 
 }  // namespace metrics

@@ -1,5 +1,7 @@
 #include "metrics/dbil.h"
 
+#include "metrics/registry.h"
+
 #include "metrics/delta.h"
 #include "metrics/distance.h"
 
@@ -121,6 +123,15 @@ std::unique_ptr<MeasureState> BoundDbIl::BindState(const Dataset& masked) const 
 Result<std::unique_ptr<BoundMeasure>> DbIl::Bind(
     const Dataset& original, const std::vector<int>& attrs) const {
   return std::unique_ptr<BoundMeasure>(new BoundDbIl(original, attrs));
+}
+
+void RegisterDbilMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "DBIL", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("DBIL", params);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(new DbIl());
+      });
 }
 
 }  // namespace metrics

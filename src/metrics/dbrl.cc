@@ -1,5 +1,7 @@
 #include "metrics/dbrl.h"
 
+#include "metrics/registry.h"
+
 #include "common/parallel.h"
 #include "metrics/delta.h"
 #include "metrics/distance.h"
@@ -133,6 +135,15 @@ std::unique_ptr<MeasureState> BoundDbrl::BindState(const Dataset& masked) const 
 Result<std::unique_ptr<BoundMeasure>> DistanceBasedRecordLinkage::Bind(
     const Dataset& original, const std::vector<int>& attrs) const {
   return std::unique_ptr<BoundMeasure>(new BoundDbrl(original, attrs));
+}
+
+void RegisterDbrlMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "DBRL", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("DBRL", params);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(new DistanceBasedRecordLinkage());
+      });
 }
 
 }  // namespace metrics

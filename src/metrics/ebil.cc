@@ -1,5 +1,7 @@
 #include "metrics/ebil.h"
 
+#include "metrics/registry.h"
+
 #include <cmath>
 
 #include "common/math_utils.h"
@@ -163,6 +165,15 @@ std::unique_ptr<MeasureState> BoundEbIl::BindState(const Dataset& masked) const 
 Result<std::unique_ptr<BoundMeasure>> EbIl::Bind(
     const Dataset& original, const std::vector<int>& attrs) const {
   return std::unique_ptr<BoundMeasure>(new BoundEbIl(original, attrs));
+}
+
+void RegisterEbilMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "EBIL", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("EBIL", params);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(new EbIl());
+      });
 }
 
 }  // namespace metrics

@@ -3,13 +3,7 @@
 #include <cmath>
 #include <limits>
 
-#include "metrics/ctbil.h"
-#include "metrics/dbil.h"
-#include "metrics/dbrl.h"
-#include "metrics/ebil.h"
-#include "metrics/interval_disclosure.h"
-#include "metrics/prl.h"
-#include "metrics/rsrl.h"
+#include "metrics/registry.h"
 
 namespace evocat {
 namespace metrics {
@@ -43,6 +37,16 @@ double AggregateScore(ScoreAggregation aggregation, double il, double dr,
   return (il + dr) / 2.0;
 }
 
+Result<ScoreAggregation> ScoreAggregationFromString(const std::string& name) {
+  for (ScoreAggregation aggregation :
+       {ScoreAggregation::kMean, ScoreAggregation::kMax,
+        ScoreAggregation::kEuclidean, ScoreAggregation::kWeighted}) {
+    if (name == ScoreAggregationToString(aggregation)) return aggregation;
+  }
+  return Status::Invalid("unknown score aggregation '", name,
+                         "'; expected mean|max|euclidean|weighted");
+}
+
 Result<std::unique_ptr<FitnessEvaluator>> FitnessEvaluator::Create(
     const Dataset& original, const std::vector<int>& attrs,
     const Options& options) {
@@ -59,38 +63,38 @@ Result<std::unique_ptr<FitnessEvaluator>> FitnessEvaluator::Create(
     return Status::Invalid("at least one disclosure-risk measure is required");
   }
 
+  // Measures are constructed by name through the registry — the same path a
+  // JobSpec takes — so the evaluator never names a concrete measure class.
   std::unique_ptr<FitnessEvaluator> evaluator(
       new FitnessEvaluator(original, attrs, options));
-  if (options.use_ctbil) {
-    EVOCAT_ASSIGN_OR_RETURN(evaluator->ctbil_,
-                            CtbIl(options.ctbil_max_dimension).Bind(original, attrs));
-  }
-  if (options.use_dbil) {
-    EVOCAT_ASSIGN_OR_RETURN(evaluator->dbil_, DbIl().Bind(original, attrs));
-  }
-  if (options.use_ebil) {
-    EVOCAT_ASSIGN_OR_RETURN(evaluator->ebil_, EbIl().Bind(original, attrs));
-  }
-  if (options.use_id) {
+  auto bind = [&](bool enabled, const char* name, ParamMap params,
+                  std::unique_ptr<BoundMeasure>* slot) -> Status {
+    if (!enabled) return Status::OK();
     EVOCAT_ASSIGN_OR_RETURN(
-        evaluator->id_,
-        IntervalDisclosure(options.id_window_percent).Bind(original, attrs));
-  }
-  if (options.use_dbrl) {
-    EVOCAT_ASSIGN_OR_RETURN(evaluator->dbrl_,
-                            DistanceBasedRecordLinkage().Bind(original, attrs));
-  }
-  if (options.use_prl) {
-    EVOCAT_ASSIGN_OR_RETURN(
-        evaluator->prl_,
-        ProbabilisticRecordLinkage(options.prl_em_iterations).Bind(original, attrs));
-  }
-  if (options.use_rsrl) {
-    EVOCAT_ASSIGN_OR_RETURN(
-        evaluator->rsrl_,
-        RankSwappingRecordLinkage(options.rsrl_assumed_p_percent)
-            .Bind(original, attrs));
-  }
+        std::unique_ptr<Measure> measure,
+        MeasureRegistry::Global().Create(name, std::move(params)));
+    EVOCAT_ASSIGN_OR_RETURN(*slot, measure->Bind(original, attrs));
+    return Status::OK();
+  };
+  EVOCAT_RETURN_NOT_OK(bind(
+      options.use_ctbil, "CTBIL",
+      {{"max_dimension", std::to_string(options.ctbil_max_dimension)}},
+      &evaluator->ctbil_));
+  EVOCAT_RETURN_NOT_OK(bind(options.use_dbil, "DBIL", {}, &evaluator->dbil_));
+  EVOCAT_RETURN_NOT_OK(bind(options.use_ebil, "EBIL", {}, &evaluator->ebil_));
+  EVOCAT_RETURN_NOT_OK(bind(
+      options.use_id, "ID",
+      {{"window_percent", FormatDouble(options.id_window_percent)}},
+      &evaluator->id_));
+  EVOCAT_RETURN_NOT_OK(bind(options.use_dbrl, "DBRL", {}, &evaluator->dbrl_));
+  EVOCAT_RETURN_NOT_OK(bind(
+      options.use_prl, "PRL",
+      {{"em_iterations", std::to_string(options.prl_em_iterations)}},
+      &evaluator->prl_));
+  EVOCAT_RETURN_NOT_OK(bind(
+      options.use_rsrl, "RSRL",
+      {{"assumed_p_percent", FormatDouble(options.rsrl_assumed_p_percent)}},
+      &evaluator->rsrl_));
   return evaluator;
 }
 

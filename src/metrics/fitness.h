@@ -37,6 +37,9 @@ enum class ScoreAggregation {
 
 const char* ScoreAggregationToString(ScoreAggregation aggregation);
 
+/// \brief Inverse of ScoreAggregationToString; rejects unknown names.
+Result<ScoreAggregation> ScoreAggregationFromString(const std::string& name);
+
 /// \brief Combines IL and DR under the chosen aggregation.
 ///
 /// `il_weight` is only used by kWeighted (must be in [0, 1]).

@@ -1,5 +1,7 @@
 #include "metrics/interval_disclosure.h"
 
+#include "metrics/registry.h"
+
 #include <cmath>
 
 #include "data/stats.h"
@@ -180,6 +182,16 @@ Result<std::unique_ptr<BoundMeasure>> IntervalDisclosure::Bind(
   }
   return std::unique_ptr<BoundMeasure>(
       new BoundIntervalDisclosure(original, attrs, window_percent_));
+}
+
+void RegisterIntervalDisclosureMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "ID", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("ID", params);
+        double window_percent = reader.GetDouble("window_percent", 10.0);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(new IntervalDisclosure(window_percent));
+      });
 }
 
 }  // namespace metrics

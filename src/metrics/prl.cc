@@ -1,5 +1,7 @@
 #include "metrics/prl.h"
 
+#include "metrics/registry.h"
+
 #include <cmath>
 #include <cstdint>
 
@@ -392,6 +394,17 @@ Result<std::unique_ptr<BoundMeasure>> ProbabilisticRecordLinkage::Bind(
   }
   return std::unique_ptr<BoundMeasure>(
       new BoundPrl(original, attrs, em_iterations_));
+}
+
+void RegisterPrlMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "PRL", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("PRL", params);
+        int64_t em_iterations = reader.GetInt("em_iterations", 50);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(
+            new ProbabilisticRecordLinkage(static_cast<int>(em_iterations)));
+      });
 }
 
 }  // namespace metrics

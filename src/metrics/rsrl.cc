@@ -1,5 +1,7 @@
 #include "metrics/rsrl.h"
 
+#include "metrics/registry.h"
+
 #include <cmath>
 #include <cstdint>
 
@@ -443,6 +445,17 @@ Result<std::unique_ptr<BoundMeasure>> RankSwappingRecordLinkage::Bind(
   }
   return std::unique_ptr<BoundMeasure>(
       new BoundRsrl(original, attrs, assumed_p_percent_));
+}
+
+void RegisterRsrlMeasure(MeasureRegistry* registry) {
+  registry->Register(
+      "RSRL", [](const ParamMap& params) -> Result<std::unique_ptr<Measure>> {
+        ParamReader reader("RSRL", params);
+        double assumed_p_percent = reader.GetDouble("assumed_p_percent", 15.0);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<Measure>(
+            new RankSwappingRecordLinkage(assumed_p_percent));
+      });
 }
 
 }  // namespace metrics

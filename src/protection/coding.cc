@@ -4,6 +4,7 @@
 
 #include "common/math_utils.h"
 #include "common/string_utils.h"
+#include "protection/registry.h"
 
 namespace evocat {
 namespace protection {
@@ -66,6 +67,25 @@ Result<Dataset> TopCoding::Protect(const Dataset& original,
     }
   }
   return masked;
+}
+
+void RegisterCodingMethods(MethodRegistry* registry) {
+  registry->Register(
+      "bottomcoding",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("bottomcoding", params);
+        double fraction = reader.GetDouble("fraction", 0.2);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<ProtectionMethod>(new BottomCoding(fraction));
+      });
+  registry->Register(
+      "topcoding",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("topcoding", params);
+        double fraction = reader.GetDouble("fraction", 0.2);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<ProtectionMethod>(new TopCoding(fraction));
+      });
 }
 
 }  // namespace protection

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_utils.h"
+#include "protection/registry.h"
 
 namespace evocat {
 namespace protection {
@@ -40,6 +41,18 @@ Result<Dataset> GlobalRecoding::Protect(const Dataset& original,
     }
   }
   return masked;
+}
+
+void RegisterGlobalRecodingMethod(MethodRegistry* registry) {
+  registry->Register(
+      "globalrecoding",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("globalrecoding", params);
+        int64_t group_size = reader.GetInt("group_size", 2);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<ProtectionMethod>(
+            new GlobalRecoding(static_cast<int>(group_size)));
+      });
 }
 
 }  // namespace protection

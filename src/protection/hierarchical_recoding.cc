@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_utils.h"
+#include "protection/registry.h"
 
 namespace evocat {
 namespace protection {
@@ -36,6 +37,19 @@ Result<Dataset> HierarchicalRecoding::Protect(const Dataset& original,
     }
   }
   return masked;
+}
+
+void RegisterHierarchicalRecodingMethod(MethodRegistry* registry) {
+  registry->Register(
+      "hierarchicalrecoding",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("hierarchicalrecoding", params);
+        int64_t level = reader.GetInt("level", 1);
+        int64_t fanout = reader.GetInt("fanout", 2);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<ProtectionMethod>(new HierarchicalRecoding(
+            static_cast<int>(level), static_cast<int>(fanout)));
+      });
 }
 
 }  // namespace protection

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/string_utils.h"
+#include "protection/registry.h"
 
 namespace evocat {
 namespace protection {
@@ -193,6 +194,33 @@ Result<Dataset> Microaggregation::Protect(const Dataset& original,
     AggregateAttr(original, &masked, attr, order, groups);
   }
   return masked;
+}
+
+Result<MicroOrdering> MicroOrderingFromString(const std::string& name) {
+  for (MicroOrdering ordering :
+       {MicroOrdering::kUnivariate, MicroOrdering::kSortByAttr0,
+        MicroOrdering::kSortByAttr1, MicroOrdering::kSortByAttr2,
+        MicroOrdering::kSortBySum, MicroOrdering::kRandomProjection}) {
+    if (name == MicroOrderingToString(ordering)) return ordering;
+  }
+  return Status::Invalid("unknown microaggregation ordering '", name,
+                         "'; expected univariate|sort0|sort1|sort2|sum|"
+                         "randproj");
+}
+
+void RegisterMicroaggregationMethod(MethodRegistry* registry) {
+  registry->Register(
+      "microaggregation",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("microaggregation", params);
+        int64_t k = reader.GetInt("k", 3);
+        std::string ordering_name = reader.GetString("ordering", "univariate");
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        EVOCAT_ASSIGN_OR_RETURN(MicroOrdering ordering,
+                                MicroOrderingFromString(ordering_name));
+        return std::unique_ptr<ProtectionMethod>(
+            new Microaggregation(static_cast<int>(k), ordering));
+      });
 }
 
 }  // namespace protection

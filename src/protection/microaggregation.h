@@ -44,6 +44,9 @@ enum class MicroOrdering {
 
 const char* MicroOrderingToString(MicroOrdering ordering);
 
+/// \brief Inverse of MicroOrderingToString; rejects unknown names.
+Result<MicroOrdering> MicroOrderingFromString(const std::string& name);
+
 /// \brief Categorical microaggregation with group size `k`.
 class Microaggregation : public ProtectionMethod {
  public:

@@ -101,7 +101,13 @@ Result<std::vector<ProtectedFile>> BuildProtections(const Dataset& original,
                                                     const std::vector<int>& attrs,
                                                     const PopulationSpec& spec,
                                                     uint64_t seed) {
-  auto methods = InstantiateMethods(spec);
+  return BuildProtectionsWith(original, attrs, InstantiateMethods(spec), seed);
+}
+
+Result<std::vector<ProtectedFile>> BuildProtectionsWith(
+    const Dataset& original, const std::vector<int>& attrs,
+    const std::vector<std::unique_ptr<ProtectionMethod>>& methods,
+    uint64_t seed) {
   std::vector<ProtectedFile> files;
   files.reserve(methods.size());
   Rng master(seed);

@@ -73,6 +73,14 @@ Result<std::vector<ProtectedFile>> BuildProtections(const Dataset& original,
                                                     const PopulationSpec& spec,
                                                     uint64_t seed);
 
+/// \brief Applies an explicit method roster (e.g. registry-built from a
+/// JobSpec) to `original` over `attrs`, same RNG forking discipline as
+/// `BuildProtections`: file i depends only on `seed` and position i.
+Result<std::vector<ProtectedFile>> BuildProtectionsWith(
+    const Dataset& original, const std::vector<int>& attrs,
+    const std::vector<std::unique_ptr<ProtectionMethod>>& methods,
+    uint64_t seed);
+
 }  // namespace protection
 }  // namespace evocat
 

@@ -1,6 +1,7 @@
 #include "protection/pram.h"
 
 #include "common/string_utils.h"
+#include "protection/registry.h"
 #include "data/stats.h"
 
 namespace evocat {
@@ -26,6 +27,17 @@ Result<Dataset> Pram::Protect(const Dataset& original,
     }
   }
   return masked;
+}
+
+void RegisterPramMethod(MethodRegistry* registry) {
+  registry->Register(
+      "pram",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("pram", params);
+        double retain = reader.GetDouble("retain", 0.8);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<ProtectionMethod>(new Pram(retain));
+      });
 }
 
 }  // namespace protection

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/string_utils.h"
+#include "protection/registry.h"
 
 namespace evocat {
 namespace protection {
@@ -66,6 +67,17 @@ Result<Dataset> RankSwapping::Protect(const Dataset& original,
     }
   }
   return masked;
+}
+
+void RegisterRankSwappingMethod(MethodRegistry* registry) {
+  registry->Register(
+      "rankswapping",
+      [](const ParamMap& params) -> Result<std::unique_ptr<ProtectionMethod>> {
+        ParamReader reader("rankswapping", params);
+        double p_percent = reader.GetDouble("p_percent", 10.0);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());
+        return std::unique_ptr<ProtectionMethod>(new RankSwapping(p_percent));
+      });
 }
 
 }  // namespace protection

@@ -1,0 +1,139 @@
+#include "api/json.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace api {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").ValueOrDie().is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").ValueOrDie().bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false").ValueOrDie().bool_value());
+  EXPECT_EQ(JsonValue::Parse("42").ValueOrDie().int_value(), 42);
+  EXPECT_EQ(JsonValue::Parse("-7").ValueOrDie().int_value(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("2.5").ValueOrDie().number_value(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3").ValueOrDie().number_value(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").ValueOrDie().string_value(), "hi");
+}
+
+TEST(JsonParseTest, IntegerVsDouble) {
+  EXPECT_TRUE(JsonValue::Parse("42").ValueOrDie().is_integer());
+  // Integral doubles normalize to exact integers ("42.0" -> 42).
+  EXPECT_TRUE(JsonValue::Parse("42.0").ValueOrDie().is_integer());
+  EXPECT_EQ(JsonValue::Parse("42.0").ValueOrDie().int_value(), 42);
+  EXPECT_FALSE(JsonValue::Parse("42.5").ValueOrDie().is_integer());
+  // Seeds need all 63 bits.
+  EXPECT_EQ(JsonValue::Parse("9007199254740993").ValueOrDie().int_value(),
+            9007199254740993LL);
+  // 2^63 exceeds int64: kept as a double (no sign-flipping cast), and its
+  // dump re-parses to the identical value.
+  JsonValue big = JsonValue::Parse("9223372036854775808").ValueOrDie();
+  EXPECT_FALSE(big.is_integer());
+  EXPECT_EQ(big.number_value(), 9223372036854775808.0);
+  EXPECT_EQ(JsonValue::Parse(big.Dump()).ValueOrDie().number_value(),
+            big.number_value());
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto value =
+      JsonValue::Parse(R"({"a": [1, 2, {"b": true}], "c": "x"})").ValueOrDie();
+  ASSERT_TRUE(value.is_object());
+  const JsonValue* a = value.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(0).int_value(), 1);
+  EXPECT_TRUE(a->at(2).Find("b")->bool_value());
+  EXPECT_EQ(value.Find("c")->string_value(), "x");
+  EXPECT_EQ(value.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectsPreserveInsertionOrder) {
+  auto value = JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})").ValueOrDie();
+  ASSERT_EQ(value.members().size(), 3u);
+  EXPECT_EQ(value.members()[0].first, "z");
+  EXPECT_EQ(value.members()[1].first, "a");
+  EXPECT_EQ(value.members()[2].first, "m");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto value = JsonValue::Parse(R"("line\nbreak \"quoted\" A")");
+  EXPECT_EQ(value.ValueOrDie().string_value(), "line\nbreak \"quoted\" A");
+}
+
+TEST(JsonParseTest, SurrogatePairsDecodeToUtf8) {
+  // \ud83d\ude00 is U+1F600 (grinning face); the escaped pair must decode
+  // to one 4-byte UTF-8 sequence, not CESU-8 halves.
+  auto value = JsonValue::Parse("\"\\ud83d\\ude00\"").ValueOrDie();
+  EXPECT_EQ(value.string_value(), "\xF0\x9F\x98\x80");
+  // Lone or malformed surrogates are errors.
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ude00\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83dA\"").ok());
+}
+
+TEST(JsonParseTest, ErrorsNameLineAndColumn) {
+  auto result = JsonValue::Parse("{\n  \"a\": nope\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status().ToString();
+
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+}
+
+TEST(JsonParseTest, RejectsDuplicateKeys) {
+  auto result = JsonValue::Parse(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  const std::string text =
+      R"({"name":"x","values":[1,2.5,true,null],"nested":{"k":"v"}})";
+  auto value = JsonValue::Parse(text).ValueOrDie();
+  EXPECT_EQ(value.Dump(), text);
+}
+
+TEST(JsonDumpTest, PrettyPrintReparsesIdentically) {
+  auto value =
+      JsonValue::Parse(R"({"a": [1, {"b": [2, 3]}], "c": 0.125})").ValueOrDie();
+  std::string pretty = value.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = JsonValue::Parse(pretty).ValueOrDie();
+  EXPECT_EQ(reparsed.Dump(), value.Dump());
+}
+
+TEST(JsonDumpTest, DoublesRoundTripExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-9, 123456.789, -0.08}) {
+    JsonValue value = JsonValue::MakeNumber(v);
+    auto reparsed = JsonValue::Parse(value.Dump()).ValueOrDie();
+    EXPECT_EQ(reparsed.number_value(), v);
+  }
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  JsonValue value = JsonValue::MakeString("tab\there\x01");
+  std::string dumped = value.Dump();
+  EXPECT_EQ(dumped, "\"tab\\there\\u0001\"");
+  EXPECT_EQ(JsonValue::Parse(dumped).ValueOrDie().string_value(),
+            value.string_value());
+}
+
+TEST(JsonValueTest, SetReplacesInPlace) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("a", JsonValue::MakeInt(1));
+  object.Set("b", JsonValue::MakeInt(2));
+  object.Set("a", JsonValue::MakeInt(3));
+  ASSERT_EQ(object.members().size(), 2u);
+  EXPECT_EQ(object.members()[0].first, "a");
+  EXPECT_EQ(object.Find("a")->int_value(), 3);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace evocat

@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -60,6 +62,77 @@ TEST(CsvTest, RejectsRaggedRows) {
   auto result = ReadCsvStream(in);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The offending cell is named: row 3 of the file, first missing column.
+  EXPECT_NE(result.status().message().find("line 3, column 2"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CsvTest, RaggedRowErrorsNameFileLineAndColumn) {
+  const std::string path = ::testing::TempDir() + "/evocat_csv_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "A,B\nx,1\ny,2,extra\n";
+  }
+  auto result = ReadCsvFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 3, column 3"),
+            std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BindSchemaDecodesOntoExistingDictionaries) {
+  std::istringstream original_in("A,B\nx,1\ny,2\n");
+  Dataset original = ReadCsvStream(original_in).ValueOrDie();
+
+  CsvReadOptions bound;
+  bound.bind_schema = original.schema_ptr();
+  std::istringstream masked_in("A,B\ny,1\nx,2\n");
+  Dataset masked = ReadCsvStream(masked_in, bound).ValueOrDie();
+  ASSERT_EQ(masked.num_rows(), 2);
+  // Codes are comparable across the two files.
+  EXPECT_EQ(masked.Code(0, 0), original.Code(1, 0));
+  EXPECT_EQ(masked.Code(1, 0), original.Code(0, 0));
+}
+
+TEST(CsvTest, BindSchemaRejectsUnknownCategoryWithLineAndColumn) {
+  std::istringstream original_in("A,B\nx,1\ny,2\n");
+  Dataset original = ReadCsvStream(original_in).ValueOrDie();
+
+  CsvReadOptions bound;
+  bound.bind_schema = original.schema_ptr();
+  std::istringstream masked_in("A,B\nx,1\nx,9\n");
+  auto result = ReadCsvStream(masked_in, bound);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3, column 2"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("'9'"), std::string::npos);
+}
+
+TEST(CsvTest, BindSchemaRejectsReorderedColumns) {
+  std::istringstream original_in("A,B\nx,1\ny,2\n");
+  Dataset original = ReadCsvStream(original_in).ValueOrDie();
+  CsvReadOptions bound;
+  bound.bind_schema = original.schema_ptr();
+  // Same columns, different order: must error instead of decoding values
+  // against the wrong dictionaries.
+  std::istringstream masked_in("B,A\n1,x\n");
+  auto result = ReadCsvStream(masked_in, bound);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("column 1"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CsvTest, BindSchemaRejectsAttributeCountMismatch) {
+  std::istringstream original_in("A,B\nx,1\n");
+  Dataset original = ReadCsvStream(original_in).ValueOrDie();
+  CsvReadOptions bound;
+  bound.bind_schema = original.schema_ptr();
+  std::istringstream masked_in("A\nx\n");
+  EXPECT_FALSE(ReadCsvStream(masked_in, bound).ok());
 }
 
 TEST(CsvTest, RejectsEmptyInput) {

@@ -1,6 +1,7 @@
 #include "experiments/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -130,7 +131,10 @@ TEST(RunnerTest, AggregationReachesBreakdown) {
 
 TEST(ImprovementTest, PercentFormula) {
   EXPECT_DOUBLE_EQ(ExperimentResult::ImprovementPercent(40.0, 30.0), 25.0);
-  EXPECT_DOUBLE_EQ(ExperimentResult::ImprovementPercent(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ExperimentResult::ImprovementPercent(40.0, 50.0), -25.0);
+  // Undefined for non-positive start scores: NaN, never a silent 0%.
+  EXPECT_TRUE(std::isnan(ExperimentResult::ImprovementPercent(0.0, 10.0)));
+  EXPECT_TRUE(std::isnan(ExperimentResult::ImprovementPercent(-5.0, 10.0)));
 }
 
 TEST(ReportTest, DispersionCsvShape) {

@@ -1,21 +1,31 @@
 // evocat_evaluate — score a protected CSV against its original.
 //
-// Prints the seven IL/DR measures, the aggregate IL and DR, and all four
-// score aggregations, so any masked file (from evocat or elsewhere) can be
-// placed on the paper's trade-off map.
+// Prints the seven IL/DR measures, the aggregate IL and DR, and the score
+// aggregations, so any masked file (from evocat or elsewhere) can be placed
+// on the paper's trade-off map. The original dataset and measure
+// configuration come from a JobSpec (--job) and/or flags; measures disabled
+// in the spec print as '-' and are footnoted.
 //
-// Example:
+// Masked values are decoded strictly onto the original's dictionaries by
+// default — a value the original never contained is an error naming its line
+// and column. Files from other tools that introduce new (generalized) labels
+// need --allow-new-categories, which registers such labels as fresh
+// categories instead.
+//
+// Examples:
 //   evocat_evaluate --original=census.csv --protected=census_protected.csv \
 //       --attrs=EDUCATION,MARITAL,OCCUPATION --ordinal=EDUCATION
+//   evocat_evaluate --job=job.json --protected=census_protected.csv
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
+#include "api/session.h"
 #include "common/flags.h"
 #include "common/logging.h"
-#include "common/string_utils.h"
+#include "spec_flags.h"
 #include "data/csv.h"
-#include "metrics/fitness.h"
 
 using namespace evocat;
 
@@ -26,20 +36,37 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Formats one measure cell: disabled measures (NaN) print as '-'.
+std::string Cell(double value) {
+  if (std::isnan(value)) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
 
-  std::string original_path, protected_path, attrs_flag, ordinal_flag;
+  std::string job_path, original_path, protected_path, attrs_flag, ordinal_flag;
   FlagParser parser("evocat_evaluate",
                     "information loss / disclosure risk report for a masked file");
+  parser.AddString("job",
+                   "JSON JobSpec naming the original source, protected "
+                   "attributes and measure configuration (see docs/api.md)",
+                   &job_path);
   parser.AddString("original", "original CSV file", &original_path);
   parser.AddString("protected", "masked CSV file to evaluate", &protected_path);
   parser.AddString("attrs", "comma-separated quasi-identifier names",
                    &attrs_flag);
   parser.AddString("ordinal", "comma-separated ordinal attribute names",
                    &ordinal_flag);
+  bool allow_new_categories = false;
+  parser.AddBool("allow-new-categories",
+                 "register masked values missing from the original's "
+                 "dictionaries as new categories instead of failing",
+                 &allow_new_categories);
 
   Status parse_status = parser.Parse(argc, argv);
   if (!parse_status.ok()) return Fail(parse_status);
@@ -47,62 +74,96 @@ int main(int argc, char** argv) {
     std::cout << parser.Usage();
     return 0;
   }
-  if (original_path.empty() || protected_path.empty() || attrs_flag.empty()) {
+  if (protected_path.empty()) {
+    return Fail(Status::Invalid("--protected is required\n", parser.Usage()));
+  }
+
+  // --- Assemble the JobSpec: file first, then flag overrides --------------
+  api::JobSpec spec;
+  if (!job_path.empty()) {
+    auto loaded = api::JobSpec::FromJsonFile(job_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    spec = std::move(loaded).ValueOrDie();
+  } else if (original_path.empty() || attrs_flag.empty()) {
     return Fail(Status::Invalid(
-        "--original, --protected and --attrs are all required\n",
+        "--original and --attrs are required without --job\n",
         parser.Usage()));
   }
+  tools::OverrideCsvSource(&spec, original_path);
+  tools::OverrideAttributeFlags(&spec, attrs_flag, ordinal_flag);
+  Status valid = spec.Validate();
+  if (!valid.ok()) return Fail(valid);
 
-  CsvReadOptions csv_options;
-  for (const auto& name : Split(ordinal_flag, ',')) {
-    if (!name.empty()) csv_options.ordinal_attributes.insert(name);
-  }
-  auto original = ReadCsvFile(original_path, csv_options);
-  if (!original.ok()) return Fail(original.status());
+  // --- Load the original through the façade, the masked file onto its
+  // schema (strict by default: every masked value must be a known category) -
+  api::Session session;
+  auto source = session.LoadSource(spec);
+  if (!source.ok()) return Fail(source.status());
+  const Dataset& original = source.ValueOrDie().original;
 
-  // The masked file must share the original's dictionaries: re-read it onto
-  // the original's schema by appending its values.
-  auto masked_raw = ReadCsvFile(protected_path, csv_options);
-  if (!masked_raw.ok()) return Fail(masked_raw.status());
-  if (masked_raw.ValueOrDie().num_attributes() !=
-      original.ValueOrDie().num_attributes()) {
-    return Fail(Status::Invalid("attribute count mismatch between files"));
-  }
-  Dataset masked(original.ValueOrDie().schema_ptr());
-  {
-    const Dataset& raw = masked_raw.ValueOrDie();
-    std::vector<std::string> row(static_cast<size_t>(raw.num_attributes()));
-    for (int64_t r = 0; r < raw.num_rows(); ++r) {
-      for (int a = 0; a < raw.num_attributes(); ++a) {
-        row[static_cast<size_t>(a)] = raw.Value(r, a);
+  CsvReadOptions masked_options;
+  masked_options.has_header = spec.source.has_header;
+  masked_options.separator = spec.source.separator[0];
+  Result<Dataset> masked = Status::Internal("unset");
+  if (allow_new_categories) {
+    // Lenient: re-encode row by row, growing the shared dictionaries for
+    // labels the original never contained (external generalizing tools).
+    auto raw = ReadCsvFile(protected_path, masked_options);
+    if (!raw.ok()) return Fail(raw.status());
+    if (raw.ValueOrDie().num_attributes() != original.num_attributes()) {
+      return Fail(Status::Invalid("attribute count mismatch between files"));
+    }
+    Dataset recoded(original.schema_ptr());
+    const Dataset& raw_data = raw.ValueOrDie();
+    std::vector<std::string> row(
+        static_cast<size_t>(raw_data.num_attributes()));
+    for (int64_t r = 0; r < raw_data.num_rows(); ++r) {
+      for (int a = 0; a < raw_data.num_attributes(); ++a) {
+        row[static_cast<size_t>(a)] = raw_data.Value(r, a);
       }
-      Status status = masked.AppendRowValues(row);
+      Status status = recoded.AppendRowValues(row);
       if (!status.ok()) return Fail(status);
     }
+    masked = std::move(recoded);
+  } else {
+    masked_options.bind_schema = original.schema_ptr();
+    masked = ReadCsvFile(protected_path, masked_options);
+    if (!masked.ok()) return Fail(masked.status());
   }
 
-  std::vector<std::string> names;
-  for (const auto& name : Split(attrs_flag, ',')) {
-    if (!name.empty()) names.push_back(name);
-  }
-  auto attrs = original.ValueOrDie().schema().IndicesOf(names);
-  if (!attrs.ok()) return Fail(attrs.status());
-
-  auto evaluator = metrics::FitnessEvaluator::Create(original.ValueOrDie(),
-                                                     attrs.ValueOrDie());
+  auto evaluator = metrics::FitnessEvaluator::Create(
+      original, source.ValueOrDie().attrs, spec.FitnessOptions());
   if (!evaluator.ok()) return Fail(evaluator.status());
   metrics::FitnessBreakdown b =
-      evaluator.ValueOrDie()->Evaluate(masked);
+      evaluator.ValueOrDie()->Evaluate(masked.ValueOrDie());
 
-  std::printf("information loss:  CTBIL=%.2f DBIL=%.2f EBIL=%.2f  -> IL=%.2f\n",
-              b.ctbil, b.dbil, b.ebil, b.il);
-  std::printf("disclosure risk:   ID=%.2f DBRL=%.2f PRL=%.2f RSRL=%.2f  -> "
-              "DR=%.2f\n",
-              b.id, b.dbrl, b.prl, b.rsrl, b.dr);
+  std::printf("information loss:  CTBIL=%s DBIL=%s EBIL=%s  -> IL=%.2f\n",
+              Cell(b.ctbil).c_str(), Cell(b.dbil).c_str(),
+              Cell(b.ebil).c_str(), b.il);
+  std::printf("disclosure risk:   ID=%s DBRL=%s PRL=%s RSRL=%s  -> DR=%.2f\n",
+              Cell(b.id).c_str(), Cell(b.dbrl).c_str(), Cell(b.prl).c_str(),
+              Cell(b.rsrl).c_str(), b.dr);
   std::printf("scores:            mean=%.2f max=%.2f euclidean=%.2f\n",
               metrics::AggregateScore(metrics::ScoreAggregation::kMean, b.il, b.dr),
               metrics::AggregateScore(metrics::ScoreAggregation::kMax, b.il, b.dr),
               metrics::AggregateScore(metrics::ScoreAggregation::kEuclidean,
                                       b.il, b.dr));
+
+  std::vector<std::string> disabled;
+  for (const auto& [name, value] :
+       {std::pair<const char*, double>{"CTBIL", b.ctbil},
+        {"DBIL", b.dbil},
+        {"EBIL", b.ebil},
+        {"ID", b.id},
+        {"DBRL", b.dbrl},
+        {"PRL", b.prl},
+        {"RSRL", b.rsrl}}) {
+    if (std::isnan(value)) disabled.push_back(name);
+  }
+  if (!disabled.empty()) {
+    std::printf("note: '-' marks measures disabled in the spec (%s); they are "
+                "excluded from the IL/DR averages\n",
+                Join(disabled, ',').c_str());
+  }
   return 0;
 }

@@ -1,41 +1,30 @@
 // evocat_protect — end-to-end protection of a categorical CSV file.
 //
-// Reads a microdata CSV (or generates one of the paper's synthetic
-// datasets), seeds a population of classical maskings, evolves it under the
-// configured fitness, and writes the best protected file plus an optional
-// evolution report.
+// The tool is a thin adapter over the evocat::api façade: it assembles one
+// JobSpec — from --job <spec.json>, from flags, or both (flags override the
+// spec) — and hands it to api::Session. See docs/api.md for the spec schema.
 //
 // Examples:
+//   evocat_protect --job=job.json
 //   evocat_protect --synthetic=adult --generations=500 --out=protected.csv
 //   evocat_protect --input=census.csv --attrs=EDUCATION,MARITAL,OCCUPATION \
 //       --ordinal=EDUCATION --score=max --out=protected.csv --report
+//   evocat_protect --synthetic=flare --dump-job=- # print the resolved spec
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
-#include <set>
+#include <limits>
 
+#include "api/session.h"
 #include "common/flags.h"
 #include "common/logging.h"
-#include "common/string_utils.h"
-#include "core/engine.h"
-#include "data/csv.h"
-#include "datagen/generator.h"
-#include "experiments/dataset_case.h"
-#include "metrics/fitness.h"
-#include "protection/population_builder.h"
+#include "spec_flags.h"
 
 using namespace evocat;
 
 namespace {
-
-Result<metrics::ScoreAggregation> ParseScore(const std::string& name) {
-  if (name == "mean") return metrics::ScoreAggregation::kMean;
-  if (name == "max") return metrics::ScoreAggregation::kMax;
-  if (name == "euclidean") return metrics::ScoreAggregation::kEuclidean;
-  if (name == "weighted") return metrics::ScoreAggregation::kWeighted;
-  return Status::Invalid("unknown score '", name,
-                         "'; expected mean|max|euclidean|weighted");
-}
 
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
@@ -47,15 +36,17 @@ int Fail(const Status& status) {
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
 
-  std::string input, synthetic, attrs_flag, ordinal_flag, score_name = "max";
-  std::string output = "protected.csv";
-  int64_t generations = 1000;
-  int64_t seed = 42;
-  double il_weight = 0.5;
+  std::string job_path, input, synthetic, attrs_flag, ordinal_flag, score_name;
+  std::string output, save_original, dump_job;
+  int64_t generations = -1;
+  int64_t seed = -1;
+  double il_weight = std::numeric_limits<double>::quiet_NaN();
   bool report = false;
 
   FlagParser parser("evocat_protect",
                     "evolutionary optimization of categorical data protection");
+  parser.AddString("job", "JSON JobSpec driving the run (see docs/api.md); "
+                   "other flags override its fields", &job_path);
   parser.AddString("input", "CSV file to protect (all attributes categorical)",
                    &input);
   parser.AddString("synthetic",
@@ -72,13 +63,17 @@ int main(int argc, char** argv) {
   parser.AddDouble("il-weight", "information-loss weight for --score=weighted",
                    &il_weight);
   parser.AddInt("generations", "GA generation budget", &generations);
-  parser.AddInt("seed", "random seed for masking + evolution", &seed);
+  parser.AddInt("seed", "master random seed (data + masking + evolution)",
+                &seed);
   parser.AddString("out", "output CSV path for the best protection", &output);
-  std::string save_original;
   parser.AddString("save-original",
                    "also write the (generated) original CSV here — pairs with "
                    "evocat_evaluate",
                    &save_original);
+  parser.AddString("dump-job",
+                   "write the resolved JobSpec JSON here ('-' = stdout) "
+                   "instead of running",
+                   &dump_job);
   parser.AddBool("report", "print the per-generation evolution CSV", &report);
 
   Status parse_status = parser.Parse(argc, argv);
@@ -87,105 +82,119 @@ int main(int argc, char** argv) {
     std::cout << parser.Usage();
     return 0;
   }
-  if (input.empty() == synthetic.empty()) {
-    return Fail(Status::Invalid("pass exactly one of --input or --synthetic"));
+  // Numeric flags use -1 as the "unset" sentinel; any other negative is a
+  // user error, not an absent flag.
+  if (generations < -1) {
+    return Fail(Status::Invalid("--generations must be non-negative, got ",
+                                generations));
+  }
+  if (seed < -1) {
+    return Fail(Status::Invalid("--seed must be non-negative, got ", seed));
+  }
+  if (!std::isnan(il_weight) && (il_weight < 0.0 || il_weight > 1.0)) {
+    return Fail(Status::Invalid("--il-weight must be in [0, 1], got ",
+                                il_weight));
   }
 
-  // --- Load or generate the original file -------------------------------
-  Dataset original;
-  std::vector<int> attrs;
-  protection::PopulationSpec spec;
-  if (!synthetic.empty()) {
-    auto dataset_case = experiments::CaseByName(synthetic);
-    if (!dataset_case.ok()) return Fail(dataset_case.status());
-    auto generated = datagen::Generate(dataset_case.ValueOrDie().profile,
-                                       static_cast<uint64_t>(seed));
-    if (!generated.ok()) return Fail(generated.status());
-    original = std::move(generated).ValueOrDie();
-    auto indices = datagen::ProtectedAttributeIndices(
-        dataset_case.ValueOrDie().profile, original);
-    if (!indices.ok()) return Fail(indices.status());
-    attrs = indices.ValueOrDie();
-    spec = dataset_case.ValueOrDie().population_spec;
-  } else {
-    CsvReadOptions csv_options;
-    for (const auto& name : Split(ordinal_flag, ',')) {
-      if (!name.empty()) csv_options.ordinal_attributes.insert(name);
-    }
-    auto loaded = ReadCsvFile(input, csv_options);
+  if (!input.empty() && !synthetic.empty()) {
+    return Fail(Status::Invalid("--input and --synthetic are mutually "
+                                "exclusive"));
+  }
+
+  // --- Assemble the JobSpec: file first, then flag overrides --------------
+  api::JobSpec spec;
+  if (!job_path.empty()) {
+    auto loaded = api::JobSpec::FromJsonFile(job_path);
     if (!loaded.ok()) return Fail(loaded.status());
-    original = std::move(loaded).ValueOrDie();
-    if (attrs_flag.empty()) {
-      return Fail(Status::Invalid("--attrs is required with --input"));
+    spec = std::move(loaded).ValueOrDie();
+  } else {
+    if (input.empty() && synthetic.empty()) {
+      return Fail(Status::Invalid(
+          "pass exactly one of --input or --synthetic (or a --job spec)"));
     }
-    std::vector<std::string> names;
-    for (const auto& name : Split(attrs_flag, ',')) {
-      if (!name.empty()) names.push_back(name);
+    // Legacy CLI defaults (JobSpec defaults differ: 400 generations, mean).
+    spec.ga.generations = 1000;
+    spec.measures.aggregation = metrics::ScoreAggregation::kMax;
+    spec.outputs.best_csv_path = "protected.csv";
+  }
+
+  if (!input.empty()) {
+    tools::OverrideCsvSource(&spec, input);
+  } else if (!synthetic.empty()) {
+    spec.source = api::SourceSpec();
+    spec.source.kind = api::SourceSpec::Kind::kSynthetic;
+    spec.source.case_name = synthetic;
+  }
+  tools::OverrideAttributeFlags(&spec, attrs_flag, ordinal_flag);
+  if (!score_name.empty()) {
+    auto aggregation = metrics::ScoreAggregationFromString(score_name);
+    if (!aggregation.ok()) return Fail(aggregation.status());
+    spec.measures.aggregation = aggregation.ValueOrDie();
+  }
+  if (!std::isnan(il_weight)) spec.measures.il_weight = il_weight;
+  if (generations >= 0) spec.ga.generations = static_cast<int>(generations);
+  if (seed >= 0) {
+    spec.seeds = api::SeedSpec();
+    spec.seeds.master = static_cast<uint64_t>(seed);
+  }
+  if (!output.empty()) spec.outputs.best_csv_path = output;
+  if (!save_original.empty()) spec.outputs.original_csv_path = save_original;
+  if (report) spec.outputs.history = true;  // --report needs the trajectory
+
+  if (!dump_job.empty()) {
+    Status valid = spec.Validate();
+    if (!valid.ok()) return Fail(valid);
+    std::string text = spec.ToJsonText();
+    if (dump_job == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(dump_job);
+      out << text;
+      out.close();
+      if (!out) {
+        return Fail(Status::IOError("error writing job spec to '", dump_job,
+                                    "'"));
+      }
+      std::printf("wrote job spec to %s\n", dump_job.c_str());
     }
-    auto indices = original.schema().IndicesOf(names);
-    if (!indices.ok()) return Fail(indices.status());
-    attrs = indices.ValueOrDie();
-    spec = protection::AdultPopulationSpec();  // generic default mix
+    return 0;
   }
 
-  std::printf("original: %lld records x %d attributes; protecting %zu\n",
-              static_cast<long long>(original.num_rows()),
-              original.num_attributes(), attrs.size());
-  if (!save_original.empty()) {
-    Status save_status = WriteCsvFile(original, save_original);
-    if (!save_status.ok()) return Fail(save_status);
-    std::printf("wrote original to %s\n", save_original.c_str());
-  }
-
-  // --- Fitness -----------------------------------------------------------
-  auto aggregation = ParseScore(score_name);
-  if (!aggregation.ok()) return Fail(aggregation.status());
-  metrics::FitnessEvaluator::Options fitness_options;
-  fitness_options.aggregation = aggregation.ValueOrDie();
-  fitness_options.il_weight = il_weight;
-  auto evaluator =
-      metrics::FitnessEvaluator::Create(original, attrs, fitness_options);
-  if (!evaluator.ok()) return Fail(evaluator.status());
-
-  // --- Seed population ----------------------------------------------------
-  auto protections = protection::BuildProtections(original, attrs, spec,
-                                                  static_cast<uint64_t>(seed));
-  if (!protections.ok()) return Fail(protections.status());
-  std::vector<core::Individual> seeds;
-  for (auto& file : protections.ValueOrDie()) {
-    core::Individual individual;
-    individual.data = std::move(file.data);
-    individual.origin = std::move(file.method_label);
-    seeds.push_back(std::move(individual));
-  }
-  std::printf("seeded %zu protections; evolving %lld generations (score=%s)\n",
-              seeds.size(), static_cast<long long>(generations),
-              score_name.c_str());
-
-  // --- Evolve -------------------------------------------------------------
-  core::GaConfig config;
-  config.generations = static_cast<int>(generations);
-  config.seed = static_cast<uint64_t>(seed);
-  core::EvolutionEngine engine(evaluator.ValueOrDie().get(), config);
-  auto run = engine.Run(std::move(seeds));
+  // --- Run through the façade --------------------------------------------
+  api::Session session;
+  auto run = session.Run(spec);
   if (!run.ok()) return Fail(run.status());
-  const auto& evolution = run.ValueOrDie();
+  const api::RunArtifacts& artifacts = run.ValueOrDie();
+
+  std::printf("original: %lld records; protecting %zu attributes (%s)\n",
+              static_cast<long long>(artifacts.num_rows),
+              artifacts.protected_attrs.size(), artifacts.dataset.c_str());
+  std::printf("seeded %lld protections; evolved %lld generations (score=%s, "
+              "%lld evaluations)\n",
+              static_cast<long long>(artifacts.population_size),
+              static_cast<long long>(artifacts.stats.mutation_generations +
+                                     artifacts.stats.crossover_generations),
+              metrics::ScoreAggregationToString(
+                  artifacts.spec.measures.aggregation),
+              static_cast<long long>(artifacts.evaluations));
 
   if (report) {
     std::printf("generation,min_score,mean_score,max_score\n");
-    for (const auto& record : evolution.history) {
+    for (const auto& record : artifacts.history) {
       std::printf("%d,%.3f,%.3f,%.3f\n", record.generation, record.min_score,
                   record.mean_score, record.max_score);
     }
   }
 
-  const auto& best = evolution.population.best();
   std::printf("best: score=%.2f IL=%.2f DR=%.2f origin=%s\n",
-              best.fitness.score, best.fitness.il, best.fitness.dr,
-              best.origin.c_str());
-
-  Status write_status = WriteCsvFile(best.data, output);
-  if (!write_status.ok()) return Fail(write_status);
-  std::printf("wrote %s\n", output.c_str());
+              artifacts.best.fitness.score, artifacts.best.fitness.il,
+              artifacts.best.fitness.dr, artifacts.best.origin.c_str());
+  if (!artifacts.spec.outputs.original_csv_path.empty()) {
+    std::printf("wrote original to %s\n",
+                artifacts.spec.outputs.original_csv_path.c_str());
+  }
+  if (!artifacts.spec.outputs.best_csv_path.empty()) {
+    std::printf("wrote %s\n", artifacts.spec.outputs.best_csv_path.c_str());
+  }
   return 0;
 }

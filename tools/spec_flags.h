@@ -1,0 +1,47 @@
+// Flag-override helpers shared by the evocat CLI adapters.
+//
+// Both tools assemble one api::JobSpec from an optional --job file plus
+// legacy flags; the overrides that exist in both tools live here so their
+// semantics cannot drift apart.
+
+#ifndef EVOCAT_TOOLS_SPEC_FLAGS_H_
+#define EVOCAT_TOOLS_SPEC_FLAGS_H_
+
+#include <string>
+
+#include "api/jobspec.h"
+#include "common/string_utils.h"
+
+namespace evocat {
+namespace tools {
+
+/// \brief `--input`/`--original` override: replace the spec's source with a
+/// fresh CSV source (dropping any spec-side source configuration).
+inline void OverrideCsvSource(api::JobSpec* spec, const std::string& path) {
+  if (path.empty()) return;
+  spec->source = api::SourceSpec();
+  spec->source.kind = api::SourceSpec::Kind::kCsv;
+  spec->source.path = path;
+}
+
+/// \brief `--attrs` / `--ordinal` overrides (comma-separated name lists).
+///
+/// `--ordinal` only applies to csv sources (synthetic profiles declare
+/// attribute kinds themselves); as in the legacy CLI it is ignored for
+/// synthetic runs.
+inline void OverrideAttributeFlags(api::JobSpec* spec,
+                                   const std::string& attrs_flag,
+                                   const std::string& ordinal_flag) {
+  if (!attrs_flag.empty()) {
+    spec->protected_attributes = SplitSkipEmpty(attrs_flag, ',');
+  }
+  if (!ordinal_flag.empty() &&
+      spec->source.kind == api::SourceSpec::Kind::kCsv) {
+    spec->source.ordinal_attributes = SplitSkipEmpty(ordinal_flag, ',');
+  }
+}
+
+}  // namespace tools
+}  // namespace evocat
+
+#endif  // EVOCAT_TOOLS_SPEC_FLAGS_H_
