@@ -1,19 +1,53 @@
-// micro_session_batch — Session::RunBatch vs serial Session::Run.
+// micro_session_batch — batch scheduling vs serial Session::Run.
 //
-// Runs the same set of JobSpecs (paper Adult case, trimmed generation
-// budget) serially and as one batch on the shared worker pool, checks the
-// results are bit-identical per job seed, and prints both wall times plus
-// the speedup. Appends the numbers to BENCH_session.json.
+// Scenario 1 (uniform): the same set of JobSpecs serially and as one batch,
+// checking bit-identical results per job seed and printing the speedup.
+//
+// Scenario 2 (skewed): 1 heavy job (bigger file, full paper roster — the
+// per-grid-point build and per-member evaluation dominate) + N light jobs,
+// under both batch schedules. One-job-per-worker leaves the heavy job's
+// inner loops serial on a single worker once the light jobs finish; work
+// stealing splits them across the idle workers. Results must stay
+// bit-identical between the two schedules; the wall-clock gap (and the
+// steal counter) is the win. On a single hardware thread both degenerate
+// to the same serial schedule (speedup ~1.0).
+//
+// Writes every number to BENCH_session.json.
 
 #include <cstdio>
 #include <thread>
 
 #include "api/session.h"
 #include "bench_util.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "datagen/profile.h"
 
 using namespace evocat;
+
+namespace {
+
+/// Fails the bench when any batch slot errored or differs from `reference`.
+bool SameArtifacts(const std::vector<api::JobSpec>& jobs,
+                   const std::vector<Result<api::RunArtifacts>>& batch,
+                   const std::vector<api::RunArtifacts>& reference,
+                   const char* label) {
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!batch[i].ok()) {
+      std::fprintf(stderr, "%s %s: %s\n", label, jobs[i].name.c_str(),
+                   batch[i].status().ToString().c_str());
+      return false;
+    }
+    if (!batch[i].ValueOrDie().best_data.SameCodes(reference[i].best_data)) {
+      std::fprintf(stderr, "%s %s: result differs from reference run\n", label,
+                   jobs[i].name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   // Small files with a long evolution: the GA loop is inherently serial per
@@ -77,12 +111,96 @@ int main() {
               "batch parallelism is bounded by hardware threads)\n",
               serial_seconds, batch_seconds, speedup);
 
+  // --- Scenario 2: skewed batch, one-job-per-worker vs work stealing. ---
+  // The heavy job runs the full default Adult roster (86 grid points) over a
+  // bigger synthetic file; its seed-protection build and initial population
+  // evaluation are the stealable phases. The light jobs finish first and
+  // free their workers.
+  std::vector<api::JobSpec> skewed;
+  {
+    api::JobSpec heavy;
+    heavy.name = "skew-heavy";
+    heavy.source.kind = api::SourceSpec::Kind::kSynthetic;
+    heavy.source.has_inline_profile = true;
+    heavy.source.profile =
+        datagen::UniformTestProfile("skew-big", 700, {12, 9, 15});
+    heavy.ga.generations = 60;
+    heavy.seeds.master = 2000;
+    heavy.outputs.initial_population = false;
+    heavy.outputs.final_population = false;
+    heavy.outputs.history = false;
+    skewed.push_back(std::move(heavy));
+    for (int i = 0; i < kJobs - 1; ++i) {
+      api::JobSpec light;
+      light.name = "skew-light-" + std::to_string(i);
+      light.source.kind = api::SourceSpec::Kind::kSynthetic;
+      light.source.has_inline_profile = true;
+      light.source.profile =
+          datagen::UniformTestProfile("skew-tiny", 150, {9, 7, 11});
+      light.ga.generations = 150;
+      light.seeds.master = 2100 + static_cast<uint64_t>(i);
+      light.outputs.initial_population = false;
+      light.outputs.final_population = false;
+      light.outputs.history = false;
+      skewed.push_back(std::move(light));
+    }
+  }
+
+  // Reference artifacts (serial solo runs) for the parity check.
+  api::Session skew_reference_session;
+  std::vector<api::RunArtifacts> skew_reference;
+  for (const auto& job : skewed) {
+    auto run = skew_reference_session.Run(job);
+    if (!run.ok()) {
+      std::fprintf(stderr, "reference %s: %s\n", job.name.c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    skew_reference.push_back(std::move(run).ValueOrDie());
+  }
+
+  api::Session::BatchOptions one_per_worker;
+  one_per_worker.work_stealing = false;
+  api::Session legacy_session;
+  Timer legacy_timer;
+  auto legacy = legacy_session.RunBatch(skewed, one_per_worker);
+  double legacy_seconds = legacy_timer.ElapsedSeconds();
+  if (!SameArtifacts(skewed, legacy, skew_reference, "one-per-worker")) {
+    return 1;
+  }
+
+  int64_t steals_before = TaskScheduler::Shared().steal_count();
+  api::Session::BatchOptions stealing;
+  stealing.work_stealing = true;
+  api::Session stealing_session;
+  Timer stealing_timer;
+  auto stolen = stealing_session.RunBatch(skewed, stealing);
+  double stealing_seconds = stealing_timer.ElapsedSeconds();
+  int64_t steals =
+      TaskScheduler::Shared().steal_count() - steals_before;
+  if (!SameArtifacts(skewed, stolen, skew_reference, "work-stealing")) {
+    return 1;
+  }
+
+  double skew_speedup =
+      stealing_seconds > 0 ? legacy_seconds / stealing_seconds : 0.0;
+  std::printf(
+      "skewed (1 heavy + %d light): one-per-worker: %.2fs  "
+      "work-stealing: %.2fs  speedup: %.2fx  stolen_subtasks: %lld "
+      "(bit-identical)\n",
+      kJobs - 1, legacy_seconds, stealing_seconds, skew_speedup,
+      static_cast<long long>(steals));
+
   bench::JsonObject summary;
   summary.Add("jobs", static_cast<int64_t>(kJobs));
   summary.Add("hardware_threads", static_cast<int64_t>(threads));
   summary.Add("serial_seconds", serial_seconds);
   summary.Add("batch_seconds", batch_seconds);
   summary.Add("batch_speedup", speedup);
+  summary.Add("skewed_one_per_worker_seconds", legacy_seconds);
+  summary.Add("skewed_work_stealing_seconds", stealing_seconds);
+  summary.Add("skewed_speedup", skew_speedup);
+  summary.Add("skewed_stolen_subtasks", steals);
   Status status = bench::WriteJsonFile("BENCH_session.json", summary);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());

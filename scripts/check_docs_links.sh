@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Docs link-check + markdown lint-lite.
+#
+# Over every tracked *.md (repo root, docs/, .github/):
+#   1. every relative markdown link [text](path[#anchor]) must point at an
+#      existing file or directory, resolved against the linking file;
+#   2. code fences (```) must be balanced per file.
+# External links (http/https/mailto) and pure #anchors are not checked —
+# CI must not depend on the network.
+#
+# Usage: scripts/check_docs_links.sh   (from anywhere inside the repo)
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# PAPERS.md and SNIPPETS.md are generated reference dumps (arxiv extraction,
+# exemplar code) whose links point outside the repo by design.
+docs=$(find . -maxdepth 3 \( -name build -o -name .git \) -prune -o \
+       -name '*.md' ! -name PAPERS.md ! -name SNIPPETS.md -print | sort)
+
+for doc in $docs; do
+  dir=$(dirname "$doc")
+
+  # --- 1. relative links exist ---
+  # Drop fenced code blocks (C++ lambdas like [](const T&) would read as
+  # links), then pull every ](target) out, one per line.
+  links=$(awk '/^[[:space:]]*```/ {fence = !fence; next} !fence' "$doc" |
+          grep -o '](\([^)]*\))' | sed 's/^](//; s/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${link%%#*}              # drop any #anchor
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $doc -> $link"
+      fail=1
+    fi
+  done
+
+  # --- 2. balanced code fences ---
+  fences=$(grep -c '^[[:space:]]*```' "$doc")
+  if [ $((fences % 2)) -ne 0 ]; then
+    echo "UNBALANCED CODE FENCES: $doc ($fences \`\`\` lines)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK ($(echo "$docs" | wc -l) markdown files)"

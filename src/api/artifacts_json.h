@@ -1,0 +1,33 @@
+/// \file artifacts_json.h
+/// \brief JSON serialization of `RunArtifacts` (see docs/api.md).
+///
+/// The server's result endpoint and any artifact archival go through this
+/// one serializer: the resolved spec (stage seeds pinned, so the document
+/// reproduces the run), score stats, engine statistics, the population
+/// summaries/history the spec's output toggles kept, and — optionally —
+/// the best protected file inlined as CSV text.
+
+#ifndef EVOCAT_API_ARTIFACTS_JSON_H_
+#define EVOCAT_API_ARTIFACTS_JSON_H_
+
+#include "api/json.h"
+#include "api/session.h"
+
+namespace evocat {
+namespace api {
+
+struct ArtifactsJsonOptions {
+  /// Inline the best protected file as CSV text under "best_csv". The only
+  /// field whose size scales with the dataset; turn off when the caller
+  /// wants scores only (the server maps `?best_csv=0` here).
+  bool include_best_csv = true;
+};
+
+/// \brief Serializes artifacts to a JSON document.
+JsonValue ArtifactsToJson(const RunArtifacts& artifacts,
+                          const ArtifactsJsonOptions& options = {});
+
+}  // namespace api
+}  // namespace evocat
+
+#endif  // EVOCAT_API_ARTIFACTS_JSON_H_

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/params.h"
 #include "common/string_utils.h"
+#include "common/task_scheduler.h"
 #include "data/csv.h"
 #include "datagen/generator.h"
 #include "protection/registry.h"
@@ -110,21 +111,13 @@ Result<Session::SourceData> Session::LoadSource(const JobSpec& spec) {
     std::string cache_key = spec.source.path + "\n" + spec.source.separator +
                             (spec.source.has_header ? "H" : "-") + "\n" +
                             Join(spec.source.ordinal_attributes, ',');
-    bool cached = false;
-    if (options_.cache_sources) {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
-      auto it = csv_cache_.find(cache_key);
-      if (it != csv_cache_.end()) {
-        source.original = it->second.Clone();
-        cached = true;
-      }
-    }
+    bool cached =
+        options_.cache_sources && LookupCachedSource(cache_key, &source.original);
     if (!cached) {
       EVOCAT_ASSIGN_OR_RETURN(source.original,
                               ReadCsvFile(spec.source.path, csv_options));
       if (options_.cache_sources) {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        csv_cache_.emplace(cache_key, source.original.Clone());
+        InsertCachedSource(cache_key, source.original.Clone());
       }
     }
     source.label = spec.source.path;
@@ -156,8 +149,51 @@ Result<Session::SourceData> Session::LoadSource(const JobSpec& spec) {
   return source;
 }
 
-Result<RunArtifacts> Session::Run(const JobSpec& input_spec) {
+bool Session::LookupCachedSource(const std::string& key, Dataset* out) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) {
+    ++cache_stats_.misses;
+    return false;
+  }
+  cache_entries_.splice(cache_entries_.begin(), cache_entries_, it->second);
+  *out = it->second->second.Clone();
+  ++cache_stats_.hits;
+  return true;
+}
+
+void Session::InsertCachedSource(const std::string& key, Dataset dataset) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    // A concurrent job loaded the same source first; refresh recency only.
+    cache_entries_.splice(cache_entries_.begin(), cache_entries_, it->second);
+    return;
+  }
+  cache_entries_.emplace_front(key, std::move(dataset));
+  cache_index_[key] = cache_entries_.begin();
+  if (options_.max_cached_sources > 0) {
+    while (cache_entries_.size() > options_.max_cached_sources) {
+      cache_index_.erase(cache_entries_.back().first);
+      cache_entries_.pop_back();
+      ++cache_stats_.evictions;
+    }
+  }
+}
+
+Session::CacheStats Session::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheStats stats = cache_stats_;
+  stats.entries = static_cast<int64_t>(cache_entries_.size());
+  return stats;
+}
+
+Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
+                                  const RunControl* control) {
   EVOCAT_RETURN_NOT_OK(input_spec.Validate());
+  if (control != nullptr && control->cancel.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("job canceled before execution started");
+  }
   JobSpec spec = input_spec;
   spec.seeds.MakeExplicit();
 
@@ -184,11 +220,22 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec) {
     return Status::Invalid("methods: the roster expands to zero instances");
   }
 
+  // Cancellation checkpoints between the expensive stages; inside a stage
+  // the engine's per-generation poll takes over.
+  auto canceled_at = [control](const char* stage) -> Status {
+    if (control != nullptr && control->cancel.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("job canceled ", stage);
+    }
+    return Status::OK();
+  };
+  EVOCAT_RETURN_NOT_OK(canceled_at("after loading the source"));
+
   // (3) Seed protections, one forked RNG stream per method instance.
   EVOCAT_ASSIGN_OR_RETURN(
       auto protections,
       protection::BuildProtectionsWith(source.original, source.attrs, methods,
                                        spec.seeds.ProtectionSeed()));
+  EVOCAT_RETURN_NOT_OK(canceled_at("after building the seed protections"));
 
   // (4) Fitness evaluator over the spec's measure configuration.
   EVOCAT_ASSIGN_OR_RETURN(auto evaluator,
@@ -243,8 +290,10 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec) {
   core::GaConfig config = spec.ga;
   config.seed = spec.seeds.GaSeed();
   core::EvolutionEngine engine(evaluator.get(), config);
-  EVOCAT_ASSIGN_OR_RETURN(core::EvolutionResult evolution,
-                          engine.Run(std::move(initial)));
+  EVOCAT_ASSIGN_OR_RETURN(
+      core::EvolutionResult evolution,
+      engine.Run(std::move(initial), nullptr,
+                 control != nullptr ? &control->cancel : nullptr));
 
   if (spec.outputs.history) artifacts.history = std::move(evolution.history);
   artifacts.stats = evolution.stats;
@@ -274,15 +323,30 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec) {
 }
 
 std::vector<Result<RunArtifacts>> Session::RunBatch(
-    const std::vector<JobSpec>& specs) {
+    const std::vector<JobSpec>& specs, const BatchOptions& batch) {
   std::vector<Result<RunArtifacts>> results(
       specs.size(), Result<RunArtifacts>(Status::Internal("job not executed")));
-  // Jobs fan out across the worker pool; the nested-region guard makes each
-  // job's inner loops serial, so N jobs use N workers without
-  // oversubscription. Each slot is written by exactly one iteration.
-  ParallelFor(0, static_cast<int64_t>(specs.size()), [&](int64_t i) {
-    results[static_cast<size_t>(i)] = Run(specs[static_cast<size_t>(i)]);
-  });
+  if (!batch.work_stealing) {
+    // Legacy schedule: jobs fan out across the worker pool; the nested-region
+    // guard makes each job's inner loops serial, so N jobs use N workers
+    // without oversubscription. Each slot is written by exactly one iteration.
+    ParallelFor(0, static_cast<int64_t>(specs.size()), [&](int64_t i) {
+      results[static_cast<size_t>(i)] = Run(specs[static_cast<size_t>(i)]);
+    });
+    return results;
+  }
+  // Work-stealing schedule: each job is one scheduler task; a job's inner
+  // ParallelFor loops split into chunks that idle workers steal (see
+  // common/task_scheduler.h), so the tail of a skewed batch — one heavy job
+  // outliving its siblings — still uses every worker. The caller sleeps in
+  // Wait rather than executing, keeping active threads at the worker count.
+  TaskScheduler& scheduler = TaskScheduler::Shared();
+  TaskScheduler::Group group;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    scheduler.Submit(&group,
+                     [this, &specs, &results, i] { results[i] = Run(specs[i]); });
+  }
+  scheduler.Wait(&group);
   return results;
 }
 

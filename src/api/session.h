@@ -12,9 +12,13 @@
 #ifndef EVOCAT_API_SESSION_H_
 #define EVOCAT_API_SESSION_H_
 
+#include <atomic>
+#include <cstddef>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/jobspec.h"
@@ -70,25 +74,66 @@ struct RunArtifacts {
   int64_t evaluations = 0;
 };
 
+/// \brief Cooperative cancellation handle for a running job.
+///
+/// Flip `cancel` from any thread; the engine polls it between generations
+/// and the run returns `Status::Cancelled`. One control governs one run.
+struct RunControl {
+  std::atomic<bool> cancel{false};
+};
+
 /// \brief Executes JobSpecs; reusable across jobs and threads.
 class Session {
  public:
   struct Options {
     /// Cache CSV originals across jobs (keyed by path + read options).
     bool cache_sources = true;
+    /// Maximum cached CSV originals; the least recently used entry is
+    /// evicted beyond this. 0 means unbounded (not recommended for
+    /// long-running daemons).
+    size_t max_cached_sources = 8;
+  };
+
+  /// \brief Source-cache counters (monotonic over the session's lifetime).
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;  ///< current resident originals
+  };
+
+  struct BatchOptions {
+    /// Execute jobs on the work-stealing task scheduler: a heavy job's
+    /// data-parallel phases (per-grid-point seed protections, per-member
+    /// evaluations, measure row loops) split into subtasks that idle workers
+    /// steal, so a skewed batch keeps every core busy. false restores the
+    /// one-job-per-worker schedule (each job's inner loops strictly serial).
+    /// Both schedules produce bit-identical artifacts.
+    bool work_stealing = true;
   };
 
   Session() = default;
   explicit Session(Options options) : options_(options) {}
 
-  /// \brief Runs one job end to end.
-  Result<RunArtifacts> Run(const JobSpec& spec);
+  /// \brief Runs one job end to end. `control` (optional) allows concurrent
+  /// cancellation; a canceled run returns `Status::Cancelled`.
+  Result<RunArtifacts> Run(const JobSpec& spec,
+                           const RunControl* control = nullptr);
 
-  /// \brief Runs every spec concurrently on the shared worker pool.
+  /// \brief Runs every spec concurrently across the worker threads.
   ///
   /// Slot i holds job i's artifacts or the Status explaining its failure;
-  /// one failing job never aborts its siblings.
-  std::vector<Result<RunArtifacts>> RunBatch(const std::vector<JobSpec>& specs);
+  /// one failing job never aborts its siblings. Every job is seeded from its
+  /// own spec, so each slot is bit-identical to `Run(specs[i])` alone under
+  /// either scheduling mode.
+  std::vector<Result<RunArtifacts>> RunBatch(
+      const std::vector<JobSpec>& specs, const BatchOptions& batch);
+  std::vector<Result<RunArtifacts>> RunBatch(const std::vector<JobSpec>& specs) {
+    return RunBatch(specs, BatchOptions());
+  }
+
+  /// \brief Current source-cache counters (thread-safe snapshot).
+  CacheStats cache_stats() const;
 
   /// \brief A loaded original plus resolved protected attribute indices.
   struct SourceData {
@@ -106,9 +151,20 @@ class Session {
   Result<SourceData> LoadSource(const JobSpec& spec);
 
  private:
+  /// \brief Clones a cached original and promotes it to most recent; false
+  /// on miss. Counts the hit/miss.
+  bool LookupCachedSource(const std::string& key, Dataset* out);
+  /// \brief Inserts (or refreshes) a cached original, evicting the least
+  /// recently used entries beyond `max_cached_sources`.
+  void InsertCachedSource(const std::string& key, Dataset dataset);
+
   Options options_;
-  std::mutex cache_mutex_;
-  std::map<std::string, Dataset> csv_cache_;
+  mutable std::mutex cache_mutex_;
+  /// LRU order, most recent first; the index maps cache key -> entry.
+  std::list<std::pair<std::string, Dataset>> cache_entries_;
+  std::map<std::string, std::list<std::pair<std::string, Dataset>>::iterator>
+      cache_index_;
+  CacheStats cache_stats_;
 };
 
 /// \brief The paper's population mix as a declarative roster (grid order

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/task_scheduler.h"
+
 namespace evocat {
 
 namespace {
@@ -108,7 +110,19 @@ void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& fn, int num_threads) {
   int64_t count = end - begin;
   if (count <= 0) return;
-  if (num_threads == 1 || count < 2 || t_in_parallel_region) {
+  if (num_threads == 1 || count < 2) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // On a task-scheduler worker (batch jobs, the evocatd daemon) the loop is
+  // split into chunks that idle workers steal; with every worker busy it
+  // degenerates to the serial loop. Either way the iteration set and its
+  // output slots are identical, so results do not depend on the route.
+  if (num_threads <= 0 && TaskScheduler::OnWorkerThread()) {
+    TaskScheduler::Current()->ParallelForOnWorker(begin, end, fn);
+    return;
+  }
+  if (t_in_parallel_region) {
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }

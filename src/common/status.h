@@ -25,6 +25,7 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kCancelled,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -73,6 +74,10 @@ class Status {
   template <typename... Args>
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return Make(StatusCode::kCancelled, std::forward<Args>(args)...);
   }
 
   /// \brief True iff the operation succeeded.

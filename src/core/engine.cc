@@ -75,8 +75,12 @@ Status EvolutionEngine::ValidateInitial(
 }
 
 Result<EvolutionResult> EvolutionEngine::Run(
-    std::vector<Individual> initial, const ProgressCallback& callback) const {
+    std::vector<Individual> initial, const ProgressCallback& callback,
+    const std::atomic<bool>* cancel) const {
   EVOCAT_RETURN_NOT_OK(ValidateInitial(initial));
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("run canceled before the first generation");
+  }
 
   Timer run_timer;
   EvolutionResult result;
@@ -119,6 +123,10 @@ Result<EvolutionResult> EvolutionEngine::Run(
   // own parent, so the parent's fitness state can be advanced in place and
   // reverted on rejection — no state cloning per generation.
   for (int gen = 1; gen <= config_.generations; ++gen) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("run canceled at generation ", gen, " of ",
+                               config_.generations);
+    }
     Timer gen_timer;
     GenerationRecord record;
     record.generation = gen;

@@ -11,6 +11,7 @@
 #ifndef EVOCAT_CORE_ENGINE_H_
 #define EVOCAT_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -112,8 +113,14 @@ class EvolutionEngine {
 
   /// \brief Evolves `initial` (fitness fields may be unset; they are
   /// evaluated up front, in parallel) for the configured generations.
+  ///
+  /// `cancel` (optional) is polled between generations; once it reads true
+  /// the run stops and returns `Status::Cancelled` naming the generation it
+  /// reached. Long-running callers (the evocatd job server) flip it from
+  /// another thread.
   Result<EvolutionResult> Run(std::vector<Individual> initial,
-                              const ProgressCallback& callback = nullptr) const;
+                              const ProgressCallback& callback = nullptr,
+                              const std::atomic<bool>* cancel = nullptr) const;
 
   const GaConfig& config() const { return config_; }
 

@@ -1,5 +1,7 @@
 #include "protection/population_builder.h"
 
+#include "common/parallel.h"
+
 namespace evocat {
 namespace protection {
 
@@ -108,14 +110,29 @@ Result<std::vector<ProtectedFile>> BuildProtectionsWith(
     const Dataset& original, const std::vector<int>& attrs,
     const std::vector<std::unique_ptr<ProtectionMethod>>& methods,
     uint64_t seed) {
+  // Fork every stream up front (order defines the streams), then protect the
+  // grid points in parallel: file i depends only on `seed` and position i, so
+  // the schedule cannot change any output. In a batch this loop is a prime
+  // work-stealing target — one subtask per grid point.
+  std::vector<Rng> streams;
+  streams.reserve(methods.size());
+  Rng master(seed);
+  for (size_t i = 0; i < methods.size(); ++i) streams.push_back(master.Fork());
+
+  std::vector<Result<Dataset>> masked(
+      methods.size(), Result<Dataset>(Status::Internal("not built")));
+  ParallelFor(0, static_cast<int64_t>(methods.size()), [&](int64_t i) {
+    auto index = static_cast<size_t>(i);
+    masked[index] =
+        methods[index]->Protect(original, attrs, &streams[index]);
+  });
+
   std::vector<ProtectedFile> files;
   files.reserve(methods.size());
-  Rng master(seed);
-  for (const auto& method : methods) {
-    Rng method_rng = master.Fork();
-    EVOCAT_ASSIGN_OR_RETURN(Dataset masked,
-                            method->Protect(original, attrs, &method_rng));
-    files.push_back(ProtectedFile{std::move(masked), method->Label()});
+  for (size_t i = 0; i < methods.size(); ++i) {
+    if (!masked[i].ok()) return masked[i].status();  // first failure by index
+    files.push_back(ProtectedFile{std::move(masked[i]).ValueOrDie(),
+                                  methods[i]->Label()});
   }
   return files;
 }

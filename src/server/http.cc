@@ -1,0 +1,365 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/params.h"
+#include "common/string_utils.h"
+
+namespace evocat {
+namespace server {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* FindHeaderIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+/// Parses "Name: value" lines between `begin` and the blank line; returns
+/// the error on malformed lines.
+Status ParseHeaderLines(const std::string& raw, size_t begin, size_t end,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = begin;
+  while (pos < end) {
+    size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > end) eol = end;
+    std::string line = raw.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::Invalid("malformed header line '", line, "'");
+    }
+    out->emplace_back(Trim(line.substr(0, colon)),
+                      Trim(line.substr(colon + 1)));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> ContentLengthOf(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const std::string* value = FindHeaderIn(headers, "Content-Length");
+  if (value == nullptr) return int64_t{0};
+  int64_t length = 0;
+  EVOCAT_RETURN_NOT_OK(ParseInt64(*value, &length));
+  if (length < 0) return Status::Invalid("negative Content-Length");
+  return length;
+}
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE here, not as a process-killing SIGPIPE.
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send failed: ", std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> FetchOverFd(int fd, const HttpRequest& request) {
+  Status sent = SendAll(fd, SerializeHttpRequest(request));
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string raw;
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("recv failed: ", std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseHttpResponse(raw);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  return FindHeaderIn(headers, name);
+}
+
+const std::string* HttpResponse::FindHeader(const std::string& name) const {
+  return FindHeaderIn(headers, name);
+}
+
+std::string HttpRequest::Path() const {
+  size_t question = target.find('?');
+  return question == std::string::npos ? target : target.substr(0, question);
+}
+
+std::vector<std::pair<std::string, std::string>> HttpRequest::QueryParams()
+    const {
+  std::vector<std::pair<std::string, std::string>> params;
+  size_t question = target.find('?');
+  if (question == std::string::npos) return params;
+  std::string query = target.substr(question + 1);
+  for (const std::string& piece : Split(query, '&')) {
+    if (piece.empty()) continue;
+    size_t equals = piece.find('=');
+    if (equals == std::string::npos) {
+      params.emplace_back(piece, "");
+    } else {
+      params.emplace_back(piece.substr(0, equals), piece.substr(equals + 1));
+    }
+  }
+  return params;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+/// Parses the request line + header block `raw[0, headers_end)` (body not
+/// attached); shared by the pure parser and the incremental fd reader.
+Result<HttpRequest> ParseRequestHead(const std::string& raw,
+                                     size_t headers_end) {
+  size_t line_end = raw.find("\r\n");
+  std::string request_line = raw.substr(0, line_end);
+  std::vector<std::string> parts = Split(request_line, ' ');
+  if (parts.size() != 3) {
+    return Status::Invalid("malformed request line '", request_line, "'");
+  }
+  HttpRequest request;
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  if (request.version.rfind("HTTP/1.", 0) != 0) {
+    return Status::Invalid("unsupported protocol version '", request.version,
+                           "'");
+  }
+  EVOCAT_RETURN_NOT_OK(ParseHeaderLines(raw, line_end + 2, headers_end,
+                                        &request.headers));
+  if (request.FindHeader("Transfer-Encoding") != nullptr) {
+    return Status::NotImplemented(
+        "Transfer-Encoding is not supported; use Content-Length");
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<HttpRequest> ParseHttpRequest(const std::string& raw) {
+  if (raw.find("\r\n") == std::string::npos) {
+    return Status::Invalid("missing request line terminator");
+  }
+  size_t headers_end = raw.find("\r\n\r\n");
+  if (headers_end == std::string::npos) {
+    return Status::Invalid("missing header terminator");
+  }
+  EVOCAT_ASSIGN_OR_RETURN(HttpRequest request,
+                          ParseRequestHead(raw, headers_end));
+  EVOCAT_ASSIGN_OR_RETURN(int64_t length, ContentLengthOf(request.headers));
+  size_t body_begin = headers_end + 4;
+  if (raw.size() - body_begin < static_cast<size_t>(length)) {
+    return Status::Invalid("body shorter than Content-Length");
+  }
+  request.body = raw.substr(body_begin, static_cast<size_t>(length));
+  return request;
+}
+
+Result<HttpResponse> ParseHttpResponse(const std::string& raw) {
+  size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) {
+    return Status::Invalid("missing status line terminator");
+  }
+  std::string status_line = raw.substr(0, line_end);
+  std::vector<std::string> parts = Split(status_line, ' ');
+  if (parts.size() < 2 || parts[0].rfind("HTTP/1.", 0) != 0) {
+    return Status::Invalid("malformed status line '", status_line, "'");
+  }
+  HttpResponse response;
+  int64_t status = 0;
+  EVOCAT_RETURN_NOT_OK(ParseInt64(parts[1], &status));
+  response.status = static_cast<int>(status);
+
+  size_t headers_end = raw.find("\r\n\r\n", line_end);
+  if (headers_end == std::string::npos) {
+    return Status::Invalid("missing header terminator");
+  }
+  EVOCAT_RETURN_NOT_OK(ParseHeaderLines(raw, line_end + 2, headers_end,
+                                        &response.headers));
+  if (const std::string* type = response.FindHeader("Content-Type")) {
+    response.content_type = *type;
+  }
+  response.body = raw.substr(headers_end + 4);
+  EVOCAT_ASSIGN_OR_RETURN(int64_t length, ContentLengthOf(response.headers));
+  if (response.FindHeader("Content-Length") != nullptr &&
+      static_cast<size_t>(length) <= response.body.size()) {
+    response.body.resize(static_cast<size_t>(length));
+  }
+  return response;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeHttpRequest(const HttpRequest& request) {
+  std::string out = request.method + " " +
+                    (request.target.empty() ? "/" : request.target) +
+                    " HTTP/1.1\r\n";
+  out += "Host: evocatd\r\n";
+  if (!request.body.empty()) {
+    out += "Content-Type: application/json\r\n";
+  }
+  out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += request.body;
+  return out;
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes) {
+  std::string raw;
+  char buffer[4096];
+  size_t headers_end = std::string::npos;
+  // Phase 1: read until the blank line separating headers from body.
+  while (headers_end == std::string::npos) {
+    if (raw.size() > kMaxHeaderBytes) {
+      return Status::OutOfRange("request headers exceed ", kMaxHeaderBytes,
+                                " bytes");
+    }
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv failed: ", std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed before a complete request");
+    }
+    size_t scan_from = raw.size() < 3 ? 0 : raw.size() - 3;
+    raw.append(buffer, static_cast<size_t>(n));
+    headers_end = raw.find("\r\n\r\n", scan_from);
+  }
+  // Phase 2: the headers announce the body size; read exactly that much.
+  EVOCAT_ASSIGN_OR_RETURN(HttpRequest request,
+                          ParseRequestHead(raw, headers_end));
+  EVOCAT_ASSIGN_OR_RETURN(int64_t length, ContentLengthOf(request.headers));
+  if (static_cast<size_t>(length) > max_body_bytes) {
+    return Status::OutOfRange("request body of ", length, " bytes exceeds ",
+                              max_body_bytes);
+  }
+  size_t total = headers_end + 4 + static_cast<size_t>(length);
+  while (raw.size() < total) {
+    ssize_t n = ::recv(fd, buffer,
+                       std::min(sizeof(buffer), total - raw.size()), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv failed: ", std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed mid-body");
+    }
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  request.body = raw.substr(headers_end + 4, static_cast<size_t>(length));
+  return request;
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response) {
+  return SendAll(fd, SerializeHttpResponse(response));
+}
+
+Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                               const HttpRequest& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket failed: ", std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Invalid("not an IPv4 address: '", host, "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("connect to ", host, ":", port,
+                           " failed: ", std::strerror(errno));
+  }
+  return FetchOverFd(fd, request);
+}
+
+Result<HttpResponse> HttpFetchUnix(const std::string& socket_path,
+                                   const HttpRequest& request) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket failed: ", std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::Invalid("unix socket path too long: '", socket_path, "'");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("connect to ", socket_path,
+                           " failed: ", std::strerror(errno));
+  }
+  return FetchOverFd(fd, request);
+}
+
+}  // namespace server
+}  // namespace evocat

@@ -1,0 +1,89 @@
+/// \file http.h
+/// \brief Minimal HTTP/1.1 message layer for evocatd.
+///
+/// Exactly the subset the JobSpec protocol needs: request line + headers +
+/// Content-Length body, one request per connection (`Connection: close`).
+/// No chunked transfer, no TLS, no compression. The parser is pure
+/// (string -> struct, unit-testable without sockets); `ReadHttpRequest` /
+/// `WriteHttpResponse` do the fd plumbing for TCP and Unix-domain sockets
+/// alike. A matching response parser plus `HttpFetch` form the tiny client
+/// the integration tests (and quick scripting) use.
+
+#ifndef EVOCAT_SERVER_HTTP_H_
+#define EVOCAT_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace evocat {
+namespace server {
+
+/// \brief One parsed request.
+struct HttpRequest {
+  std::string method;   ///< uppercase, e.g. "GET"
+  std::string target;   ///< raw request target, e.g. "/v1/jobs/job-1?x=1"
+  std::string version;  ///< e.g. "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// \brief Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+  /// \brief The target's path without the query string.
+  std::string Path() const;
+  /// \brief Query parameters in order ("k=v" pairs; flag params get "").
+  std::vector<std::pair<std::string, std::string>> QueryParams() const;
+};
+
+/// \brief One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Parsed client side only.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// \brief Standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* HttpReasonPhrase(int status);
+
+/// \brief Parses a complete request (headers already terminated by CRLFCRLF,
+/// body matching Content-Length). Malformed input is InvalidArgument.
+Result<HttpRequest> ParseHttpRequest(const std::string& raw);
+
+/// \brief Parses a complete response (status line, headers, body to end).
+Result<HttpResponse> ParseHttpResponse(const std::string& raw);
+
+/// \brief Serializes with Content-Length and `Connection: close`.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// \brief Serializes a client request the same way.
+std::string SerializeHttpRequest(const HttpRequest& request);
+
+/// \brief Reads one request from a connected socket.
+///
+/// OutOfRange when headers exceed 64 KiB or the body exceeds
+/// `max_body_bytes` (the server answers 413); IOError when the peer closes
+/// before a full request arrived.
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes);
+
+/// \brief Writes the serialized response; IOError on a broken connection.
+Status WriteHttpResponse(int fd, const HttpResponse& response);
+
+/// \brief One-shot client round trip over TCP: connect, send, read to EOF.
+Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                               const HttpRequest& request);
+
+/// \brief Same over a Unix-domain socket path.
+Result<HttpResponse> HttpFetchUnix(const std::string& socket_path,
+                                   const HttpRequest& request);
+
+}  // namespace server
+}  // namespace evocat
+
+#endif  // EVOCAT_SERVER_HTTP_H_

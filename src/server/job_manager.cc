@@ -1,0 +1,197 @@
+#include "server/job_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace evocat {
+namespace server {
+
+const char* JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCanceled: return "canceled";
+  }
+  return "?";
+}
+
+JobManager::JobManager(api::Session* session, TaskScheduler* scheduler,
+                       Options options)
+    : session_(session), scheduler_(scheduler), options_(options) {}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      if (job->state == JobState::kQueued || job->state == JobState::kRunning) {
+        job->control.cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Queued tasks observe their cancel flag and return immediately; running
+  // jobs stop at the next generation. Either way the group drains.
+  scheduler_->Wait(&inflight_);
+}
+
+std::string JobManager::Submit(api::JobSpec spec) {
+  std::shared_ptr<Job> job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    char id[32];
+    std::snprintf(id, sizeof(id), "job-%06llu",
+                  static_cast<unsigned long long>(next_id_++));
+    job->id = id;
+    jobs_[job->id] = job;
+  }
+  scheduler_->Submit(&inflight_, [this, job] { Execute(job); });
+  return job->id;
+}
+
+void JobManager::Execute(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->control.cancel.load(std::memory_order_relaxed)) {
+      // Canceled while queued: never ran.
+      job->state = JobState::kCanceled;
+      job->error = Status::Cancelled("job canceled while queued");
+      job->queued_seconds = job->submitted.ElapsedSeconds();
+      finished_order_.push_back(job->id);
+      EvictFinishedLocked();
+      return;
+    }
+    job->state = JobState::kRunning;
+    job->queued_seconds = job->submitted.ElapsedSeconds();
+    job->started.Reset();
+  }
+
+  Result<api::RunArtifacts> result = session_->Run(job->spec, &job->control);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  job->run_seconds = job->started.ElapsedSeconds();
+  if (result.ok()) {
+    job->state = JobState::kDone;
+    job->artifacts = std::make_shared<const api::RunArtifacts>(
+        std::move(result).ValueOrDie());
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    job->state = JobState::kCanceled;
+    job->error = result.status();
+  } else {
+    job->state = JobState::kFailed;
+    job->error = result.status();
+  }
+  finished_order_.push_back(job->id);
+  EvictFinishedLocked();
+}
+
+JobManager::JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
+  JobSnapshot snapshot;
+  snapshot.id = job.id;
+  snapshot.name = job.spec.name;
+  snapshot.state = job.state;
+  snapshot.error = job.error;
+  switch (job.state) {
+    case JobState::kQueued:
+      snapshot.queued_seconds = job.submitted.ElapsedSeconds();
+      break;
+    case JobState::kRunning:
+      snapshot.queued_seconds = job.queued_seconds;
+      snapshot.run_seconds = job.started.ElapsedSeconds();
+      break;
+    default:
+      snapshot.queued_seconds = job.queued_seconds;
+      snapshot.run_seconds = job.run_seconds;
+      break;
+  }
+  return snapshot;
+}
+
+Result<JobManager::JobSnapshot> JobManager::GetStatus(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id '", id, "'");
+  }
+  return SnapshotLocked(*it->second);
+}
+
+Result<std::shared_ptr<const api::RunArtifacts>> JobManager::GetResult(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id '", id, "'");
+  }
+  const Job& job = *it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return Status::Invalid("job '", id, "' is still ",
+                             JobStateToString(job.state));
+    case JobState::kDone:
+      return job.artifacts;
+    default:
+      return job.error;
+  }
+}
+
+Status JobManager::Cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id '", id, "'");
+  }
+  Job& job = *it->second;
+  if (job.state != JobState::kQueued && job.state != JobState::kRunning) {
+    return Status::Invalid("job '", id, "' already finished (",
+                           JobStateToString(job.state), ")");
+  }
+  job.control.cancel.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<JobManager::JobSnapshot> JobManager::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    out.push_back(SnapshotLocked(*job));
+  }
+  // Ids are zero-padded sequence numbers, so lexicographic descending is
+  // newest first.
+  std::sort(out.begin(), out.end(),
+            [](const JobSnapshot& a, const JobSnapshot& b) { return a.id > b.id; });
+  return out;
+}
+
+JobManager::Counts JobManager::counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counts counts;
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    switch (job->state) {
+      case JobState::kQueued: ++counts.queued; break;
+      case JobState::kRunning: ++counts.running; break;
+      case JobState::kDone: ++counts.done; break;
+      case JobState::kFailed: ++counts.failed; break;
+      case JobState::kCanceled: ++counts.canceled; break;
+    }
+  }
+  return counts;
+}
+
+void JobManager::EvictFinishedLocked() {
+  while (finished_order_.size() > options_.max_finished_jobs) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+}  // namespace server
+}  // namespace evocat

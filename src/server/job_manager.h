@@ -1,0 +1,131 @@
+/// \file job_manager.h
+/// \brief Async job table behind the evocatd endpoints.
+///
+/// `Submit` assigns an id and queues the job on the work-stealing task
+/// scheduler; callers poll `GetStatus`, fetch `GetResult` once the state is
+/// `done`, and `Cancel` queued or running jobs (running jobs stop
+/// cooperatively at the next GA generation). Finished jobs are retained —
+/// artifacts included — up to `Options::max_finished_jobs`, then evicted
+/// oldest-first so an always-on daemon holds bounded memory.
+
+#ifndef EVOCAT_SERVER_JOB_MANAGER_H_
+#define EVOCAT_SERVER_JOB_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "common/result.h"
+#include "common/task_scheduler.h"
+#include "common/timer.h"
+
+namespace evocat {
+namespace server {
+
+/// \brief Lifecycle of one submitted job.
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCanceled };
+
+const char* JobStateToString(JobState state);
+
+/// \brief Owns submitted jobs from queue to retained result.
+class JobManager {
+ public:
+  struct Options {
+    /// Finished jobs (done/failed/canceled) retained for result fetches;
+    /// beyond this the oldest-finished entry is evicted.
+    size_t max_finished_jobs = 64;
+  };
+
+  /// \param session executes the jobs (and owns the source cache).
+  /// \param scheduler runs them; both must outlive the manager.
+  JobManager(api::Session* session, TaskScheduler* scheduler, Options options);
+  JobManager(api::Session* session, TaskScheduler* scheduler)
+      : JobManager(session, scheduler, Options()) {}
+  /// \brief Cancels everything still pending and waits for in-flight jobs.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// \brief Queues a (pre-validated) spec; returns the job id.
+  std::string Submit(api::JobSpec spec);
+
+  /// \brief Point-in-time view of one job.
+  struct JobSnapshot {
+    std::string id;
+    std::string name;
+    JobState state = JobState::kQueued;
+    /// Error detail for failed/canceled jobs.
+    Status error;
+    /// Seconds from submit to execution start (so far, when still queued).
+    double queued_seconds = 0.0;
+    /// Seconds executing (so far, when still running).
+    double run_seconds = 0.0;
+  };
+
+  /// \brief NotFound for unknown (or evicted) ids.
+  Result<JobSnapshot> GetStatus(const std::string& id) const;
+
+  /// \brief The artifacts of a `done` job; Invalid while queued/running,
+  /// the job's own error for failed/canceled, NotFound otherwise.
+  Result<std::shared_ptr<const api::RunArtifacts>> GetResult(
+      const std::string& id) const;
+
+  /// \brief Cancels a queued or running job (flips its cancel flag; a
+  /// running job stops at the next generation). Invalid once finished.
+  Status Cancel(const std::string& id);
+
+  /// \brief Every known job, newest first.
+  std::vector<JobSnapshot> List() const;
+
+  struct Counts {
+    int64_t queued = 0;
+    int64_t running = 0;
+    int64_t done = 0;
+    int64_t failed = 0;
+    int64_t canceled = 0;
+  };
+  Counts counts() const;
+
+  /// \brief Worker threads of the scheduler executing the jobs.
+  int workers() const { return scheduler_->num_workers(); }
+
+ private:
+  struct Job {
+    std::string id;
+    api::JobSpec spec;
+    JobState state = JobState::kQueued;
+    api::RunControl control;
+    std::shared_ptr<const api::RunArtifacts> artifacts;
+    Status error;
+    Timer submitted;
+    double queued_seconds = 0.0;
+    double run_seconds = 0.0;
+    Timer started;  ///< reset when execution begins
+  };
+
+  void Execute(const std::shared_ptr<Job>& job);
+  JobSnapshot SnapshotLocked(const Job& job) const;
+  void EvictFinishedLocked();
+
+  api::Session* session_;
+  TaskScheduler* scheduler_;
+  Options options_;
+  TaskScheduler::Group inflight_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  /// Finished ids in completion order (eviction queue).
+  std::deque<std::string> finished_order_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace evocat
+
+#endif  // EVOCAT_SERVER_JOB_MANAGER_H_

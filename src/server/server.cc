@@ -1,0 +1,371 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "api/artifacts_json.h"
+#include "api/jobspec.h"
+#include "common/logging.h"
+
+namespace evocat {
+namespace server {
+
+namespace {
+
+/// HTTP status for a façade error (submit validation, lookups).
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kCancelled: return 409;
+    case StatusCode::kOutOfRange: return 413;
+    case StatusCode::kNotImplemented: return 501;
+    default: return 500;
+  }
+}
+
+api::JsonValue ErrorJson(const Status& status) {
+  api::JsonValue error = api::JsonValue::MakeObject();
+  error.Set("code", api::JsonValue::MakeString(StatusCodeToString(status.code())));
+  error.Set("message", api::JsonValue::MakeString(status.message()));
+  api::JsonValue json = api::JsonValue::MakeObject();
+  json.Set("error", std::move(error));
+  return json;
+}
+
+HttpResponse JsonResponse(int status, const api::JsonValue& json) {
+  HttpResponse response;
+  response.status = status;
+  response.body = json.Dump(2) + "\n";
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusFor(status), ErrorJson(status));
+}
+
+HttpResponse ErrorResponse(int http_status, const Status& status) {
+  return JsonResponse(http_status, ErrorJson(status));
+}
+
+api::JsonValue SnapshotJson(const JobManager::JobSnapshot& snapshot) {
+  api::JsonValue json = api::JsonValue::MakeObject();
+  json.Set("id", api::JsonValue::MakeString(snapshot.id));
+  json.Set("name", api::JsonValue::MakeString(snapshot.name));
+  json.Set("state",
+           api::JsonValue::MakeString(JobStateToString(snapshot.state)));
+  json.Set("queued_seconds", api::JsonValue::MakeNumber(snapshot.queued_seconds));
+  json.Set("run_seconds", api::JsonValue::MakeNumber(snapshot.run_seconds));
+  if (!snapshot.error.ok()) {
+    api::JsonValue error = api::JsonValue::MakeObject();
+    error.Set("code", api::JsonValue::MakeString(
+                          StatusCodeToString(snapshot.error.code())));
+    error.Set("message", api::JsonValue::MakeString(snapshot.error.message()));
+    json.Set("error", std::move(error));
+  }
+  return json;
+}
+
+}  // namespace
+
+Server::Server(JobManager* jobs, api::Session* session, Options options)
+    : jobs_(jobs), session_(session), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::Invalid("server already started");
+  stop_.store(false, std::memory_order_relaxed);
+
+  if (!options_.unix_socket.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError("socket failed: ", std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Invalid("unix socket path too long: '",
+                             options_.unix_socket, "'");
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket.c_str());  // stale socket from a past run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status status = Status::IOError("bind to '", options_.unix_socket,
+                                      "' failed: ", std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    port_ = -1;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError("socket failed: ", std::strerror(errno));
+    }
+    int reuse = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Invalid("not an IPv4 address: '", options_.host, "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status status = Status::IOError("bind to ", options_.host, ":",
+                                      options_.port,
+                                      " failed: ", std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status = Status::IOError("listen failed: ", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  // Non-blocking accept: several I/O threads poll the same fd, and a thread
+  // that loses the race for a lone connection must fall back to its poll
+  // loop (where it re-checks stop_) instead of blocking in accept forever.
+  ::fcntl(listen_fd_, F_SETFL,
+          ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+
+  int threads = options_.io_threads < 1 ? 1 : options_.io_threads;
+  io_threads_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    io_threads_.emplace_back([this] { IoLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& thread : io_threads_) thread.join();
+  io_threads_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!options_.unix_socket.empty()) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+}
+
+void Server::IoLoop() {
+  // Each I/O thread polls the shared listening socket with a timeout so Stop
+  // is observed promptly, then accepts and serves one connection at a time.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;  // EAGAIN: a sibling thread won the race
+
+    // A silent or glacial client must not pin this I/O thread (and block
+    // Stop) forever: bound every read/write on the connection.
+    timeval io_deadline{};
+    io_deadline.tv_sec = 10;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &io_deadline,
+                 sizeof(io_deadline));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &io_deadline,
+                 sizeof(io_deadline));
+
+    Result<HttpRequest> request = ReadHttpRequest(conn, options_.max_body_bytes);
+    HttpResponse response;
+    if (request.ok()) {
+      response = Handle(request.ValueOrDie());
+    } else if (request.status().code() == StatusCode::kIOError) {
+      // Peer vanished; nothing to answer.
+      ::close(conn);
+      continue;
+    } else {
+      response = ErrorResponse(request.status());
+    }
+    Status written = WriteHttpResponse(conn, response);
+    if (!written.ok()) {
+      EVOCAT_LOG(DEBUG) << "response write failed: " << written.ToString();
+    }
+    ::close(conn);
+  }
+}
+
+HttpResponse Server::Handle(const HttpRequest& request) {
+  const std::string path = request.Path();
+
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, Status::Invalid("use GET ", path));
+    }
+    return HandleHealth();
+  }
+
+  if (path == "/v1/jobs") {
+    if (request.method == "POST") return HandleSubmit(request);
+    if (request.method == "GET") return HandleList();
+    return ErrorResponse(405, Status::Invalid("use GET or POST ", path));
+  }
+
+  if (path.rfind("/v1/jobs/", 0) == 0) {
+    std::string rest = path.substr(std::strlen("/v1/jobs/"));
+    size_t slash = rest.find('/');
+    std::string id = rest.substr(0, slash);
+    std::string action =
+        slash == std::string::npos ? std::string() : rest.substr(slash + 1);
+    if (id.empty()) {
+      return ErrorResponse(Status::NotFound("missing job id in '", path, "'"));
+    }
+    if (action.empty()) {
+      if (request.method != "GET") {
+        return ErrorResponse(405, Status::Invalid("use GET ", path));
+      }
+      return HandleStatus(id);
+    }
+    if (action == "result") {
+      if (request.method != "GET") {
+        return ErrorResponse(405, Status::Invalid("use GET ", path));
+      }
+      return HandleResult(request, id);
+    }
+    if (action == "cancel") {
+      if (request.method != "POST") {
+        return ErrorResponse(405, Status::Invalid("use POST ", path));
+      }
+      return HandleCancel(id);
+    }
+    return ErrorResponse(Status::NotFound("unknown job action '", action,
+                                          "'; expected result|cancel"));
+  }
+
+  return ErrorResponse(Status::NotFound(
+      "no route for '", path,
+      "'; see docs/server.md (endpoints: /healthz, /v1/jobs)"));
+}
+
+HttpResponse Server::HandleSubmit(const HttpRequest& request) {
+  // Full façade validation up front: JSON syntax errors carry line/column,
+  // spec errors name the offending field. Nothing invalid reaches the queue.
+  Result<api::JobSpec> spec = api::JobSpec::FromJsonText(request.body);
+  if (!spec.ok()) return ErrorResponse(spec.status());
+
+  std::string id = jobs_->Submit(std::move(spec).ValueOrDie());
+  Result<JobManager::JobSnapshot> snapshot = jobs_->GetStatus(id);
+  api::JsonValue json = snapshot.ok()
+                            ? SnapshotJson(snapshot.ValueOrDie())
+                            : api::JsonValue::MakeObject();
+  if (!snapshot.ok()) json.Set("id", api::JsonValue::MakeString(id));
+  json.Set("poll", api::JsonValue::MakeString("/v1/jobs/" + id));
+  json.Set("result", api::JsonValue::MakeString("/v1/jobs/" + id + "/result"));
+  return JsonResponse(202, json);
+}
+
+HttpResponse Server::HandleList() {
+  api::JsonValue array = api::JsonValue::MakeArray();
+  for (const JobManager::JobSnapshot& snapshot : jobs_->List()) {
+    array.Append(SnapshotJson(snapshot));
+  }
+  api::JsonValue json = api::JsonValue::MakeObject();
+  json.Set("jobs", std::move(array));
+  return JsonResponse(200, json);
+}
+
+HttpResponse Server::HandleStatus(const std::string& id) {
+  Result<JobManager::JobSnapshot> snapshot = jobs_->GetStatus(id);
+  if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+  return JsonResponse(200, SnapshotJson(snapshot.ValueOrDie()));
+}
+
+HttpResponse Server::HandleResult(const HttpRequest& request,
+                                  const std::string& id) {
+  Result<JobManager::JobSnapshot> snapshot = jobs_->GetStatus(id);
+  if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+  const JobManager::JobSnapshot& job = snapshot.ValueOrDie();
+  switch (job.state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return ErrorResponse(
+          409, Status::Invalid("job '", id, "' is still ",
+                               JobStateToString(job.state),
+                               "; poll /v1/jobs/", id, " until done"));
+    case JobState::kFailed:
+      return ErrorResponse(500, job.error);
+    case JobState::kCanceled:
+      return ErrorResponse(409, job.error);
+    case JobState::kDone:
+      break;
+  }
+
+  api::ArtifactsJsonOptions artifact_options;
+  for (const auto& [key, value] : request.QueryParams()) {
+    if (key == "best_csv" && (value == "0" || value == "false")) {
+      artifact_options.include_best_csv = false;
+    }
+  }
+  Result<std::shared_ptr<const api::RunArtifacts>> artifacts =
+      jobs_->GetResult(id);
+  if (!artifacts.ok()) return ErrorResponse(artifacts.status());
+  return JsonResponse(
+      200, ArtifactsToJson(*artifacts.ValueOrDie(), artifact_options));
+}
+
+HttpResponse Server::HandleCancel(const std::string& id) {
+  Status canceled = jobs_->Cancel(id);
+  if (!canceled.ok()) return ErrorResponse(canceled);
+  Result<JobManager::JobSnapshot> snapshot = jobs_->GetStatus(id);
+  if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+  api::JsonValue json = SnapshotJson(snapshot.ValueOrDie());
+  json.Set("canceling", api::JsonValue::MakeBool(true));
+  return JsonResponse(202, json);
+}
+
+HttpResponse Server::HandleHealth() {
+  api::JsonValue json = api::JsonValue::MakeObject();
+  json.Set("status", api::JsonValue::MakeString("ok"));
+  json.Set("uptime_seconds", api::JsonValue::MakeNumber(uptime_.ElapsedSeconds()));
+  json.Set("workers", api::JsonValue::MakeInt(jobs_->workers()));
+
+  JobManager::Counts counts = jobs_->counts();
+  api::JsonValue jobs = api::JsonValue::MakeObject();
+  jobs.Set("queued", api::JsonValue::MakeInt(counts.queued));
+  jobs.Set("running", api::JsonValue::MakeInt(counts.running));
+  jobs.Set("done", api::JsonValue::MakeInt(counts.done));
+  jobs.Set("failed", api::JsonValue::MakeInt(counts.failed));
+  jobs.Set("canceled", api::JsonValue::MakeInt(counts.canceled));
+  json.Set("jobs", std::move(jobs));
+
+  api::Session::CacheStats stats = session_->cache_stats();
+  api::JsonValue cache = api::JsonValue::MakeObject();
+  cache.Set("hits", api::JsonValue::MakeInt(stats.hits));
+  cache.Set("misses", api::JsonValue::MakeInt(stats.misses));
+  cache.Set("evictions", api::JsonValue::MakeInt(stats.evictions));
+  cache.Set("entries", api::JsonValue::MakeInt(stats.entries));
+  json.Set("cache", std::move(cache));
+  return JsonResponse(200, json);
+}
+
+}  // namespace server
+}  // namespace evocat

@@ -1,7 +1,9 @@
 #include "api/session.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -200,6 +202,78 @@ TEST(SessionTest, SingleInstanceRosterFailsCleanly) {
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("got 1"), std::string::npos)
       << result.status().ToString();
+}
+
+TEST(SessionTest, SkewedBatchWorkStealingMatchesSoloRuns) {
+  // 1 heavy + 3 light jobs: the shape where work stealing matters (the heavy
+  // job's subtasks spill onto workers that finished their light jobs).
+  // Whatever the schedule does, every artifact must stay bit-identical to a
+  // solo run of the same spec.
+  std::vector<JobSpec> jobs;
+  JobSpec heavy = JobSpec::FromJsonText(TinyJobJson(71, "heavy")).ValueOrDie();
+  heavy.source.profile.num_records = 220;
+  heavy.ga.generations = 60;
+  jobs.push_back(heavy);
+  for (uint64_t seed : {72, 73, 74}) {
+    jobs.push_back(JobSpec::FromJsonText(
+                       TinyJobJson(seed, "light" + std::to_string(seed)))
+                       .ValueOrDie());
+  }
+
+  Session ws_session;
+  Session::BatchOptions stealing;
+  stealing.work_stealing = true;
+  std::vector<Result<RunArtifacts>> ws = ws_session.RunBatch(jobs, stealing);
+
+  Session legacy_session;
+  Session::BatchOptions one_per_worker;
+  one_per_worker.work_stealing = false;
+  std::vector<Result<RunArtifacts>> legacy =
+      legacy_session.RunBatch(jobs, one_per_worker);
+
+  ASSERT_EQ(ws.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(ws[i].ok()) << ws[i].status().ToString();
+    ASSERT_TRUE(legacy[i].ok()) << legacy[i].status().ToString();
+    Session solo_session;
+    RunArtifacts solo = solo_session.Run(jobs[i]).ValueOrDie();
+    const RunArtifacts& stolen = ws[i].ValueOrDie();
+    EXPECT_DOUBLE_EQ(stolen.final_scores.min, solo.final_scores.min);
+    EXPECT_DOUBLE_EQ(stolen.final_scores.mean, solo.final_scores.mean);
+    EXPECT_DOUBLE_EQ(stolen.final_scores.max, solo.final_scores.max);
+    EXPECT_TRUE(stolen.best_data.SameCodes(solo.best_data));
+    EXPECT_TRUE(
+        legacy[i].ValueOrDie().best_data.SameCodes(solo.best_data));
+  }
+}
+
+TEST(SessionTest, RunControlCancelsBeforeAndDuringExecution) {
+  JobSpec spec = JobSpec::FromJsonText(TinyJobJson(41, "cancel")).ValueOrDie();
+  Session session;
+
+  // Pre-set flag: the run never starts.
+  RunControl preset;
+  preset.cancel.store(true);
+  auto never_ran = session.Run(spec, &preset);
+  ASSERT_FALSE(never_ran.ok());
+  EXPECT_EQ(never_ran.status().code(), StatusCode::kCancelled);
+
+  // Cancel mid-run from another thread: a huge generation budget ends early.
+  spec.ga.generations = 50000000;
+  RunControl control;
+  std::thread canceler([&control] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    control.cancel.store(true);
+  });
+  auto canceled = session.Run(spec, &control);
+  canceler.join();
+  ASSERT_FALSE(canceled.ok());
+  EXPECT_EQ(canceled.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(canceled.status().message().find("generation"), std::string::npos);
+
+  // The same spec still runs to completion without a control.
+  spec.ga.generations = 5;
+  EXPECT_TRUE(session.Run(spec).ok());
 }
 
 TEST(SessionTest, DefaultRosterMatchesPaperMix) {

@@ -1,0 +1,137 @@
+#include "common/task_scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace evocat {
+namespace {
+
+TEST(TaskSchedulerTest, SubmitAndWaitRunsEveryTask) {
+  TaskScheduler scheduler(3);
+  std::atomic<int> runs{0};
+  TaskScheduler::Group group;
+  for (int i = 0; i < 32; ++i) {
+    scheduler.Submit(&group, [&runs] { runs.fetch_add(1); });
+  }
+  scheduler.Wait(&group);
+  EXPECT_EQ(runs.load(), 32);
+}
+
+TEST(TaskSchedulerTest, WaitOnEmptyGroupReturnsImmediately) {
+  TaskScheduler scheduler(2);
+  TaskScheduler::Group group;
+  scheduler.Wait(&group);  // must not hang
+}
+
+TEST(TaskSchedulerTest, WorkerThreadIsDetected) {
+  TaskScheduler scheduler(2);
+  EXPECT_FALSE(TaskScheduler::OnWorkerThread());
+  std::atomic<bool> on_worker{false};
+  TaskScheduler::Group group;
+  scheduler.Submit(&group, [&on_worker] {
+    on_worker.store(TaskScheduler::OnWorkerThread() &&
+                    TaskScheduler::Current() != nullptr);
+  });
+  scheduler.Wait(&group);
+  EXPECT_TRUE(on_worker.load());
+}
+
+TEST(TaskSchedulerTest, ParallelForOnWorkerVisitsEveryIndexOnce) {
+  TaskScheduler scheduler(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v.store(0);
+  TaskScheduler::Group group;
+  scheduler.Submit(&group, [&] {
+    scheduler.ParallelForOnWorker(0, kN, [&](int64_t i) {
+      visits[static_cast<size_t>(i)].fetch_add(1);
+    });
+  });
+  scheduler.Wait(&group);
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, NestedParallelForCompletes) {
+  TaskScheduler scheduler(4);
+  constexpr int64_t kOuter = 16;
+  constexpr int64_t kInner = 64;
+  std::atomic<int64_t> total{0};
+  TaskScheduler::Group group;
+  scheduler.Submit(&group, [&] {
+    scheduler.ParallelForOnWorker(0, kOuter, [&](int64_t) {
+      scheduler.ParallelForOnWorker(0, kInner,
+                                    [&](int64_t) { total.fetch_add(1); });
+    });
+  });
+  scheduler.Wait(&group);
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(TaskSchedulerTest, PlainParallelForRoutesThroughWorkerScheduler) {
+  // A ParallelFor issued from a worker thread must route to the worker's own
+  // scheduler (not the shared one) and still cover the range exactly.
+  TaskScheduler scheduler(3);
+  constexpr int64_t kN = 257;
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v.store(0);
+  TaskScheduler::Group group;
+  scheduler.Submit(&group, [&] {
+    ParallelFor(0, kN,
+                [&](int64_t i) { visits[static_cast<size_t>(i)].fetch_add(1); });
+  });
+  scheduler.Wait(&group);
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, SkewedLoadStealsWork) {
+  // One task fans out a long loop while every other worker idles: with more
+  // than one worker some chunks get stolen. Park the workers first (on a
+  // single-core box the worker threads may not have run at all yet, and a
+  // split is only attempted when idle workers exist), then yield inside the
+  // loop body so thieves get CPU time even with one hardware thread.
+  TaskScheduler scheduler(4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  int64_t expected = 0;
+  std::atomic<int64_t> total{0};
+  for (int attempt = 0; attempt < 50 && scheduler.steal_count() == 0;
+       ++attempt) {
+    expected += 4096;
+    TaskScheduler::Group group;
+    scheduler.Submit(&group, [&] {
+      scheduler.ParallelForOnWorker(0, 4096, [&](int64_t) {
+        std::this_thread::yield();
+        total.fetch_add(1);
+      });
+    });
+    scheduler.Wait(&group);
+  }
+  EXPECT_EQ(total.load(), expected);
+  EXPECT_GT(scheduler.steal_count(), 0);
+}
+
+TEST(TaskSchedulerTest, ManyGroupsInterleave) {
+  TaskScheduler scheduler(3);
+  std::atomic<int> a{0}, b{0};
+  TaskScheduler::Group group_a, group_b;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.Submit(&group_a, [&a] { a.fetch_add(1); });
+    scheduler.Submit(&group_b, [&b] { b.fetch_add(1); });
+  }
+  scheduler.Wait(&group_a);
+  EXPECT_EQ(a.load(), 10);
+  scheduler.Wait(&group_b);
+  EXPECT_EQ(b.load(), 10);
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,90 @@
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace server {
+namespace {
+
+TEST(HttpParseTest, ParsesRequestLineHeadersAndBody) {
+  std::string raw =
+      "POST /v1/jobs?x=1&flag HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "content-length: 11\r\n"
+      "Content-Type: application/json\r\n"
+      "\r\n"
+      "{\"a\": true}";
+  HttpRequest request = ParseHttpRequest(raw).ValueOrDie();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/jobs?x=1&flag");
+  EXPECT_EQ(request.Path(), "/v1/jobs");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.body, "{\"a\": true}");
+
+  auto params = request.QueryParams();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].first, "x");
+  EXPECT_EQ(params[0].second, "1");
+  EXPECT_EQ(params[1].first, "flag");
+  EXPECT_EQ(params[1].second, "");
+
+  // Header lookup is case-insensitive (the client sent lowercase).
+  ASSERT_NE(request.FindHeader("Content-Length"), nullptr);
+  EXPECT_EQ(*request.FindHeader("CONTENT-TYPE"), "application/json");
+  EXPECT_EQ(request.FindHeader("Accept"), nullptr);
+}
+
+TEST(HttpParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseHttpRequest("").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET /\r\n\r\n").ok());          // no version
+  EXPECT_FALSE(ParseHttpRequest("GET / SPDY/3\r\n\r\n").ok());   // bad proto
+  EXPECT_FALSE(ParseHttpRequest("GET / HTTP/1.1\r\nbroken\r\n\r\n").ok());
+  // Body shorter than announced.
+  EXPECT_FALSE(
+      ParseHttpRequest("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nhi").ok());
+}
+
+TEST(HttpParseTest, RejectsTransferEncoding) {
+  Status status = ParseHttpRequest(
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                      .status();
+  EXPECT_EQ(status.code(), StatusCode::kNotImplemented);
+}
+
+TEST(HttpSerializeTest, ResponseCarriesLengthAndConnectionClose) {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "{\"error\": {}}\n";
+  std::string raw = SerializeHttpResponse(response);
+  EXPECT_NE(raw.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Length: 14\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("\r\n\r\n{\"error\": {}}\n"), std::string::npos);
+}
+
+TEST(HttpSerializeTest, ResponseRoundTripsThroughClientParser) {
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"id\": \"job-000001\"}";
+  HttpResponse parsed =
+      ParseHttpResponse(SerializeHttpResponse(response)).ValueOrDie();
+  EXPECT_EQ(parsed.status, 202);
+  EXPECT_EQ(parsed.body, response.body);
+  EXPECT_EQ(parsed.content_type, "application/json");
+}
+
+TEST(HttpSerializeTest, RequestRoundTripsThroughServerParser) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/jobs";
+  request.body = "{\"name\": \"j\"}";
+  HttpRequest parsed =
+      ParseHttpRequest(SerializeHttpRequest(request)).ValueOrDie();
+  EXPECT_EQ(parsed.method, "POST");
+  EXPECT_EQ(parsed.target, "/v1/jobs");
+  EXPECT_EQ(parsed.body, request.body);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace evocat

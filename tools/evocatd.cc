@@ -1,0 +1,124 @@
+// evocatd — long-running JobSpec server.
+//
+// Accepts the evocat::api JobSpec JSON over a minimal HTTP/1.1 front-end
+// (TCP or Unix-domain socket) and executes jobs asynchronously on the
+// work-stealing scheduler: submit returns a job id immediately, status is
+// polled, results come back as RunArtifacts JSON. Protocol reference and
+// deployment notes: docs/server.md.
+//
+// Examples:
+//   evocatd --port=8080
+//   evocatd --port=0                       # ephemeral port, printed on start
+//   evocatd --socket=/run/evocat.sock      # Unix-domain socket instead
+//   evocatd --threads=8 --cache-capacity=32 --max-finished-jobs=256
+//
+//   curl -s localhost:8080/healthz
+//   curl -s -X POST localhost:8080/v1/jobs --data-binary @job.json
+//   curl -s localhost:8080/v1/jobs/job-000001
+//   curl -s localhost:8080/v1/jobs/job-000001/result?best_csv=0
+//   curl -s -X POST localhost:8080/v1/jobs/job-000001/cancel
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "server/server.h"
+
+using namespace evocat;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string socket_path;
+  int64_t port = 8080;
+  int64_t threads = 0;
+  int64_t cache_capacity = 8;
+  int64_t max_finished_jobs = 64;
+  int64_t max_body_mb = 8;
+  bool verbose = false;
+
+  FlagParser parser("evocatd",
+                    "long-running JobSpec server (protocol: docs/server.md)");
+  parser.AddString("host", "TCP bind address", &host);
+  parser.AddInt("port", "TCP port (0 = ephemeral, printed on start)", &port);
+  parser.AddString("socket",
+                   "serve on this Unix-domain socket path instead of TCP",
+                   &socket_path);
+  parser.AddInt("threads",
+                "scheduler worker threads (0 = hardware concurrency)",
+                &threads);
+  parser.AddInt("cache-capacity",
+                "max CSV originals kept in the session's LRU cache",
+                &cache_capacity);
+  parser.AddInt("max-finished-jobs",
+                "finished jobs retained for result fetches", &max_finished_jobs);
+  parser.AddInt("max-body-mb", "request body limit in MiB", &max_body_mb);
+  parser.AddBool("verbose", "log at INFO instead of WARNING", &verbose);
+
+  Status parsed = parser.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) return 0;
+  SetLogLevel(verbose ? LogLevel::kInfo : LogLevel::kWarning);
+
+  api::Session::Options session_options;
+  session_options.max_cached_sources =
+      cache_capacity < 0 ? 0 : static_cast<size_t>(cache_capacity);
+  api::Session session(session_options);
+
+  TaskScheduler scheduler(static_cast<int>(threads));
+
+  server::JobManager::Options job_options;
+  job_options.max_finished_jobs =
+      max_finished_jobs < 0 ? 0 : static_cast<size_t>(max_finished_jobs);
+  server::JobManager jobs(&session, &scheduler, job_options);
+
+  server::Server::Options server_options;
+  server_options.host = host;
+  server_options.port = static_cast<int>(port);
+  server_options.unix_socket = socket_path;
+  server_options.max_body_bytes =
+      static_cast<size_t>(max_body_mb < 1 ? 1 : max_body_mb) * 1024 * 1024;
+  server::Server server(&jobs, &session, server_options);
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (socket_path.empty()) {
+    std::printf("evocatd listening on http://%s:%d (%d workers)\n",
+                host.c_str(), server.port(), scheduler.num_workers());
+  } else {
+    std::printf("evocatd listening on unix socket %s (%d workers)\n",
+                socket_path.c_str(), scheduler.num_workers());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  // send() already passes MSG_NOSIGNAL; this covers any other fd the
+  // process writes while a peer disconnects.
+  std::signal(SIGPIPE, SIG_IGN);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  // Graceful shutdown: stop accepting first, then JobManager's destructor
+  // cancels queued/running jobs and drains the scheduler.
+  std::printf("evocatd shutting down (draining jobs)\n");
+  std::fflush(stdout);
+  server.Stop();
+  return 0;
+}
