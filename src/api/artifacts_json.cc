@@ -52,6 +52,7 @@ JsonValue HistoryToJson(const std::vector<core::GenerationRecord>& history) {
   for (const core::GenerationRecord& record : history) {
     JsonValue json = JsonValue::MakeObject();
     json.Set("generation", JsonValue::MakeInt(record.generation));
+    json.Set("island", JsonValue::MakeInt(record.island));
     json.Set("op",
              JsonValue::MakeString(core::OperatorKindToString(record.op)));
     json.Set("min_score", JsonValue::MakeNumber(record.min_score));

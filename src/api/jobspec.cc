@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/string_utils.h"
+#include "evolve/registry.h"
 #include "metrics/registry.h"
 #include "protection/registry.h"
 
@@ -344,6 +345,29 @@ void ParseGa(const JsonValue& json, core::GaConfig* ga, Status* status) {
   f.Finish();
 }
 
+void ParseStrategy(const JsonValue& json, StrategySpec* strategy,
+                   Status* status) {
+  Fields f("strategy", json, status);
+  f.String("name", &strategy->name);
+  if (const JsonValue* params = f.Get("params")) {
+    if (!params->is_object()) {
+      f.Fail("params", "expected an object of scalar parameters");
+    } else {
+      strategy->params.clear();
+      for (const auto& [key, value] : params->members()) {
+        std::string text;
+        Status scalar = ScalarToString(value, &text);
+        if (!scalar.ok()) {
+          f.Fail("params." + key, scalar.message());
+          break;
+        }
+        strategy->params[key] = std::move(text);
+      }
+    }
+  }
+  f.Finish();
+}
+
 void ParseSeeds(const JsonValue& json, SeedSpec* seeds, Status* status) {
   Fields f("seeds", json, status);
   f.Uint64("master", &seeds->master);
@@ -438,6 +462,9 @@ Result<JobSpec> JobSpec::FromJson(const JsonValue& json) {
   }
   if (const JsonValue* ga = f.Get("ga")) {
     ParseGa(*ga, &spec.ga, &status);
+  }
+  if (const JsonValue* strategy = f.Get("strategy")) {
+    ParseStrategy(*strategy, &spec.strategy, &status);
   }
   f.Double("remove_best_fraction", &spec.remove_best_fraction);
   if (const JsonValue* seeds = f.Get("seeds")) {
@@ -590,6 +617,25 @@ Status JobSpec::Validate() const {
         measures.delta_rebuild_fraction);
   }
 
+  if (strategy.name.empty()) {
+    return Status::Invalid("strategy.name: must not be empty");
+  }
+  if (!evolve::StrategyRegistry::Global().Contains(strategy.name)) {
+    return Status::Invalid(
+        "strategy.name: unknown evolution strategy '", strategy.name,
+        "'; known: ", Join(evolve::StrategyRegistry::Global().Names(), ','));
+  }
+  // Dry-run construction (cheap) so unknown parameter keys and out-of-range
+  // values fail at spec validation instead of mid-run.
+  {
+    auto instance =
+        evolve::StrategyRegistry::Global().Create(strategy.name,
+                                                  strategy.params);
+    if (!instance.ok()) {
+      return Status::Invalid("strategy: ", instance.status().message());
+    }
+  }
+
   if (ga.generations < 0) {
     return Status::Invalid("ga.generations: must be non-negative, got ",
                            ga.generations);
@@ -740,6 +786,17 @@ JsonValue JobSpec::ToJson() const {
               JsonValue::MakeBool(ga.parallel_offspring_eval));
   ga_json.Set("incremental_eval", JsonValue::MakeBool(ga.incremental_eval));
   json.Set("ga", std::move(ga_json));
+
+  JsonValue strategy_json = JsonValue::MakeObject();
+  strategy_json.Set("name", JsonValue::MakeString(strategy.name));
+  if (!strategy.params.empty()) {
+    JsonValue params = JsonValue::MakeObject();
+    for (const auto& [key, value] : strategy.params) {
+      params.Set(key, GridValueToJson(value));
+    }
+    strategy_json.Set("params", std::move(params));
+  }
+  json.Set("strategy", std::move(strategy_json));
 
   json.Set("remove_best_fraction",
            JsonValue::MakeNumber(remove_best_fraction));

@@ -71,6 +71,18 @@ struct MeasureSpec {
   double delta_rebuild_fraction = 0.25;
 };
 
+/// \brief Which evolution strategy schedules the GA step, plus its
+/// parameters (see docs/strategies.md).
+///
+/// `name` is a `evolve::StrategyRegistry` spelling; `params` is the
+/// strategy's flat parameter map (e.g. `{"lambda": "8"}` for steady_state,
+/// `{"islands": "4", "migration_interval": "25"}` for islands). The default
+/// reproduces the paper's generational loop bit-identically.
+struct StrategySpec {
+  std::string name = "generational";
+  ParamMap params;
+};
+
 /// \brief Seeds for the three stochastic stages. Unset stage seeds are
 /// derived deterministically from `master`, so one number fully reproduces a
 /// job while explicit stage seeds allow exact legacy replication.
@@ -110,6 +122,9 @@ struct JobSpec {
   MeasureSpec measures;
   /// GA configuration. `ga.seed` is ignored — `seeds` owns all seeding.
   core::GaConfig ga;
+  /// Evolution strategy scheduling the GA step (default: the paper's
+  /// generational loop).
+  StrategySpec strategy;
   /// Fraction of the best initial protections removed before evolution.
   double remove_best_fraction = 0.0;
   SeedSpec seeds;

@@ -10,6 +10,7 @@
 #include "common/task_scheduler.h"
 #include "data/csv.h"
 #include "datagen/generator.h"
+#include "evolve/registry.h"
 #include "protection/registry.h"
 
 namespace evocat {
@@ -286,14 +287,18 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
   }
   artifacts.initial_scores = StatsOf(initial);
 
-  // (5) Evolution.
+  // (5) Evolution through the spec's strategy. The default ("generational")
+  // delegates straight to core::EvolutionEngine, so specs without a strategy
+  // block evolve bit-identically to the pre-strategy façade.
   core::GaConfig config = spec.ga;
   config.seed = spec.seeds.GaSeed();
-  core::EvolutionEngine engine(evaluator.get(), config);
+  EVOCAT_ASSIGN_OR_RETURN(auto strategy,
+                          evolve::StrategyRegistry::Global().Create(
+                              spec.strategy.name, spec.strategy.params));
   EVOCAT_ASSIGN_OR_RETURN(
       core::EvolutionResult evolution,
-      engine.Run(std::move(initial), nullptr,
-                 control != nullptr ? &control->cancel : nullptr));
+      strategy->Run(evaluator.get(), config, std::move(initial),
+                    control != nullptr ? &control->cancel : nullptr));
 
   if (spec.outputs.history) artifacts.history = std::move(evolution.history);
   artifacts.stats = evolution.stats;

@@ -1,0 +1,18 @@
+/// \file version.h
+/// \brief The evocat build version string.
+///
+/// Surfaced by `/healthz` (so load balancers and rollout tooling can tell
+/// which build is serving) and by the tools' startup logs. Bump the minor
+/// version when the JobSpec schema or the wire protocol gains fields.
+
+#ifndef EVOCAT_COMMON_VERSION_H_
+#define EVOCAT_COMMON_VERSION_H_
+
+namespace evocat {
+
+/// \brief Semantic version of the evocat library and protocol surface.
+inline constexpr const char kVersion[] = "0.4.0";
+
+}  // namespace evocat
+
+#endif  // EVOCAT_COMMON_VERSION_H_

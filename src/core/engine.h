@@ -64,11 +64,16 @@ struct GaConfig {
 /// \brief Per-generation record (drives the paper's evolution figures).
 struct GenerationRecord {
   int generation = 0;
+  /// Which island produced this record (0 for single-population strategies;
+  /// the islands strategy stamps its subpopulation index here, so one
+  /// history vector carries every island's convergence trajectory).
+  int island = 0;
   OperatorKind op = OperatorKind::kMutation;
   double min_score = 0.0;
   double mean_score = 0.0;
   double max_score = 0.0;
-  /// Offspring evaluated this generation (1 mutation / 2 crossover).
+  /// Offspring evaluated this generation/step (1 mutation / 2 crossover in
+  /// the generational loop; lambda or 2*lambda for a steady-state step).
   int evaluations = 0;
   /// Whether any offspring displaced its parent.
   bool accepted = false;

@@ -1,0 +1,279 @@
+#include "core/stepper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace evocat {
+namespace core {
+
+std::string BaseOrigin(const std::string& origin) {
+  struct Prefix {
+    const char* text;
+    size_t length;
+  };
+  static constexpr Prefix kPrefixes[] = {{"mutation<", 9}, {"cross<", 6}};
+  std::string base = origin;
+  while (true) {
+    bool stripped = false;
+    for (const Prefix& prefix : kPrefixes) {
+      if (base.size() > prefix.length && base.back() == '>' &&
+          base.compare(0, prefix.length, prefix.text) == 0) {
+        base = base.substr(prefix.length, base.size() - prefix.length - 1);
+        stripped = true;
+      }
+    }
+    if (!stripped) return base;
+  }
+}
+
+Status EvaluateInitialPopulation(const metrics::FitnessEvaluator* evaluator,
+                                 bool incremental,
+                                 std::vector<Individual>* initial,
+                                 double* eval_seconds,
+                                 const std::atomic<bool>* cancel) {
+  Timer init_timer;
+  // Embarrassingly parallel. With incremental evaluation on, binding a state
+  // costs about one evaluation and seeds the per-member delta machinery in
+  // the same pass. Cancellation is polled per iteration (not just between
+  // engine generations), so a cancel during a large population's initial
+  // sweep takes effect within one member evaluation.
+  ParallelFor(0, static_cast<int64_t>(initial->size()), [&](int64_t i) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+    Individual& individual = (*initial)[static_cast<size_t>(i)];
+    if (incremental) {
+      individual.eval_state = evaluator->BindState(individual.data);
+      individual.fitness = individual.eval_state->breakdown();
+    } else {
+      individual.fitness = evaluator->Evaluate(individual.data);
+    }
+  });
+  if (eval_seconds != nullptr) *eval_seconds = init_timer.ElapsedSeconds();
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled(
+        "run canceled during initial population evaluation");
+  }
+  return Status::OK();
+}
+
+Status ValidateRunInputs(const metrics::FitnessEvaluator* evaluator,
+                         const GaConfig& config,
+                         const std::vector<Individual>& initial,
+                         size_t min_members) {
+  if (evaluator == nullptr) {
+    return Status::Invalid("engine has no fitness evaluator");
+  }
+  if (initial.size() < min_members) {
+    return Status::Invalid("initial population needs >= ", min_members,
+                           " individuals, got ", initial.size());
+  }
+  if (config.generations < 0) {
+    return Status::Invalid("generations must be >= 0");
+  }
+  if (config.mutation_rate < 0.0 || config.mutation_rate > 1.0) {
+    return Status::Invalid("mutation_rate must be in [0, 1], got ",
+                           config.mutation_rate);
+  }
+  if (config.leader_group_size < 1) {
+    return Status::Invalid("leader_group_size must be >= 1, got ",
+                           config.leader_group_size);
+  }
+  const Dataset& original = evaluator->original();
+  for (const auto& individual : initial) {
+    EVOCAT_RETURN_NOT_OK(metrics::ValidateComparable(original, individual.data,
+                                                     evaluator->attrs()));
+  }
+  return Status::OK();
+}
+
+GenerationStepper::GenerationStepper(const metrics::FitnessEvaluator* evaluator,
+                                     const GaConfig& config,
+                                     Population* population, Rng* rng,
+                                     EvolutionStats* stats, uint64_t* next_id)
+    : evaluator_(evaluator),
+      config_(config),
+      population_(population),
+      rng_(rng),
+      stats_(stats),
+      next_id_(next_id),
+      selection_(config.selection),
+      layout_(evaluator->attrs(), evaluator->original().num_rows()),
+      mutate_(layout_, config.mutation_excludes_current),
+      cross_(layout_) {}
+
+// Deterministic crowding means an offspring only ever competes with its own
+// parent, so the parent's fitness state can be advanced in place and
+// reverted on rejection — no state cloning per generation.
+GenerationRecord GenerationStepper::Step(int generation) {
+  Population& population = *population_;
+  Rng& rng = *rng_;
+  const bool incremental = config_.incremental_eval;
+
+  Timer gen_timer;
+  GenerationRecord record;
+  record.generation = generation;
+
+  // Paper Algorithm 1: a uniform `alter` draw picks the operator.
+  bool do_mutation = rng.UniformDouble() < config_.mutation_rate;
+  double eval_seconds = 0.0;
+
+  if (do_mutation) {
+    record.op = OperatorKind::kMutation;
+    size_t parent_idx = selection_.Select(population.Scores(), &rng);
+    Individual child;
+    child.data = population[parent_idx].data.Clone();  // COW share
+    auto mutation = mutate_.Apply(&child.data, &rng);
+    child.origin = "mutation<" + BaseOrigin(population[parent_idx].origin) + ">";
+    child.id = (*next_id_)++;
+
+    auto& parent_state = population[parent_idx].eval_state;
+    Timer eval_timer;
+    if (incremental && parent_state) {
+      std::vector<metrics::CellDelta> deltas;
+      if (mutation.new_code != mutation.old_code) {
+        deltas.push_back(metrics::CellDelta{mutation.row, mutation.attr,
+                                            mutation.old_code,
+                                            mutation.new_code});
+      }
+      parent_state->ApplyDelta(child.data, deltas);
+      child.fitness = parent_state->breakdown();
+    } else {
+      child.fitness = evaluator_->Evaluate(child.data);
+    }
+    eval_seconds = eval_timer.ElapsedSeconds();
+    record.evaluations = 1;
+
+    // Elitist replacement: the offspring survives only if strictly better.
+    if (child.score() < population[parent_idx].score()) {
+      if (incremental && parent_state) {
+        child.eval_state = std::move(parent_state);  // state is the child's
+      } else if (incremental) {
+        child.eval_state = evaluator_->BindState(child.data);
+      }
+      population[parent_idx] = std::move(child);
+      record.accepted = true;
+      ++stats_->accepted_mutations;
+    } else if (incremental && parent_state) {
+      parent_state->Revert();
+    }
+    ++stats_->mutation_generations;
+  } else {
+    record.op = OperatorKind::kCrossover;
+    // First parent uniformly from the leader group (the Nb best; the
+    // population is sorted ascending), mate proportionally from everyone.
+    size_t leaders = std::min<size_t>(
+        static_cast<size_t>(config_.leader_group_size), population.size());
+    size_t i1 = rng.UniformIndex(leaders);
+    size_t i2 = selection_.Select(population.Scores(), &rng);
+
+    Individual child1, child2;
+    auto segment = cross_.Apply(population[i1].data, population[i2].data,
+                                &child1.data, &child2.data, &rng);
+    child1.origin = "cross<" + BaseOrigin(population[i1].origin) + ">";
+    child2.origin = "cross<" + BaseOrigin(population[i2].origin) + ">";
+    child1.id = (*next_id_)++;
+    child2.id = (*next_id_)++;
+
+    const bool delta_pair = incremental && i1 != i2 &&
+                            population[i1].eval_state != nullptr &&
+                            population[i2].eval_state != nullptr;
+    // Concurrency trade-off: a leg evaluated inside ParallelFor(0, 2)
+    // cannot fan out its own inner loops (nested pool regions run
+    // serially), so the two-leg split only pays when each leg is cheap —
+    // i.e. a delta batch small enough to skip the full-rebuild path.
+    // Heavy legs (full evaluation, or a rebuild-sized segment) run
+    // sequentially so each keeps the whole pool for its O(n^2) measures.
+    int64_t rebuild_cells = static_cast<int64_t>(
+        evaluator_->options().delta_rebuild_fraction *
+        static_cast<double>(layout_.Length()));
+    const bool cheap_legs =
+        delta_pair &&
+        static_cast<int64_t>(std::max(segment.deltas1.size(),
+                                      segment.deltas2.size())) <
+            rebuild_cells;
+    Timer eval_timer;
+    if (delta_pair) {
+      auto eval_leg = [&](int64_t leg) {
+        Individual& child = leg == 0 ? child1 : child2;
+        size_t parent = leg == 0 ? i1 : i2;
+        const auto& deltas = leg == 0 ? segment.deltas1 : segment.deltas2;
+        population[parent].eval_state->ApplyDelta(child.data, deltas);
+        child.fitness = population[parent].eval_state->breakdown();
+      };
+      if (config_.parallel_offspring_eval && cheap_legs) {
+        ParallelFor(0, 2, eval_leg);
+      } else {
+        eval_leg(0);
+        eval_leg(1);
+      }
+    } else {
+      // Full evaluation: overlap the two legs on the pool only when no
+      // enabled measure fans out internally (the linkage attacks use
+      // nested ParallelFor, which a pool region would serialize).
+      const auto& opts = evaluator_->options();
+      bool pool_heavy = opts.use_dbrl || opts.use_prl || opts.use_rsrl;
+      if (config_.parallel_offspring_eval && !pool_heavy) {
+        ParallelFor(0, 2, [&](int64_t leg) {
+          Individual& child = leg == 0 ? child1 : child2;
+          child.fitness = evaluator_->Evaluate(child.data);
+        });
+      } else {
+        child1.fitness = evaluator_->Evaluate(child1.data);
+        child2.fitness = evaluator_->Evaluate(child2.data);
+      }
+    }
+    eval_seconds = eval_timer.ElapsedSeconds();
+    record.evaluations = 2;
+
+    // Deterministic crowding: each offspring competes with its own parent.
+    if (child1.score() < population[i1].score()) {
+      if (delta_pair) {
+        child1.eval_state = std::move(population[i1].eval_state);
+      } else if (incremental) {
+        child1.eval_state = evaluator_->BindState(child1.data);
+      }
+      population[i1] = std::move(child1);
+      record.accepted = true;
+      ++stats_->accepted_crossovers;
+    } else if (delta_pair) {
+      population[i1].eval_state->Revert();
+    }
+    if (child2.score() < population[i2].score()) {
+      if (delta_pair) {
+        child2.eval_state = std::move(population[i2].eval_state);
+      } else if (incremental) {
+        // Covers the i1 == i2 self-mating corner: offspring were scored in
+        // full, so an accepted one needs a fresh state of its own.
+        child2.eval_state = evaluator_->BindState(child2.data);
+      }
+      population[i2] = std::move(child2);
+      record.accepted = true;
+      ++stats_->accepted_crossovers;
+    } else if (delta_pair) {
+      population[i2].eval_state->Revert();
+    }
+    ++stats_->crossover_generations;
+  }
+
+  population.SortByScore();
+
+  record.min_score = population.MinScore();
+  record.mean_score = population.MeanScore();
+  record.max_score = population.MaxScore();
+  record.eval_seconds = eval_seconds;
+  record.total_seconds = gen_timer.ElapsedSeconds();
+  stats_->offspring_evaluated += record.evaluations;
+  if (record.op == OperatorKind::kMutation) {
+    stats_->mutation_eval_seconds += record.eval_seconds;
+    stats_->mutation_total_seconds += record.total_seconds;
+  } else {
+    stats_->crossover_eval_seconds += record.eval_seconds;
+    stats_->crossover_total_seconds += record.total_seconds;
+  }
+  return record;
+}
+
+}  // namespace core
+}  // namespace evocat

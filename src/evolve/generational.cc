@@ -1,0 +1,46 @@
+/// \file generational.cc
+/// \brief The paper-faithful default strategy.
+///
+/// Delegates to `core::EvolutionEngine::Run` verbatim, so a JobSpec with
+/// `strategy: {"name": "generational"}` (or no strategy at all) is
+/// bit-identical to the pre-strategy engine — the property the strategy
+/// determinism tests pin down.
+
+#include "core/engine.h"
+#include "evolve/registry.h"
+#include "evolve/strategy.h"
+
+namespace evocat {
+namespace evolve {
+
+namespace {
+
+class GenerationalStrategy : public EvolutionStrategy {
+ public:
+  std::string name() const override { return "generational"; }
+
+  Result<core::EvolutionResult> Run(
+      const metrics::FitnessEvaluator* evaluator,
+      const core::GaConfig& config, std::vector<core::Individual> initial,
+      const std::atomic<bool>* cancel) const override {
+    core::EvolutionEngine engine(evaluator, config);
+    return engine.Run(std::move(initial), nullptr, cancel);
+  }
+};
+
+}  // namespace
+
+void RegisterGenerationalStrategy(StrategyRegistry* registry) {
+  Status status = registry->Register(
+      "generational",
+      [](const ParamMap& params)
+          -> Result<std::unique_ptr<EvolutionStrategy>> {
+        ParamReader reader("generational", params);
+        EVOCAT_RETURN_NOT_OK(reader.Finish());  // no parameters accepted
+        return std::unique_ptr<EvolutionStrategy>(new GenerationalStrategy());
+      });
+  (void)status;
+}
+
+}  // namespace evolve
+}  // namespace evocat

@@ -1,0 +1,20 @@
+#include "evolve/strategy.h"
+
+namespace evocat {
+namespace evolve {
+
+void MergeStats(const core::EvolutionStats& from, core::EvolutionStats* into) {
+  into->mutation_generations += from.mutation_generations;
+  into->crossover_generations += from.crossover_generations;
+  into->accepted_mutations += from.accepted_mutations;
+  into->accepted_crossovers += from.accepted_crossovers;
+  into->offspring_evaluated += from.offspring_evaluated;
+  into->mutation_eval_seconds += from.mutation_eval_seconds;
+  into->crossover_eval_seconds += from.crossover_eval_seconds;
+  into->mutation_total_seconds += from.mutation_total_seconds;
+  into->crossover_total_seconds += from.crossover_total_seconds;
+  into->initial_eval_seconds += from.initial_eval_seconds;
+}
+
+}  // namespace evolve
+}  // namespace evocat

@@ -61,6 +61,7 @@ void JobManager::Execute(const std::shared_ptr<Job>& job) {
       job->error = Status::Cancelled("job canceled while queued");
       job->queued_seconds = job->submitted.ElapsedSeconds();
       finished_order_.push_back(job->id);
+      ++lifetime_finished_;
       EvictFinishedLocked();
       return;
     }
@@ -85,6 +86,7 @@ void JobManager::Execute(const std::shared_ptr<Job>& job) {
     job->error = result.status();
   }
   finished_order_.push_back(job->id);
+  ++lifetime_finished_;
   EvictFinishedLocked();
 }
 
@@ -183,6 +185,7 @@ JobManager::Counts JobManager::counts() const {
       case JobState::kCanceled: ++counts.canceled; break;
     }
   }
+  counts.finished = lifetime_finished_;
   return counts;
 }
 

@@ -86,9 +86,14 @@ class JobManager {
   struct Counts {
     int64_t queued = 0;
     int64_t running = 0;
+    /// Per-state counts over the *retained* job table (bounded by
+    /// `max_finished_jobs`, so these cap out on long-running daemons).
     int64_t done = 0;
     int64_t failed = 0;
     int64_t canceled = 0;
+    /// Monotonic lifetime count of jobs that reached a terminal state —
+    /// unaffected by eviction, so progress watchers can rely on it.
+    int64_t finished = 0;
   };
   Counts counts() const;
 
@@ -122,6 +127,8 @@ class JobManager {
   std::map<std::string, std::shared_ptr<Job>> jobs_;
   /// Finished ids in completion order (eviction queue).
   std::deque<std::string> finished_order_;
+  /// Lifetime terminal transitions (never decremented by eviction).
+  int64_t lifetime_finished_ = 0;
   uint64_t next_id_ = 1;
 };
 

@@ -15,6 +15,7 @@
 #include "api/artifacts_json.h"
 #include "api/jobspec.h"
 #include "common/logging.h"
+#include "common/version.h"
 
 namespace evocat {
 namespace server {
@@ -345,6 +346,7 @@ HttpResponse Server::HandleCancel(const std::string& id) {
 HttpResponse Server::HandleHealth() {
   api::JsonValue json = api::JsonValue::MakeObject();
   json.Set("status", api::JsonValue::MakeString("ok"));
+  json.Set("version", api::JsonValue::MakeString(kVersion));
   json.Set("uptime_seconds", api::JsonValue::MakeNumber(uptime_.ElapsedSeconds()));
   json.Set("workers", api::JsonValue::MakeInt(jobs_->workers()));
 
@@ -355,6 +357,10 @@ HttpResponse Server::HandleHealth() {
   jobs.Set("done", api::JsonValue::MakeInt(counts.done));
   jobs.Set("failed", api::JsonValue::MakeInt(counts.failed));
   jobs.Set("canceled", api::JsonValue::MakeInt(counts.canceled));
+  // Monotonic lifetime terminal count (done/failed/canceled above only
+  // cover the bounded retained table): load balancers drain on queue depth
+  // (queued + running) and watch finished for liveness progress.
+  jobs.Set("finished", api::JsonValue::MakeInt(counts.finished));
   json.Set("jobs", std::move(jobs));
 
   api::Session::CacheStats stats = session_->cache_stats();

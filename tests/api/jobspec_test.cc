@@ -39,6 +39,10 @@ const char* kFullSpec = R"({
     "selection": "rank",
     "incremental_eval": false
   },
+  "strategy": {
+    "name": "islands",
+    "params": {"islands": 4, "migration_interval": 10, "migrants": 2}
+  },
   "remove_best_fraction": 0.05,
   "seeds": {"master": 99, "ga": 1234},
   "outputs": {"history": false, "best_csv_path": "/tmp/best.csv"}
@@ -64,6 +68,11 @@ TEST(JobSpecParseTest, FullSpecParses) {
   EXPECT_EQ(spec.ga.generations, 250);
   EXPECT_EQ(spec.ga.selection, core::SelectionStrategy::kRank);
   EXPECT_FALSE(spec.ga.incremental_eval);
+  EXPECT_EQ(spec.strategy.name, "islands");
+  EXPECT_EQ(spec.strategy.params,
+            (ParamMap{{"islands", "4"},
+                      {"migration_interval", "10"},
+                      {"migrants", "2"}}));
   EXPECT_DOUBLE_EQ(spec.remove_best_fraction, 0.05);
   EXPECT_EQ(spec.seeds.master, 99u);
   ASSERT_TRUE(spec.seeds.ga.has_value());
@@ -184,6 +193,45 @@ TEST(JobSpecValidateTest, BadMethodParameterIsNamed) {
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("pram.retian"), std::string::npos)
       << result.status().ToString();
+}
+
+TEST(JobSpecValidateTest, StrategyErrorsAreNamed) {
+  // Unknown strategy name, with the known names listed.
+  auto unknown =
+      JobSpec::FromJsonText(R"({"strategy": {"name": "annealing"}})");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("strategy.name"),
+            std::string::npos)
+      << unknown.status().ToString();
+  EXPECT_NE(unknown.status().message().find("steady_state"),
+            std::string::npos);
+
+  // Unknown parameter key surfaces at validation, not mid-run.
+  auto bad_key = JobSpec::FromJsonText(
+      R"({"strategy": {"name": "steady_state", "params": {"mu": 4}}})");
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("steady_state.mu"),
+            std::string::npos)
+      << bad_key.status().ToString();
+
+  // Out-of-range value.
+  auto bad_value = JobSpec::FromJsonText(
+      R"({"strategy": {"name": "islands", "params": {"islands": 0}}})");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("islands"), std::string::npos);
+
+  // Unknown field inside the strategy object itself.
+  auto bad_field = JobSpec::FromJsonText(
+      R"({"strategy": {"nmae": "islands"}})");
+  ASSERT_FALSE(bad_field.ok());
+  EXPECT_NE(bad_field.status().message().find("strategy.nmae"),
+            std::string::npos);
+}
+
+TEST(JobSpecParseTest, StrategyDefaultsToGenerational) {
+  JobSpec spec = JobSpec::FromJsonText(R"({"name": "plain"})").ValueOrDie();
+  EXPECT_EQ(spec.strategy.name, "generational");
+  EXPECT_TRUE(spec.strategy.params.empty());
 }
 
 TEST(JobSpecValidateTest, NeedsBothMeasureKinds) {

@@ -143,6 +143,13 @@ TEST(ServerIntegrationTest, SubmitPollFetchRoundTrip) {
   api::JsonValue health_json = ParseBody(health);
   EXPECT_EQ(health_json.Find("status")->string_value(), "ok");
   EXPECT_EQ(health_json.Find("workers")->int_value(), 2);
+  // Build version + job-depth counters: what a load balancer drains on.
+  ASSERT_NE(health_json.Find("version"), nullptr);
+  EXPECT_FALSE(health_json.Find("version")->string_value().empty());
+  const api::JsonValue* health_jobs = health_json.Find("jobs");
+  ASSERT_NE(health_jobs, nullptr);
+  ASSERT_NE(health_jobs->Find("finished"), nullptr);
+  EXPECT_EQ(health_jobs->Find("finished")->int_value(), 0);
 
   // Submit: 202 with an id and poll/result paths.
   HttpResponse submitted =
@@ -189,6 +196,12 @@ TEST(ServerIntegrationTest, SubmitPollFetchRoundTrip) {
   HttpResponse list = HttpFetch("127.0.0.1", port, Get("/v1/jobs")).ValueOrDie();
   EXPECT_EQ(list.status, 200);
   EXPECT_EQ(ParseBody(list).Find("jobs")->size(), 1u);
+
+  // The lifetime finished counter advanced with the terminal transition.
+  HttpResponse health_after =
+      HttpFetch("127.0.0.1", port, Get("/healthz")).ValueOrDie();
+  EXPECT_EQ(
+      ParseBody(health_after).Find("jobs")->Find("finished")->int_value(), 1);
 
   daemon.server.Stop();
 }

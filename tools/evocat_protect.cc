@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
 
   std::string job_path, input, synthetic, attrs_flag, ordinal_flag, score_name;
-  std::string output, save_original, dump_job;
+  std::string strategy_name, output, save_original, dump_job;
   int64_t generations = -1;
   int64_t seed = -1;
   double il_weight = std::numeric_limits<double>::quiet_NaN();
@@ -60,6 +60,11 @@ int main(int argc, char** argv) {
                    &ordinal_flag);
   parser.AddString("score", "fitness aggregation: mean|max|euclidean|weighted",
                    &score_name);
+  parser.AddString("strategy",
+                   "evolution strategy: generational|steady_state|islands; "
+                   "switching away from the spec's strategy resets its "
+                   "params to defaults (see docs/strategies.md)",
+                   &strategy_name);
   parser.AddDouble("il-weight", "information-loss weight for --score=weighted",
                    &il_weight);
   parser.AddInt("generations", "GA generation budget", &generations);
@@ -130,6 +135,12 @@ int main(int argc, char** argv) {
     auto aggregation = metrics::ScoreAggregationFromString(score_name);
     if (!aggregation.ok()) return Fail(aggregation.status());
     spec.measures.aggregation = aggregation.ValueOrDie();
+  }
+  if (!strategy_name.empty()) {
+    // Keep the spec's parameters only when the name is unchanged — another
+    // strategy's parameters would fail validation as unknown keys.
+    if (strategy_name != spec.strategy.name) spec.strategy.params.clear();
+    spec.strategy.name = strategy_name;
   }
   if (!std::isnan(il_weight)) spec.measures.il_weight = il_weight;
   if (generations >= 0) spec.ga.generations = static_cast<int>(generations);

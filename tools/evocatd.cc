@@ -24,6 +24,7 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/version.h"
 #include "server/server.h"
 
 using namespace evocat;
@@ -98,11 +99,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (socket_path.empty()) {
-    std::printf("evocatd listening on http://%s:%d (%d workers)\n",
-                host.c_str(), server.port(), scheduler.num_workers());
+    std::printf("evocatd %s listening on http://%s:%d (%d workers)\n",
+                kVersion, host.c_str(), server.port(),
+                scheduler.num_workers());
   } else {
-    std::printf("evocatd listening on unix socket %s (%d workers)\n",
-                socket_path.c_str(), scheduler.num_workers());
+    std::printf("evocatd %s listening on unix socket %s (%d workers)\n",
+                kVersion, socket_path.c_str(), scheduler.num_workers());
   }
   std::fflush(stdout);
 
