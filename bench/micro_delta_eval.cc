@@ -6,13 +6,22 @@
 //      MeasureState::ApplyDelta+Score, asserting the two scores agree to
 //      1e-9 and reporting the speedup (target: >= 10x with DBRL enabled);
 //   2. whole-fitness delta evaluation vs FitnessEvaluator::Evaluate;
-//   3. the GA engine run end to end with incremental_eval off vs on.
+//   3. crossover-heavy segment batches (the operator's own uniform 2-point
+//      draw, averaging ~1/3 of the genome): the measure-owned cost model
+//      (segment path) vs forcing every state to rebuild per batch, per
+//      offspring evaluation + revert;
+//   4. a 12-protected-attribute PRL file: the compressed pattern-histogram
+//      delta path vs full Compute and vs a forced per-step rebuild (the
+//      former >8-attribute fallback);
+//   5. the GA engine run end to end with incremental_eval off vs on.
 //
 // Results are printed as CSV-ish lines and written machine-readably to
 // BENCH_engine.json (override the path with EVOCAT_BENCH_JSON) so the perf
 // trajectory is tracked across PRs.
 //
-// Usage: micro_delta_eval [rows] [engine_generations]
+// Usage: micro_delta_eval [--quick] [rows] [engine_generations]
+//   --quick shrinks every scenario for CI smoke jobs (and skips the hard
+//   speedup gates, which assume benchmark-sized inputs).
 
 #include <cmath>
 #include <cstdio>
@@ -25,6 +34,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/operators.h"
 #include "datagen/generator.h"
 #include "metrics/ctbil.h"
 #include "metrics/dbil.h"
@@ -127,8 +137,19 @@ MeasureTiming TimeMeasure(const metrics::BoundMeasure& bound, Dataset* masked,
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
-  int64_t rows = argc > 1 ? std::atoll(argv[1]) : 1000;
-  int engine_generations = argc > 2 ? std::atoi(argv[2]) : 150;
+  bool quick = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  int64_t rows = !positional.empty() ? std::atoll(positional[0])
+                                     : (quick ? 300 : 1000);
+  int engine_generations =
+      positional.size() > 1 ? std::atoi(positional[1]) : (quick ? 30 : 150);
 
   auto profile = datagen::AdultProfile();
   profile.num_records = rows;
@@ -159,7 +180,7 @@ int main(int argc, char** argv) {
   measures.push_back(
       {"RSRL", std::make_unique<metrics::RankSwappingRecordLinkage>(15.0)});
 
-  const int kSteps = 40;
+  const int kSteps = quick ? 16 : 40;
   auto steps = DrawMutations(masked, attrs, kSteps, 0xD17A);
 
   bench::JsonObject measures_json;
@@ -211,6 +232,122 @@ int main(int argc, char** argv) {
   std::printf("FITNESS,%.4f,%.4f,%.1fx,%.3g\n", fitness_full_s * 1e3,
               fitness_delta_s * 1e3, fitness_speedup, fitness_diff);
 
+  // Crossover-heavy scenario: the paper operator's own segment
+  // distribution — s and r drawn uniformly over the flat genome (inclusive
+  // [s, r], averaging ~1/3 of it) — evaluated per offspring as apply +
+  // revert, the engine's reject path. "Segment path" = the measure-owned
+  // cost model (small and mid legs update incrementally, outsized ones
+  // rebuild exactly the measures whose threshold they cross); "rebuild
+  // path" = every state forced to recompute per batch (the pre-cost-model
+  // behaviour for rebuild-sized legs). Both routes share the per-measure
+  // concurrency, so the comparison isolates the cost model itself.
+  double seg_new_s = 0.0, seg_old_s = 0.0, seg_diff = 0.0;
+  int64_t seg_cells = 0;
+  const int kSegments = quick ? 4 : 10;
+  {
+    Rng donor_rng(0xC407);
+    Dataset donor =
+        protection::Pram(0.5).Protect(original, attrs, &donor_rng).ValueOrDie();
+    metrics::FitnessEvaluator::Options cliff_options;
+    cliff_options.delta_rebuild_fraction = 0.01;
+    auto cliff_evaluator = std::move(metrics::FitnessEvaluator::Create(
+                                         original, attrs, cliff_options))
+                               .ValueOrDie();
+    auto segment_state = evaluator->BindState(masked);
+    auto rebuild_state = cliff_evaluator->BindState(masked);
+    core::GenomeLayout layout(attrs, rows);
+    int64_t genome = layout.Length();
+    Rng seg_rng(0x5E67);
+    for (int step = 0; step < kSegments; ++step) {
+      auto s = static_cast<int64_t>(seg_rng.UniformInt(0, genome - 1));
+      auto r = static_cast<int64_t>(seg_rng.UniformInt(s, genome - 1));
+      auto segment = core::CrossoverSegmentSwap(layout, donor, &masked, s, r);
+      seg_cells += segment.num_cells();
+      Timer new_timer;
+      segment_state->ApplyDelta(masked, segment);
+      double new_score = segment_state->breakdown().score;
+      segment_state->Revert();
+      seg_new_s += new_timer.ElapsedSeconds();
+      Timer old_timer;
+      rebuild_state->ApplyDelta(masked, segment);
+      double old_score = rebuild_state->breakdown().score;
+      rebuild_state->Revert();
+      seg_old_s += old_timer.ElapsedSeconds();
+      seg_diff = std::max(seg_diff, std::fabs(new_score - old_score));
+      const auto& cells = segment.cells();
+      for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+        masked.SetCode(it->row, it->attr, it->old_code);
+      }
+    }
+    seg_new_s /= kSegments;
+    seg_old_s /= kSegments;
+  }
+  double seg_speedup = seg_new_s > 0 ? seg_old_s / seg_new_s : 0.0;
+  std::printf(
+      "crossover_segment,cells_per_batch=%lld,rebuild_ms=%.3f,"
+      "segment_ms=%.3f,speedup=%.2fx,max_abs_diff=%.3g\n",
+      static_cast<long long>(seg_cells / kSegments), seg_old_s * 1e3,
+      seg_new_s * 1e3, seg_speedup, seg_diff);
+
+  // Wide-pattern PRL scenario: 12 protected attributes (2^12 pattern space,
+  // beyond the former dense 8-attribute limit). Single-cell delta vs full
+  // Compute and vs a forced per-step rebuild.
+  double prl_full_s = 0.0, prl_delta_s = 0.0, prl_rebuild_s = 0.0;
+  double prl_diff = 0.0;
+  int64_t prl_rows = quick ? 150 : 500;
+  {
+    auto prl_profile = datagen::UniformTestProfile(
+        "prl12", prl_rows, std::vector<int>(12, 4));
+    Dataset prl_original = datagen::Generate(prl_profile, 977).ValueOrDie();
+    auto prl_attrs =
+        datagen::ProtectedAttributeIndices(prl_profile, prl_original)
+            .ValueOrDie();
+    Rng prl_rng(978);
+    Dataset prl_masked = protection::Pram(0.7)
+                             .Protect(prl_original, prl_attrs, &prl_rng)
+                             .ValueOrDie();
+    metrics::ProbabilisticRecordLinkage prl(quick ? 10 : 25);
+    auto bound = std::move(prl.Bind(prl_original, prl_attrs)).ValueOrDie();
+    auto delta_state = bound->BindState(prl_masked);
+    auto rebuild_state = bound->BindState(prl_masked);
+    rebuild_state->set_full_rebuild_threshold(1);
+    const int kPrlSteps = quick ? 6 : 15;
+    auto prl_steps = DrawMutations(prl_masked, prl_attrs, kPrlSteps, 0x12A7);
+    for (const MutationStep& step : prl_steps) {
+      int32_t old_code = prl_masked.Code(step.row, step.attr);
+      prl_masked.SetCode(step.row, step.attr, step.new_code);
+      std::vector<metrics::CellDelta> deltas{
+          {step.row, step.attr, old_code, step.new_code}};
+      Timer delta_timer;
+      delta_state->ApplyDelta(prl_masked, deltas);
+      double delta_score = delta_state->Score();
+      delta_state->Revert();
+      prl_delta_s += delta_timer.ElapsedSeconds();
+      Timer rebuild_timer;
+      rebuild_state->ApplyDelta(prl_masked, deltas);
+      double rebuild_score = rebuild_state->Score();
+      rebuild_state->Revert();
+      prl_rebuild_s += rebuild_timer.ElapsedSeconds();
+      Timer full_timer;
+      double full_score = bound->Compute(prl_masked);
+      prl_full_s += full_timer.ElapsedSeconds();
+      prl_diff = std::max(prl_diff, std::fabs(delta_score - full_score));
+      prl_diff = std::max(prl_diff, std::fabs(rebuild_score - full_score));
+      prl_masked.SetCode(step.row, step.attr, old_code);
+    }
+    prl_full_s /= kPrlSteps;
+    prl_delta_s /= kPrlSteps;
+    prl_rebuild_s /= kPrlSteps;
+  }
+  double prl_vs_full = prl_delta_s > 0 ? prl_full_s / prl_delta_s : 0.0;
+  double prl_vs_rebuild = prl_delta_s > 0 ? prl_rebuild_s / prl_delta_s : 0.0;
+  std::printf(
+      "prl_wide,attrs=12,rows=%lld,full_ms=%.3f,rebuild_ms=%.3f,"
+      "delta_ms=%.3f,speedup_vs_full=%.1fx,speedup_vs_rebuild=%.1fx,"
+      "max_abs_diff=%.3g\n",
+      static_cast<long long>(prl_rows), prl_full_s * 1e3, prl_rebuild_s * 1e3,
+      prl_delta_s * 1e3, prl_vs_full, prl_vs_rebuild, prl_diff);
+
   // Engine before/after: identical seeds and generation budget, incremental
   // evaluation off vs on.
   auto dataset_case = experiments::AdultCase();
@@ -248,8 +385,24 @@ int main(int argc, char** argv) {
       .Add("delta_eval_seconds", fitness_delta_s)
       .Add("speedup", fitness_speedup)
       .Add("max_abs_diff", fitness_diff);
+  bench::JsonObject segment_json;
+  segment_json.Add("rebuild_eval_seconds", seg_old_s)
+      .Add("segment_eval_seconds", seg_new_s)
+      .Add("speedup", seg_speedup)
+      .Add("max_abs_diff", seg_diff);
+  bench::JsonObject prl_wide_json;
+  prl_wide_json.Add("attrs", static_cast<int64_t>(12))
+      .Add("rows", prl_rows)
+      .Add("full_eval_seconds", prl_full_s)
+      .Add("rebuild_eval_seconds", prl_rebuild_s)
+      .Add("delta_eval_seconds", prl_delta_s)
+      .Add("speedup_vs_full", prl_vs_full)
+      .Add("speedup_vs_rebuild", prl_vs_rebuild)
+      .Add("max_abs_diff", prl_diff);
   json.Add("measures", measures_json)
       .Add("fitness", fitness_json)
+      .Add("crossover_segment", segment_json)
+      .Add("prl_wide", prl_wide_json)
       .Add("engine_full", bench::EngineThroughputJson(full_run))
       .Add("engine_incremental", bench::EngineThroughputJson(delta_run))
       .Add("engine_speedup", engine_speedup);
@@ -263,14 +416,31 @@ int main(int argc, char** argv) {
   }
   std::printf("# json written to %s\n", path.c_str());
 
-  if (!all_within_tolerance || fitness_diff > 1e-9) {
+  if (!all_within_tolerance || fitness_diff > 1e-9 || seg_diff > 1e-9 ||
+      prl_diff > 1e-9) {
     std::fprintf(stderr, "FAIL: delta/full disagreement above 1e-9\n");
     return 1;
   }
-  if (rows >= 1000 && dbrl_speedup < 10.0) {
-    std::fprintf(stderr, "FAIL: DBRL delta speedup %.1fx below 10x target\n",
-                 dbrl_speedup);
-    return 1;
+  if (!quick && rows >= 1000) {
+    if (dbrl_speedup < 10.0) {
+      std::fprintf(stderr, "FAIL: DBRL delta speedup %.1fx below 10x target\n",
+                   dbrl_speedup);
+      return 1;
+    }
+    if (seg_speedup < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: crossover segment path %.2fx slower than the "
+                   "full-rebuild path\n",
+                   seg_speedup);
+      return 1;
+    }
+    if (prl_vs_rebuild < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: 12-attribute PRL delta path %.2fx slower than the "
+                   "full-rebuild path\n",
+                   prl_vs_rebuild);
+      return 1;
+    }
   }
   std::printf("# OK\n");
   return 0;

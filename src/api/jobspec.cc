@@ -301,7 +301,7 @@ void ParseMethods(const JsonValue& json, std::vector<MethodGridSpec>* methods,
 }
 
 void ParseMeasures(const JsonValue& json, MeasureSpec* measures,
-                   Status* status) {
+                   FitnessSpec* fitness, Status* status) {
   Fields f("measures", json, status);
   std::string aggregation;
   f.String("aggregation", &aggregation);
@@ -319,7 +319,32 @@ void ParseMeasures(const JsonValue& json, MeasureSpec* measures,
   f.Double("id_window_percent", &measures->id_window_percent);
   f.Double("rsrl_assumed_p_percent", &measures->rsrl_assumed_p_percent);
   f.Int("prl_em_iterations", &measures->prl_em_iterations);
-  f.Double("delta_rebuild_fraction", &measures->delta_rebuild_fraction);
+  // Legacy alias of fitness.delta_rebuild_fraction (the knob moved into the
+  // `fitness` cost-model block when it became measure-owned); accepted on
+  // input, serialized only in its new home.
+  f.Double("delta_rebuild_fraction", &fitness->delta_rebuild_fraction);
+  f.Finish();
+}
+
+void ParseFitness(const JsonValue& json, FitnessSpec* fitness,
+                  Status* status) {
+  Fields f("fitness", json, status);
+  f.Double("delta_rebuild_fraction", &fitness->delta_rebuild_fraction);
+  if (const JsonValue* fractions = f.Get("rebuild_fractions")) {
+    if (!fractions->is_object()) {
+      f.Fail("rebuild_fractions",
+             "expected an object of measure-name -> fraction");
+    } else {
+      fitness->rebuild_fractions.clear();
+      for (const auto& [key, value] : fractions->members()) {
+        if (!value.is_number()) {
+          f.Fail("rebuild_fractions." + key, "expected a number");
+          break;
+        }
+        fitness->rebuild_fractions.emplace_back(key, value.number_value());
+      }
+    }
+  }
   f.Finish();
 }
 
@@ -458,7 +483,10 @@ Result<JobSpec> JobSpec::FromJson(const JsonValue& json) {
     ParseMethods(*methods, &spec.methods, &status);
   }
   if (const JsonValue* measures = f.Get("measures")) {
-    ParseMeasures(*measures, &spec.measures, &status);
+    ParseMeasures(*measures, &spec.measures, &spec.fitness, &status);
+  }
+  if (const JsonValue* fitness = f.Get("fitness")) {
+    ParseFitness(*fitness, &spec.fitness, &status);
   }
   if (const JsonValue* ga = f.Get("ga")) {
     ParseGa(*ga, &spec.ga, &status);
@@ -600,21 +628,34 @@ Status JobSpec::Validate() const {
           "'; known: ", Join(metrics::MeasureRegistry::Global().Names(), ','));
     }
   }
-  metrics::FitnessEvaluator::Options fitness = FitnessOptions();
-  if (!fitness.use_ctbil && !fitness.use_dbil && !fitness.use_ebil) {
+  metrics::FitnessEvaluator::Options fitness_options = FitnessOptions();
+  if (!fitness_options.use_ctbil && !fitness_options.use_dbil &&
+      !fitness_options.use_ebil) {
     return Status::Invalid(
         "measures.enabled: at least one information-loss measure is required");
   }
-  if (!fitness.use_id && !fitness.use_dbrl && !fitness.use_prl &&
-      !fitness.use_rsrl) {
+  if (!fitness_options.use_id && !fitness_options.use_dbrl &&
+      !fitness_options.use_prl && !fitness_options.use_rsrl) {
     return Status::Invalid(
         "measures.enabled: at least one disclosure-risk measure is required");
   }
-  if (measures.delta_rebuild_fraction <= 0.0 ||
-      measures.delta_rebuild_fraction > 1.0) {
+  if (fitness.delta_rebuild_fraction < 0.0 ||
+      fitness.delta_rebuild_fraction > 1.0) {
     return Status::Invalid(
-        "measures.delta_rebuild_fraction: must be in (0, 1], got ",
-        measures.delta_rebuild_fraction);
+        "fitness.delta_rebuild_fraction: must be in [0, 1] (0 keeps the "
+        "per-measure defaults), got ",
+        fitness.delta_rebuild_fraction);
+  }
+  for (const auto& [name, fraction] : fitness.rebuild_fractions) {
+    if (!metrics::MeasureRegistry::Global().Contains(name)) {
+      return Status::Invalid(
+          "fitness.rebuild_fractions: unknown measure '", name, "'; known: ",
+          Join(metrics::MeasureRegistry::Global().Names(), ','));
+    }
+    if (fraction <= 0.0 || fraction > 1.0) {
+      return Status::Invalid("fitness.rebuild_fractions.", name,
+                             ": must be in (0, 1], got ", fraction);
+    }
   }
 
   if (strategy.name.empty()) {
@@ -663,7 +704,8 @@ metrics::FitnessEvaluator::Options JobSpec::FitnessOptions() const {
   options.id_window_percent = measures.id_window_percent;
   options.rsrl_assumed_p_percent = measures.rsrl_assumed_p_percent;
   options.prl_em_iterations = measures.prl_em_iterations;
-  options.delta_rebuild_fraction = measures.delta_rebuild_fraction;
+  options.delta_rebuild_fraction = fitness.delta_rebuild_fraction;
+  options.measure_rebuild_fractions = fitness.rebuild_fractions;
   if (!measures.enabled.empty()) {
     options.use_ctbil = options.use_dbil = options.use_ebil = false;
     options.use_id = options.use_dbrl = options.use_prl = options.use_rsrl =
@@ -768,9 +810,19 @@ JsonValue JobSpec::ToJson() const {
                     JsonValue::MakeNumber(measures.rsrl_assumed_p_percent));
   measures_json.Set("prl_em_iterations",
                     JsonValue::MakeInt(measures.prl_em_iterations));
-  measures_json.Set("delta_rebuild_fraction",
-                    JsonValue::MakeNumber(measures.delta_rebuild_fraction));
   json.Set("measures", std::move(measures_json));
+
+  JsonValue fitness_json = JsonValue::MakeObject();
+  fitness_json.Set("delta_rebuild_fraction",
+                   JsonValue::MakeNumber(fitness.delta_rebuild_fraction));
+  if (!fitness.rebuild_fractions.empty()) {
+    JsonValue fractions = JsonValue::MakeObject();
+    for (const auto& [name, fraction] : fitness.rebuild_fractions) {
+      fractions.Set(name, JsonValue::MakeNumber(fraction));
+    }
+    fitness_json.Set("rebuild_fractions", std::move(fractions));
+  }
+  json.Set("fitness", std::move(fitness_json));
 
   JsonValue ga_json = JsonValue::MakeObject();
   ga_json.Set("generations", JsonValue::MakeInt(ga.generations));

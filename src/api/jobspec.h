@@ -68,7 +68,19 @@ struct MeasureSpec {
   double id_window_percent = 10.0;
   double rsrl_assumed_p_percent = 15.0;
   int prl_em_iterations = 50;
-  double delta_rebuild_fraction = 0.25;
+};
+
+/// \brief Incremental-evaluation cost-model tuning (the JSON `fitness`
+/// object; see docs/perf.md for the per-measure cost model).
+struct FitnessSpec {
+  /// Global override of every measure's rebuild fraction — the share of the
+  /// protected cells a segment batch may touch before a measure state
+  /// recomputes from scratch. 0 (default) keeps the per-measure defaults
+  /// (counting measures ~1.0, linkage attacks 0.4–0.6).
+  double delta_rebuild_fraction = 0.0;
+  /// Per-measure overrides by registry name; beat the global override.
+  /// Serialized as the `rebuild_fractions` object.
+  std::vector<std::pair<std::string, double>> rebuild_fractions;
 };
 
 /// \brief Which evolution strategy schedules the GA step, plus its
@@ -120,6 +132,8 @@ struct JobSpec {
   /// Seed-method roster; empty = the paper's default mix for the source.
   std::vector<MethodGridSpec> methods;
   MeasureSpec measures;
+  /// Incremental-evaluation rebuild tuning (measure-owned cost model).
+  FitnessSpec fitness;
   /// GA configuration. `ga.seed` is ignored — `seeds` owns all seeding.
   core::GaConfig ga;
   /// Evolution strategy scheduling the GA step (default: the paper's

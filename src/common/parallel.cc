@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -11,118 +9,11 @@
 
 namespace evocat {
 
-namespace {
-
-// Nested ParallelFor calls run serially: measures parallelize internally,
-// and batch evaluation parallelizes over individuals — without this guard
-// the two levels would multiply into heavy oversubscription.
-thread_local bool t_in_parallel_region = false;
-
-/// Persistent worker pool. ParallelFor is called thousands of times per
-/// second from the GA's fitness evaluations; spawning threads per call costs
-/// more than the loops themselves, so workers are created once and woken per
-/// region. Concurrent regions (e.g. the engine evaluating two offspring on
-/// two threads, each fanning out) are serialized on `region_mutex_` — each
-/// region still uses the whole pool.
-class Pool {
- public:
-  static Pool& Instance() {
-    static Pool* pool = new Pool();  // leaked deliberately: lives to exit
-    return *pool;
-  }
-
-  void Run(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn) {
-    std::lock_guard<std::mutex> region_guard(region_mutex_);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      fn_ = &fn;
-      next_.store(begin, std::memory_order_relaxed);
-      end_ = end;
-      chunk_ = std::max<int64_t>(
-          1, (end - begin) / (static_cast<int64_t>(workers_.size() + 1) * 8));
-      pending_ = static_cast<int>(workers_.size());
-      ++generation_;
-    }
-    wake_.notify_all();
-    Process(fn);  // the calling thread participates
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return pending_ == 0; });
-    fn_ = nullptr;
-  }
-
- private:
-  Pool() {
-    int hw = static_cast<int>(std::thread::hardware_concurrency());
-    if (hw <= 0) hw = 4;
-    for (int i = 0; i < hw - 1; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
-      workers_.back().detach();
-    }
-  }
-
-  void WorkerLoop() {
-    t_in_parallel_region = true;
-    uint64_t seen = 0;
-    while (true) {
-      const std::function<void(int64_t)>* fn = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] { return generation_ != seen; });
-        seen = generation_;
-        fn = fn_;
-      }
-      if (fn != nullptr) Process(*fn);
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) done_.notify_all();
-      }
-    }
-  }
-
-  void Process(const std::function<void(int64_t)>& fn) {
-    bool was_nested = t_in_parallel_region;
-    t_in_parallel_region = true;
-    while (true) {
-      int64_t start = next_.fetch_add(chunk_, std::memory_order_relaxed);
-      if (start >= end_) break;
-      int64_t stop = std::min(end_, start + chunk_);
-      for (int64_t i = start; i < stop; ++i) fn(i);
-    }
-    t_in_parallel_region = was_nested;
-  }
-
-  std::mutex region_mutex_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  std::vector<std::thread> workers_;
-  const std::function<void(int64_t)>* fn_ = nullptr;
-  std::atomic<int64_t> next_{0};
-  int64_t end_ = 0;
-  int64_t chunk_ = 1;
-  int pending_ = 0;
-  uint64_t generation_ = 0;
-};
-
-}  // namespace
-
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& fn, int num_threads) {
   int64_t count = end - begin;
   if (count <= 0) return;
   if (num_threads == 1 || count < 2) {
-    for (int64_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  // On a task-scheduler worker (batch jobs, the evocatd daemon) the loop is
-  // split into chunks that idle workers steal; with every worker busy it
-  // degenerates to the serial loop. Either way the iteration set and its
-  // output slots are identical, so results do not depend on the route.
-  if (num_threads <= 0 && TaskScheduler::OnWorkerThread()) {
-    TaskScheduler::Current()->ParallelForOnWorker(begin, end, fn);
-    return;
-  }
-  if (t_in_parallel_region) {
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -134,7 +25,6 @@ void ParallelFor(int64_t begin, int64_t end,
     threads.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       threads.emplace_back([&]() {
-        t_in_parallel_region = true;
         while (true) {
           int64_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= end) break;
@@ -145,7 +35,18 @@ void ParallelFor(int64_t begin, int64_t end,
     for (auto& t : threads) t.join();
     return;
   }
-  Pool::Instance().Run(begin, end, fn);
+  // Every implicit loop runs on one process-wide work-stealing scheduler.
+  // On a scheduler worker (batch jobs, the evocatd daemon, an enclosing
+  // ParallelFor chunk) the range splits into chunks that idle workers steal;
+  // elsewhere the chunks are injected into the shared queue with the caller
+  // participating. Nested regions therefore fan out across whatever workers
+  // are idle instead of serializing. Either way the iteration set and its
+  // output slots are identical, so results do not depend on the route.
+  if (TaskScheduler::OnWorkerThread()) {
+    TaskScheduler::Current()->ParallelForOnWorker(begin, end, fn);
+    return;
+  }
+  TaskScheduler::Shared().ParallelForShared(begin, end, fn);
 }
 
 }  // namespace evocat

@@ -175,4 +175,57 @@ void TaskScheduler::ParallelForOnWorker(
   }
 }
 
+void TaskScheduler::ParallelForShared(
+    int64_t begin, int64_t end, const std::function<void(int64_t)>& fn) {
+  int64_t count = end - begin;
+  if (count <= 0) return;
+  if (t_scheduler == this && t_worker_index >= 0) {
+    ParallelForOnWorker(begin, end, fn);
+    return;
+  }
+  if (count < 2) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  int64_t chunk = std::max<int64_t>(
+      1, count / (static_cast<int64_t>(worker_state_.size()) * 4));
+  Group group;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t start = begin; start < end; start += chunk) {
+      int64_t stop = std::min(end, start + chunk);
+      group.pending_.fetch_add(1, std::memory_order_relaxed);
+      global_queue_.push_back(Task{&group, [&fn, start, stop] {
+                                     for (int64_t i = start; i < stop; ++i) {
+                                       fn(i);
+                                     }
+                                   }});
+    }
+  }
+  wake_.notify_all();
+
+  // The caller participates: it drains its own chunks from the global queue
+  // (skipping foreign tasks) and sleeps only once every remaining chunk is
+  // running on a worker.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (group.pending_.load(std::memory_order_acquire) > 0) {
+    auto it = std::find_if(
+        global_queue_.begin(), global_queue_.end(),
+        [&group](const Task& task) { return task.group == &group; });
+    if (it != global_queue_.end()) {
+      Task task = std::move(*it);
+      global_queue_.erase(it);
+      lock.unlock();
+      task.fn();
+      FinishTask(task);
+      lock.lock();
+      continue;
+    }
+    done_.wait(lock, [&] {
+      return group.pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
 }  // namespace evocat

@@ -78,8 +78,22 @@ class TaskScheduler {
   /// owner executes them newest-first while idle workers steal oldest-first.
   /// When no worker is idle the loop simply runs serially (no queue traffic).
   /// Blocks until every iteration completed. Iterations must be independent.
+  /// Nested calls are first-class: a chunk that opens its own inner loop
+  /// splits again onto the executing worker's deque, so inner regions feed
+  /// the same pool instead of serializing.
   void ParallelForOnWorker(int64_t begin, int64_t end,
                            const std::function<void(int64_t)>& fn);
+
+  /// \brief Parallel loop entry for *any* thread.
+  ///
+  /// On a worker of this scheduler it is `ParallelForOnWorker`; on a foreign
+  /// thread the chunks are injected into the global queue and the calling
+  /// thread participates by draining its own chunks while idle workers take
+  /// the rest. Concurrent regions from different threads interleave on the
+  /// pool rather than serializing behind a region lock. Blocks until every
+  /// iteration completed; iterations must be independent.
+  void ParallelForShared(int64_t begin, int64_t end,
+                         const std::function<void(int64_t)>& fn);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
   /// \brief Chunks executed by a worker other than their owner (diagnostic;

@@ -51,7 +51,7 @@ Result<EvolutionResult> EvolutionEngine::Run(
 
   Rng rng(config_.seed);
   GenerationStepper stepper(evaluator_, config_, &population, &rng,
-                            &result.stats, &next_id);
+                            &result.stats, &next_id, cancel);
 
   double best_score = population.MinScore();
   int stale_generations = 0;

@@ -48,10 +48,11 @@ struct GaConfig {
   /// Early stop after this many generations without best-score improvement
   /// (0 disables; the paper runs a fixed generation budget).
   int no_improvement_window = 0;
-  /// Evaluate crossover offspring concurrently (on the shared worker pool).
-  /// Only applies to small-delta incremental legs; heavy legs (full
-  /// evaluation or rebuild-sized segments) always run sequentially so each
-  /// keeps the whole pool for its inner parallel loops.
+  /// Evaluate crossover offspring concurrently (on the shared work-stealing
+  /// pool). Applies to every leg: heavy legs (full evaluation or
+  /// rebuild-sized segments) overlap too, since their inner per-measure and
+  /// per-row loops fan out through nested work stealing instead of
+  /// serializing.
   bool parallel_offspring_eval = true;
   /// Score offspring through incremental delta evaluation: each population
   /// member carries a `metrics::FitnessState`, and a mutation/crossover is

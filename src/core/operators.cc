@@ -30,6 +30,22 @@ MutationOperator::Record MutationOperator::Apply(Dataset* genome,
   return record;
 }
 
+metrics::SegmentDelta CrossoverSegmentSwap(const GenomeLayout& layout,
+                                           const Dataset& donor,
+                                           Dataset* genome, int64_t s,
+                                           int64_t r) {
+  metrics::SegmentDelta deltas;
+  for (int64_t flat = s; flat <= r; ++flat) {
+    auto [row, attr] = layout.Cell(flat);
+    int32_t old_code = genome->Code(row, attr);
+    int32_t new_code = donor.Code(row, attr);
+    if (old_code == new_code) continue;  // no-op swap: keep COW columns shared
+    genome->SetCode(row, attr, new_code);
+    deltas.Append(row, attr, old_code, new_code);
+  }
+  return deltas;
+}
+
 CrossoverOperator::Record CrossoverOperator::Apply(const Dataset& x,
                                                    const Dataset& y, Dataset* z1,
                                                    Dataset* z2, Rng* rng) const {
@@ -43,16 +59,8 @@ CrossoverOperator::Record CrossoverOperator::Apply(const Dataset& x,
 
   *z1 = x.Clone();
   *z2 = y.Clone();
-  for (int64_t flat = record.s; flat <= record.r; ++flat) {
-    auto [row, attr] = layout_.Cell(flat);
-    int32_t xc = x.Code(row, attr);
-    int32_t yc = y.Code(row, attr);
-    if (xc == yc) continue;  // no-op swap: keep the COW columns shared
-    z1->SetCode(row, attr, yc);
-    z2->SetCode(row, attr, xc);
-    record.deltas1.push_back(metrics::CellDelta{row, attr, xc, yc});
-    record.deltas2.push_back(metrics::CellDelta{row, attr, yc, xc});
-  }
+  record.deltas1 = CrossoverSegmentSwap(layout_, y, z1, record.s, record.r);
+  record.deltas2 = CrossoverSegmentSwap(layout_, x, z2, record.s, record.r);
   return record;
 }
 

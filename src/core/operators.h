@@ -49,6 +49,19 @@ class GenomeLayout {
   int64_t num_rows_;
 };
 
+/// \brief Applies the inclusive flat-gene segment [s, r] to `genome` in
+/// place, drawing replacement codes from `donor`, and returns the changed
+/// cells as a row-grouped segment batch.
+///
+/// This is the crossover operator's write loop: only positions where the two
+/// files disagree are written (COW columns stay shared) and recorded, in
+/// row-major order. Exposed so parity tests and benches replay
+/// crossover-sized legs through the exact operator contract.
+metrics::SegmentDelta CrossoverSegmentSwap(const GenomeLayout& layout,
+                                           const Dataset& donor,
+                                           Dataset* genome, int64_t s,
+                                           int64_t r);
+
 /// \brief Paper §2.2.1: replace one random gene with a random valid category.
 class MutationOperator {
  public:
@@ -87,12 +100,15 @@ class CrossoverOperator {
   ///
   /// Only segment positions where the parents disagree are written (and
   /// recorded), so `deltas1`/`deltas2` feed the incremental fitness states
-  /// directly: z1 = x + deltas1, z2 = y + deltas2.
+  /// directly: z1 = x + deltas1, z2 = y + deltas2. The deltas are emitted
+  /// as `metrics::SegmentDelta` batches — cells grouped by row as they are
+  /// produced (the flat gene order is row-major), so every measure state
+  /// consumes the grouping without re-deriving it.
   struct Record {
     int64_t s = 0;
     int64_t r = 0;
-    std::vector<metrics::CellDelta> deltas1;
-    std::vector<metrics::CellDelta> deltas2;
+    metrics::SegmentDelta deltas1;
+    metrics::SegmentDelta deltas2;
   };
 
   /// \brief Produces offspring (z1, z2) from parents (x, y).

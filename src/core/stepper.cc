@@ -91,13 +91,15 @@ Status ValidateRunInputs(const metrics::FitnessEvaluator* evaluator,
 GenerationStepper::GenerationStepper(const metrics::FitnessEvaluator* evaluator,
                                      const GaConfig& config,
                                      Population* population, Rng* rng,
-                                     EvolutionStats* stats, uint64_t* next_id)
+                                     EvolutionStats* stats, uint64_t* next_id,
+                                     const std::atomic<bool>* cancel)
     : evaluator_(evaluator),
       config_(config),
       population_(population),
       rng_(rng),
       stats_(stats),
       next_id_(next_id),
+      cancel_(cancel),
       selection_(config.selection),
       layout_(evaluator->attrs(), evaluator->original().num_rows()),
       mutate_(layout_, config.mutation_excludes_current),
@@ -131,13 +133,12 @@ GenerationRecord GenerationStepper::Step(int generation) {
     auto& parent_state = population[parent_idx].eval_state;
     Timer eval_timer;
     if (incremental && parent_state) {
-      std::vector<metrics::CellDelta> deltas;
+      metrics::SegmentDelta deltas;
       if (mutation.new_code != mutation.old_code) {
-        deltas.push_back(metrics::CellDelta{mutation.row, mutation.attr,
-                                            mutation.old_code,
-                                            mutation.new_code});
+        deltas.Append(mutation.row, mutation.attr, mutation.old_code,
+                      mutation.new_code);
       }
-      parent_state->ApplyDelta(child.data, deltas);
+      parent_state->ApplyDelta(child.data, deltas, cancel_);
       child.fitness = parent_state->breakdown();
     } else {
       child.fitness = evaluator_->Evaluate(child.data);
@@ -179,49 +180,37 @@ GenerationRecord GenerationStepper::Step(int generation) {
     const bool delta_pair = incremental && i1 != i2 &&
                             population[i1].eval_state != nullptr &&
                             population[i2].eval_state != nullptr;
-    // Concurrency trade-off: a leg evaluated inside ParallelFor(0, 2)
-    // cannot fan out its own inner loops (nested pool regions run
-    // serially), so the two-leg split only pays when each leg is cheap —
-    // i.e. a delta batch small enough to skip the full-rebuild path.
-    // Heavy legs (full evaluation, or a rebuild-sized segment) run
-    // sequentially so each keeps the whole pool for its O(n^2) measures.
-    int64_t rebuild_cells = static_cast<int64_t>(
-        evaluator_->options().delta_rebuild_fraction *
-        static_cast<double>(layout_.Length()));
-    const bool cheap_legs =
-        delta_pair &&
-        static_cast<int64_t>(std::max(segment.deltas1.size(),
-                                      segment.deltas2.size())) <
-            rebuild_cells;
+    // Both legs go through the one segment-delta entry point and may always
+    // overlap: a heavy leg (full evaluation or a rebuild-sized segment) no
+    // longer hogs or starves the pool, because nested regions — the
+    // per-measure fan-out inside FitnessState::ApplyDelta and every
+    // measure's own row loops — submit to the shared scheduler instead of
+    // serializing.
     Timer eval_timer;
     if (delta_pair) {
       auto eval_leg = [&](int64_t leg) {
         Individual& child = leg == 0 ? child1 : child2;
         size_t parent = leg == 0 ? i1 : i2;
         const auto& deltas = leg == 0 ? segment.deltas1 : segment.deltas2;
-        population[parent].eval_state->ApplyDelta(child.data, deltas);
+        population[parent].eval_state->ApplyDelta(child.data, deltas, cancel_);
         child.fitness = population[parent].eval_state->breakdown();
       };
-      if (config_.parallel_offspring_eval && cheap_legs) {
+      if (config_.parallel_offspring_eval) {
         ParallelFor(0, 2, eval_leg);
       } else {
         eval_leg(0);
         eval_leg(1);
       }
     } else {
-      // Full evaluation: overlap the two legs on the pool only when no
-      // enabled measure fans out internally (the linkage attacks use
-      // nested ParallelFor, which a pool region would serialize).
-      const auto& opts = evaluator_->options();
-      bool pool_heavy = opts.use_dbrl || opts.use_prl || opts.use_rsrl;
-      if (config_.parallel_offspring_eval && !pool_heavy) {
-        ParallelFor(0, 2, [&](int64_t leg) {
-          Individual& child = leg == 0 ? child1 : child2;
-          child.fitness = evaluator_->Evaluate(child.data);
-        });
+      auto eval_leg = [&](int64_t leg) {
+        Individual& child = leg == 0 ? child1 : child2;
+        child.fitness = evaluator_->Evaluate(child.data);
+      };
+      if (config_.parallel_offspring_eval) {
+        ParallelFor(0, 2, eval_leg);
       } else {
-        child1.fitness = evaluator_->Evaluate(child1.data);
-        child2.fitness = evaluator_->Evaluate(child2.data);
+        eval_leg(0);
+        eval_leg(1);
       }
     }
     eval_seconds = eval_timer.ElapsedSeconds();

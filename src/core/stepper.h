@@ -70,9 +70,15 @@ class GenerationStepper {
   /// \param stats aggregate counters accumulated across steps.
   /// \param next_id id source for offspring (unique within the run; island
   ///        strategies hand each stepper a disjoint id range).
+  /// \param cancel optional run-cancel flag, polled *inside* the
+  ///        per-measure delta evaluation so a rebuild-sized crossover leg
+  ///        stops within one measure's rebuild (the driving loop still owns
+  ///        the authoritative between-generation poll and the resulting
+  ///        `Status::Cancelled`).
   GenerationStepper(const metrics::FitnessEvaluator* evaluator,
                     const GaConfig& config, Population* population, Rng* rng,
-                    EvolutionStats* stats, uint64_t* next_id);
+                    EvolutionStats* stats, uint64_t* next_id,
+                    const std::atomic<bool>* cancel = nullptr);
 
   /// \brief Runs one generation and returns its record (`record.generation`
   /// is set to `generation`; `record.island` stays 0 — island strategies
@@ -88,6 +94,7 @@ class GenerationStepper {
   Rng* rng_;
   EvolutionStats* stats_;
   uint64_t* next_id_;
+  const std::atomic<bool>* cancel_;
 
   SelectionPolicy selection_;
   GenomeLayout layout_;

@@ -13,6 +13,10 @@
 /// keeps its copies, so the global best can only improve). Cancellation is
 /// polled inside every island's generation loop and re-checked at each
 /// barrier, so a cancel lands within one generation even mid-epoch.
+/// `no_improvement_window` has two semantics (the `stop_mode` parameter):
+/// per_island (default) stops a stalled island alone; global watches the
+/// cross-island best at epoch barriers and stops the whole run once it has
+/// not improved for the window.
 
 #include <algorithm>
 #include <memory>
@@ -37,11 +41,12 @@ constexpr uint64_t kIslandIdStride = uint64_t{1} << 40;
 class IslandsStrategy : public EvolutionStrategy {
  public:
   IslandsStrategy(int islands, int migration_interval, int migrants,
-                  bool parallel)
+                  bool parallel, bool global_stop)
       : islands_(islands),
         migration_interval_(migration_interval),
         migrants_(migrants),
-        parallel_(parallel) {}
+        parallel_(parallel),
+        global_stop_(global_stop) {}
 
   std::string name() const override { return "islands"; }
 
@@ -55,6 +60,11 @@ class IslandsStrategy : public EvolutionStrategy {
   int migration_interval_;
   int migrants_;
   bool parallel_;
+  /// `no_improvement_window` semantics: false = per island (an island that
+  /// stalls for the window stops alone), true = global (the run stops once
+  /// the cross-island best has not improved for the window, evaluated at
+  /// migration-epoch barriers).
+  bool global_stop_;
 };
 
 /// Everything one island owns; no two islands share any of it.
@@ -120,8 +130,16 @@ Result<core::EvolutionResult> IslandsStrategy::Run(
   for (size_t k = 0; k < n_islands; ++k) {
     steppers.push_back(std::make_unique<core::GenerationStepper>(
         evaluator, config, &islands[k].population, &islands[k].rng,
-        &islands[k].stats, &islands[k].next_id));
+        &islands[k].stats, &islands[k].next_id, cancel));
   }
+
+  // Global stop mode: the stagnation window watches the cross-island best
+  // at epoch barriers instead of each island privately.
+  double run_best = 1e100;
+  for (const Island& island : islands) {
+    run_best = std::min(run_best, island.best_score);
+  }
+  int global_stale = 0;
 
   int completed = 0;
   while (completed < config.generations) {
@@ -146,7 +164,7 @@ Result<core::EvolutionResult> IslandsStrategy::Run(
         } else {
           ++island.stale_generations;
         }
-        if (config.no_improvement_window > 0 &&
+        if (!global_stop_ && config.no_improvement_window > 0 &&
             island.stale_generations >= config.no_improvement_window) {
           island.stopped = true;
           return;
@@ -168,6 +186,20 @@ Result<core::EvolutionResult> IslandsStrategy::Run(
                                " islands)");
     }
     completed += chunk;
+
+    if (global_stop_ && config.no_improvement_window > 0) {
+      double current = 1e100;
+      for (const Island& island : islands) {
+        current = std::min(current, island.population.MinScore());
+      }
+      if (current < run_best - 1e-12) {
+        run_best = current;
+        global_stale = 0;
+      } else {
+        global_stale += chunk;
+      }
+      if (global_stale >= config.no_improvement_window) break;
+    }
 
     bool all_stopped = true;
     for (const Island& island : islands) all_stopped &= island.stopped;
@@ -237,6 +269,7 @@ void RegisterIslandsStrategy(StrategyRegistry* registry) {
         int64_t interval = reader.GetInt("migration_interval", 25);
         int64_t migrants = reader.GetInt("migrants", 1);
         std::string parallel = reader.GetString("parallel", "true");
+        std::string stop_mode = reader.GetString("stop_mode", "per_island");
         EVOCAT_RETURN_NOT_OK(reader.Finish());
         if (islands < 1 || islands > 256) {
           return Status::Invalid("islands.islands must be in [1, 256], got ",
@@ -254,9 +287,15 @@ void RegisterIslandsStrategy(StrategyRegistry* registry) {
           return Status::Invalid(
               "islands.parallel must be true or false, got '", parallel, "'");
         }
+        if (stop_mode != "per_island" && stop_mode != "global") {
+          return Status::Invalid(
+              "islands.stop_mode must be per_island or global, got '",
+              stop_mode, "'");
+        }
         return std::unique_ptr<EvolutionStrategy>(new IslandsStrategy(
             static_cast<int>(islands), static_cast<int>(interval),
-            static_cast<int>(migrants), parallel == "true"));
+            static_cast<int>(migrants), parallel == "true",
+            stop_mode == "global"));
       });
   (void)status;
 }

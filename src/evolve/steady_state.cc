@@ -35,8 +35,8 @@ struct PlannedChild {
   /// Parent slot the child competes with (and whose FitnessState serves the
   /// delta evaluation).
   size_t slot = 0;
-  /// Cells changed relative to the parent at `slot`.
-  std::vector<metrics::CellDelta> deltas;
+  /// Segment batch changed relative to the parent at `slot`.
+  metrics::SegmentDelta deltas;
 };
 
 class SteadyStateStrategy : public EvolutionStrategy {
@@ -111,9 +111,8 @@ Result<core::EvolutionResult> SteadyStateStrategy::Run(
         child.individual.data = population[child.slot].data.Clone();
         auto mutation = mutate.Apply(&child.individual.data, &rng);
         if (mutation.new_code != mutation.old_code) {
-          child.deltas.push_back(metrics::CellDelta{
-              mutation.row, mutation.attr, mutation.old_code,
-              mutation.new_code});
+          child.deltas.Append(mutation.row, mutation.attr, mutation.old_code,
+                              mutation.new_code);
         }
         child.individual.origin =
             "mutation<" + core::BaseOrigin(population[child.slot].origin) + ">";
@@ -176,7 +175,7 @@ Result<core::EvolutionResult> SteadyStateStrategy::Run(
       for (size_t p : groups[static_cast<size_t>(g)]) {
         PlannedChild& child = plan[p];
         if (incremental && state) {
-          state->ApplyDelta(child.individual.data, child.deltas);
+          state->ApplyDelta(child.individual.data, child.deltas, cancel);
           child.individual.fitness = state->breakdown();
           state->Revert();
         } else {
@@ -184,14 +183,11 @@ Result<core::EvolutionResult> SteadyStateStrategy::Run(
         }
       }
     };
-    // Same knob as the generational loop: with parallel_offspring_eval off
-    // (or when every offspring needs a full evaluation whose pool-heavy
-    // inner loops would serialize inside a pool region), groups run
-    // serially and each evaluation keeps the whole pool to itself.
-    const auto& opts = evaluator->options();
-    bool pool_heavy = opts.use_dbrl || opts.use_prl || opts.use_rsrl;
-    bool full_eval_groups = !incremental;
-    if (config.parallel_offspring_eval && !(full_eval_groups && pool_heavy)) {
+    // Same knob as the generational loop. Groups always overlap when
+    // requested: a heavy group's inner loops (full evaluations, rebuild-sized
+    // segments) fan out through nested work stealing instead of serializing,
+    // so there is no pool-heavy special case anymore.
+    if (config.parallel_offspring_eval) {
       ParallelFor(0, static_cast<int64_t>(groups.size()), eval_group);
     } else {
       for (int64_t g = 0; g < static_cast<int64_t>(groups.size()); ++g) {

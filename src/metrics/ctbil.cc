@@ -68,10 +68,13 @@ class BoundCtbIl : public BoundMeasure {
 /// state keeps each subset's masked table plus its current L1 distance; a
 /// changed row moves one unit of count from its old cell key to its new one
 /// in every subset that contains a touched attribute, adjusting the L1
-/// contribution of exactly those two cells.
+/// contribution of exactly those two cells. The group update is O(cells)
+/// regardless of segment width, so the cost model only rebuilds for
+/// genome-sized batches (fraction 1.0).
 class CtbIlState : public MeasureState {
  public:
-  CtbIlState(const BoundCtbIl* bound, const Dataset& masked) : bound_(bound) {
+  CtbIlState(const BoundCtbIl* bound, const Dataset& masked)
+      : MeasureState(/*default_rebuild_fraction=*/1.0), bound_(bound) {
     // Subsets that contain a given schema attribute.
     for (size_t s = 0; s < bound_->subsets().size(); ++s) {
       for (int attr : bound_->subsets()[s]) {
@@ -86,12 +89,12 @@ class CtbIlState : public MeasureState {
     undo_score_ = core_.score;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     undo_cells_.clear();
     undo_l1_ = core_.l1;
     undo_score_ = core_.score;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       backup_tables_ = core_.tables;
       reverted_by_backup_ = true;
       InitFrom(masked_after);
@@ -101,7 +104,7 @@ class CtbIlState : public MeasureState {
 
     const auto& subsets = bound_->subsets();
     std::vector<int32_t> codes;
-    for (const RowDelta& row : GroupDeltasByRow(deltas)) {
+    for (const RowDelta& row : segment.rows()) {
       // Union of subsets touched by this row's changed attributes.
       touched_.clear();
       for (const auto& cell : row.cells) {
@@ -132,7 +135,7 @@ class CtbIlState : public MeasureState {
     RefreshScore();
   }
 
-  void Revert() override {
+  void RevertSegment() override {
     if (reverted_by_backup_) {
       core_.tables = backup_tables_;
     } else {

@@ -51,26 +51,28 @@ class BoundDbIl : public BoundMeasure {
 };
 
 /// DBIL is a sum of independent per-cell distance terms, so a delta just
-/// swaps the changed cells' terms inside per-attribute running totals.
+/// swaps the changed cells' terms inside per-attribute running totals —
+/// O(cells) at any segment width, hence rebuild fraction 1.0.
 class DbIlState : public MeasureState {
  public:
   DbIlState(const BoundDbIl* bound, const Dataset& masked)
-      : bound_(bound),
+      : MeasureState(/*default_rebuild_fraction=*/1.0),
+        bound_(bound),
         attr_pos_(AttrPositions(bound->tables().attrs(),
                                 masked.num_attributes())) {
     InitFrom(masked);
     backup_ = core_;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     backup_ = core_;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       InitFrom(masked_after);
       return;
     }
     const auto& tables = bound_->tables();
-    for (const CellDelta& delta : deltas) {
+    for (const CellDelta& delta : segment.cells()) {
       int pos = attr_pos_[static_cast<size_t>(delta.attr)];
       if (pos < 0 || delta.old_code == delta.new_code) continue;
       int32_t orig = bound_->original().Code(delta.row, delta.attr);
@@ -81,7 +83,7 @@ class DbIlState : public MeasureState {
     RefreshScore();
   }
 
-  void Revert() override { core_ = backup_; }
+  void RevertSegment() override { core_ = backup_; }
 
   double Score() const override { return core_.score; }
 

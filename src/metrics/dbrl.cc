@@ -50,22 +50,27 @@ class BoundDbrl : public BoundMeasure {
 /// A changed masked record j only perturbs the distances d(., j), so each
 /// original record's linkage updates in O(1) distance evaluations per
 /// changed row; only records whose entire best-match support disappears are
-/// rescanned in full.
+/// rescanned in full. Cost model: the row-best group maintenance costs
+/// O(n · changed_rows · A) plus rescans whose frequency grows quickly with
+/// the touched-row share (every record whose best match sat in the changed
+/// set rescans in O(n · A)), so the measured break-even against a rebuild
+/// sits near 15% of the protected cells — fraction 0.15.
 class DbrlState : public MeasureState {
  public:
-  DbrlState(const BoundDbrl* bound, const Dataset& masked) : bound_(bound) {
+  DbrlState(const BoundDbrl* bound, const Dataset& masked)
+      : MeasureState(/*default_rebuild_fraction=*/0.15), bound_(bound) {
     InitFrom(masked);
     backup_ = core_;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     backup_ = core_;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       InitFrom(masked_after);
       return;
     }
-    auto row_deltas = GroupDeltasByRow(deltas);
+    const auto& row_deltas = segment.rows();
     if (row_deltas.empty()) return;
 
     int64_t n = bound_->original().num_rows();
@@ -102,7 +107,7 @@ class DbrlState : public MeasureState {
     core_.score = LinkageCreditScore(core_.rows);
   }
 
-  void Revert() override { core_ = backup_; }
+  void RevertSegment() override { core_ = backup_; }
 
   double Score() const override { return core_.score; }
 

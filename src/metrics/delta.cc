@@ -1,34 +1,7 @@
 #include "metrics/delta.h"
 
-#include <unordered_map>
-
 namespace evocat {
 namespace metrics {
-
-std::vector<RowDelta> GroupDeltasByRow(const std::vector<CellDelta>& deltas) {
-  std::vector<RowDelta> rows;
-  // Operator batches arrive row-sorted (flat gene order), so the common case
-  // is an append to the last group; the map covers arbitrary batches.
-  std::unordered_map<int64_t, size_t> index;
-  for (const CellDelta& delta : deltas) {
-    size_t slot;
-    if (!rows.empty() && rows.back().row == delta.row) {
-      slot = rows.size() - 1;
-    } else {
-      auto it = index.find(delta.row);
-      if (it == index.end()) {
-        slot = rows.size();
-        index.emplace(delta.row, slot);
-        rows.push_back(RowDelta{delta.row, {}});
-      } else {
-        slot = it->second;
-      }
-    }
-    rows[slot].cells.push_back(
-        RowDelta::Cell{delta.attr, delta.old_code, delta.new_code});
-  }
-  return rows;
-}
 
 double LinkageCreditScore(const std::vector<LinkageRowBest>& rows) {
   double credit = 0.0;

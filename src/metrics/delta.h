@@ -1,12 +1,10 @@
 /// \file delta.h
 /// \brief Shared plumbing for incremental measure states.
 ///
-/// The measures reason about deltas per *masked record*: a crossover segment
-/// that swaps several attributes of the same row must be treated as one row
-/// transition (old row image -> new row image), otherwise contingency keys
-/// and record distances would be computed against half-updated rows. This
-/// header groups a flat `CellDelta` batch by row and reconstructs the
-/// pre-batch value of any cell.
+/// The segment-batch types themselves (`CellDelta`, `RowDelta`,
+/// `SegmentDelta`) live in measure.h with the `MeasureState` contract; this
+/// header carries the helpers the concrete states share: attribute-position
+/// maps and the record-linkage support-set bookkeeping used by DBRL/RSRL.
 
 #ifndef EVOCAT_METRICS_DELTA_H_
 #define EVOCAT_METRICS_DELTA_H_
@@ -18,39 +16,6 @@
 
 namespace evocat {
 namespace metrics {
-
-/// \brief All changed cells of one masked record.
-struct RowDelta {
-  int64_t row = 0;
-
-  struct Cell {
-    int attr = 0;  ///< schema attribute index
-    int32_t old_code = 0;
-    int32_t new_code = 0;
-  };
-  /// Changed cells of this row (a handful at most: one per protected attr).
-  std::vector<Cell> cells;
-
-  /// \brief The pre-batch code of (row, attr): the recorded old value for a
-  /// changed cell, the current value otherwise.
-  int32_t OldCode(const Dataset& masked_after, int attr) const {
-    for (const Cell& cell : cells) {
-      if (cell.attr == attr) return cell.old_code;
-    }
-    return masked_after.Code(row, attr);
-  }
-
-  /// \brief Whether `attr` changed in this row.
-  bool Touches(int attr) const {
-    for (const Cell& cell : cells) {
-      if (cell.attr == attr) return true;
-    }
-    return false;
-  }
-};
-
-/// \brief Groups a delta batch by row, preserving first-appearance order.
-std::vector<RowDelta> GroupDeltasByRow(const std::vector<CellDelta>& deltas);
 
 /// \brief Maps schema attribute index -> position in `attrs` (-1 when the
 /// attribute is not bound). Sized to `num_schema_attrs`.

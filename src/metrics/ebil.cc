@@ -80,25 +80,27 @@ class BoundEbIl : public BoundMeasure {
 
 /// EBIL depends on the masked file only through per-attribute joint count
 /// tables; a delta moves one unit of mass per changed cell and re-derives
-/// the entropy term of just the touched attributes.
+/// the entropy term of just the touched attributes — O(cells + card²) at
+/// any segment width, hence rebuild fraction 1.0.
 class EbIlState : public MeasureState {
  public:
   EbIlState(const BoundEbIl* bound, const Dataset& masked)
-      : bound_(bound),
+      : MeasureState(/*default_rebuild_fraction=*/1.0),
+        bound_(bound),
         attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
     InitFrom(masked);
     backup_ = core_;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     backup_ = core_;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       InitFrom(masked_after);
       return;
     }
     std::vector<uint8_t> dirty(bound_->attrs().size(), 0);
-    for (const CellDelta& delta : deltas) {
+    for (const CellDelta& delta : segment.cells()) {
       int pos = attr_pos_[static_cast<size_t>(delta.attr)];
       if (pos < 0 || delta.old_code == delta.new_code) continue;
       auto i = static_cast<size_t>(pos);
@@ -118,7 +120,7 @@ class EbIlState : public MeasureState {
     RefreshScore();
   }
 
-  void Revert() override { core_ = backup_; }
+  void RevertSegment() override { core_ = backup_; }
 
   double Score() const override { return core_.score; }
 

@@ -1,8 +1,11 @@
 #include "metrics/fitness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
+#include "common/string_utils.h"
 #include "metrics/registry.h"
 
 namespace evocat {
@@ -54,6 +57,23 @@ Result<std::unique_ptr<FitnessEvaluator>> FitnessEvaluator::Create(
   if (options.il_weight < 0.0 || options.il_weight > 1.0) {
     return Status::Invalid("il_weight must be in [0, 1], got ",
                            options.il_weight);
+  }
+  if (options.delta_rebuild_fraction < 0.0 ||
+      options.delta_rebuild_fraction > 1.0) {
+    return Status::Invalid(
+        "delta_rebuild_fraction must be in [0, 1] (0 keeps the per-measure "
+        "defaults), got ",
+        options.delta_rebuild_fraction);
+  }
+  for (const auto& [name, fraction] : options.measure_rebuild_fractions) {
+    if (!MeasureRegistry::Global().Contains(name)) {
+      return Status::Invalid("measure_rebuild_fractions: unknown measure '",
+                             name, "'");
+    }
+    if (fraction <= 0.0 || fraction > 1.0) {
+      return Status::Invalid("measure_rebuild_fractions[", name,
+                             "] must be in (0, 1], got ", fraction);
+    }
   }
   if (!options.use_ctbil && !options.use_dbil && !options.use_ebil) {
     return Status::Invalid("at least one information-loss measure is required");
@@ -152,24 +172,31 @@ std::unique_ptr<FitnessState> FitnessEvaluator::BindState(
     const Dataset& masked) const {
   std::unique_ptr<FitnessState> state(new FitnessState());
   state->evaluator_ = this;
-  int64_t rebuild_cells = static_cast<int64_t>(
-      options_.delta_rebuild_fraction *
-      static_cast<double>(masked.num_rows()) *
-      static_cast<double>(attrs_.size()));
-  auto bind = [&](const std::unique_ptr<BoundMeasure>& bound,
+  int64_t total_cells =
+      masked.num_rows() * static_cast<int64_t>(attrs_.size());
+  // Per-measure concurrency pays once a segment is a meaningful share of
+  // the file; single-cell mutations stay serial.
+  state->parallel_segment_cells_ = std::max<int64_t>(32, total_cells / 256);
+  // Per-measure cost model: the state's own default rebuild fraction,
+  // unless overridden — per measure first, then globally.
+  auto bind = [&](const std::unique_ptr<BoundMeasure>& bound, const char* name,
                   std::unique_ptr<MeasureState>* slot) {
-    if (bound) {
-      *slot = bound->BindState(masked);
-      (*slot)->set_full_rebuild_threshold(rebuild_cells);
+    if (!bound) return;
+    *slot = bound->BindState(masked);
+    (*slot)->set_total_protected_cells(total_cells);
+    double fraction = options_.delta_rebuild_fraction;
+    for (const auto& [measure, value] : options_.measure_rebuild_fractions) {
+      if (ToLower(measure) == ToLower(name)) fraction = value;
     }
+    if (fraction > 0.0) (*slot)->set_rebuild_fraction(fraction);
   };
-  bind(ctbil_, &state->ctbil_);
-  bind(dbil_, &state->dbil_);
-  bind(ebil_, &state->ebil_);
-  bind(id_, &state->id_);
-  bind(dbrl_, &state->dbrl_);
-  bind(prl_, &state->prl_);
-  bind(rsrl_, &state->rsrl_);
+  bind(ctbil_, "CTBIL", &state->ctbil_);
+  bind(dbil_, "DBIL", &state->dbil_);
+  bind(ebil_, "EBIL", &state->ebil_);
+  bind(id_, "ID", &state->id_);
+  bind(dbrl_, "DBRL", &state->dbrl_);
+  bind(prl_, "PRL", &state->prl_);
+  bind(rsrl_, "RSRL", &state->rsrl_);
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   auto value = [](const std::unique_ptr<MeasureState>& s) {
     return s ? s->Score() : kNaN;
@@ -184,10 +211,32 @@ std::unique_ptr<FitnessState> FitnessEvaluator::BindState(
 }
 
 void FitnessState::ApplyDelta(const Dataset& masked_after,
-                              const std::vector<CellDelta>& deltas) {
+                              const SegmentDelta& segment,
+                              const std::atomic<bool>* cancel) {
   prev_breakdown_ = breakdown_;
+  MeasureState* states[7];
+  int count = 0;
   for (auto* slot : {&ctbil_, &dbil_, &ebil_, &id_, &dbrl_, &prl_, &rsrl_}) {
-    if (*slot) (*slot)->ApplyDelta(masked_after, deltas);
+    if (*slot) states[count++] = slot->get();
+  }
+  // Heavy segments evaluate the independent measures concurrently (disjoint
+  // states, fixed fold order below ⇒ schedule-independent results); small
+  // deltas stay serial — the per-measure updates are then cheaper than the
+  // fork/join would be.
+  bool heavy = segment.num_cells() >= parallel_segment_cells_;
+  for (int i = 0; i < count && !heavy; ++i) {
+    heavy = segment.num_cells() >= states[i]->full_rebuild_threshold();
+  }
+  if (heavy && count > 1) {
+    ParallelFor(0, count, [&](int64_t i) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+      states[i]->ApplySegment(masked_after, segment);
+    });
+  } else {
+    for (int i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+      states[i]->ApplySegment(masked_after, segment);
+    }
   }
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   auto value = [](const std::unique_ptr<MeasureState>& s) {

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -67,20 +68,39 @@ class FitnessEvaluator;
 /// \brief Incremental fitness evaluation state for one masked file.
 ///
 /// Bundles one `MeasureState` per enabled measure. The engine keeps one per
-/// population member; a GA operator's cell deltas re-score an offspring in
-/// O(delta) instead of re-walking the whole file (and its O(n^2) linkage
-/// attacks). `Revert` undoes the last `ApplyDelta`, which is how rejected
-/// offspring hand their parent's state back untouched.
+/// population member; a GA operator's segment delta re-scores an offspring
+/// in O(segment) instead of re-walking the whole file (and its O(n^2)
+/// linkage attacks). `Revert` undoes the last `ApplyDelta`, which is how
+/// rejected offspring hand their parent's state back untouched.
 class FitnessState {
  public:
   /// \brief Current per-measure breakdown (equals a full `Evaluate` of the
   /// file last passed to ApplyDelta, within 1e-9).
   const FitnessBreakdown& breakdown() const { return breakdown_; }
 
-  /// \brief Folds a batch of cell deltas into every measure state and
-  /// refreshes the breakdown. Counts as one evaluation.
+  /// \brief Folds one segment batch into every measure state and refreshes
+  /// the breakdown. Counts as one evaluation.
+  ///
+  /// For heavy segments (the batch covers a meaningful share of the
+  /// protected cells, or reaches at least one enabled measure's rebuild
+  /// threshold) the independent measure states evaluate concurrently; each
+  /// state's own row loops additionally fan out through nested work
+  /// stealing, so a heavy crossover leg saturates the pool instead of
+  /// walking seven O(n²) updates serially.
+  ///
+  /// `cancel` (optional) is polled between (or, concurrently, before) the
+  /// per-measure updates, bounding cancel latency on rebuild-sized legs by
+  /// one measure's rebuild instead of all seven. After a cancel-truncated
+  /// apply the state is only good for discarding — the caller must abort
+  /// the run, which every engine/strategy loop does on its next poll.
+  void ApplyDelta(const Dataset& masked_after, const SegmentDelta& segment,
+                  const std::atomic<bool>* cancel = nullptr);
+
+  /// \brief Convenience overload grouping a flat batch.
   void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas);
+                  const std::vector<CellDelta>& deltas) {
+    ApplyDelta(masked_after, SegmentDelta::FromCells(deltas));
+  }
 
   /// \brief Undoes the most recent ApplyDelta (single level).
   void Revert();
@@ -90,6 +110,9 @@ class FitnessState {
   FitnessState() = default;
 
   const FitnessEvaluator* evaluator_ = nullptr;
+  /// Segment size (cells) from which the per-measure updates run
+  /// concurrently; set by BindState from the file's protected-cell count.
+  int64_t parallel_segment_cells_ = INT64_MAX;
   std::unique_ptr<MeasureState> ctbil_;
   std::unique_ptr<MeasureState> dbil_;
   std::unique_ptr<MeasureState> ebil_;
@@ -126,10 +149,19 @@ class FitnessEvaluator {
     bool use_dbrl = true;
     bool use_prl = true;
     bool use_rsrl = true;
-    /// Incremental evaluation: fraction of the protected cells a delta batch
-    /// may touch before a measure state recomputes from scratch instead of
-    /// updating incrementally (large crossover segments).
-    double delta_rebuild_fraction = 0.25;
+    /// Incremental evaluation cost model. Each measure state owns a rebuild
+    /// fraction — the share of the protected cells a segment batch may touch
+    /// before that state recomputes from scratch instead of updating
+    /// incrementally (the cell-scoped counting measures default to 1.0 =
+    /// effectively never; the O(n²) linkage attacks to 0.4–0.6). A positive
+    /// value here overrides the default for *every* measure (0 keeps the
+    /// per-measure defaults).
+    double delta_rebuild_fraction = 0.0;
+    /// Per-measure rebuild-fraction overrides by registry name
+    /// (case-insensitive, e.g. {"DBRL", 0.3}); they beat the global
+    /// override. Values must be in (0, 1]; unknown names are rejected by
+    /// `Create`.
+    std::vector<std::pair<std::string, double>> measure_rebuild_fractions;
   };
 
   /// \brief Binds all enabled measures to `original` over `attrs`.

@@ -63,26 +63,28 @@ class BoundIntervalDisclosure : public BoundMeasure {
 /// counts (which determine the masked mid-ranks) and (b) per-attribute
 /// (original category, masked category) pair counts. Both update in O(1) per
 /// changed cell; the per-attribute disclosed total is then re-derived in
-/// O(cardinality^2), independent of the number of records.
+/// O(cardinality^2), independent of the number of records — the windowed
+/// paircount merge is O(cells) at any segment width, hence fraction 1.0.
 class IntervalDisclosureState : public MeasureState {
  public:
   IntervalDisclosureState(const BoundIntervalDisclosure* bound,
                           const Dataset& masked)
-      : bound_(bound),
+      : MeasureState(/*default_rebuild_fraction=*/1.0),
+        bound_(bound),
         attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
     InitFrom(masked);
     backup_ = core_;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     backup_ = core_;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       InitFrom(masked_after);
       return;
     }
     std::vector<uint8_t> dirty(bound_->attrs().size(), 0);
-    for (const CellDelta& delta : deltas) {
+    for (const CellDelta& delta : segment.cells()) {
       int pos = attr_pos_[static_cast<size_t>(delta.attr)];
       if (pos < 0 || delta.old_code == delta.new_code) continue;
       auto i = static_cast<size_t>(pos);
@@ -100,7 +102,7 @@ class IntervalDisclosureState : public MeasureState {
     RefreshScore();
   }
 
-  void Revert() override { core_ = backup_; }
+  void RevertSegment() override { core_ = backup_; }
 
   double Score() const override { return core_.score; }
 

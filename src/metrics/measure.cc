@@ -1,26 +1,61 @@
 #include "metrics/measure.h"
 
+#include <unordered_map>
+
 namespace evocat {
 namespace metrics {
 
+SegmentDelta SegmentDelta::FromCells(const std::vector<CellDelta>& cells) {
+  SegmentDelta segment;
+  segment.cells_ = cells;
+  // Operator batches arrive row-sorted (flat gene order), so the common case
+  // is an append to the last group; the map covers arbitrary batches.
+  std::unordered_map<int64_t, size_t> index;
+  for (const CellDelta& delta : cells) {
+    size_t slot;
+    if (!segment.rows_.empty() && segment.rows_.back().row == delta.row) {
+      slot = segment.rows_.size() - 1;
+    } else {
+      auto it = index.find(delta.row);
+      if (it == index.end()) {
+        slot = segment.rows_.size();
+        index.emplace(delta.row, slot);
+        segment.rows_.push_back(RowDelta{delta.row, {}});
+      } else {
+        slot = it->second;
+      }
+    }
+    segment.rows_[slot].cells.push_back(
+        RowDelta::Cell{delta.attr, delta.old_code, delta.new_code});
+  }
+  return segment;
+}
+
+void SegmentDelta::Append(int64_t row, int attr, int32_t old_code,
+                          int32_t new_code) {
+  cells_.push_back(CellDelta{row, attr, old_code, new_code});
+  if (rows_.empty() || rows_.back().row != row) {
+    rows_.push_back(RowDelta{row, {}});
+  }
+  rows_.back().cells.push_back(RowDelta::Cell{attr, old_code, new_code});
+}
+
 namespace {
 
-/// Correct-by-construction fallback: every ApplyDelta is a full Compute of
-/// the post-image. Used for measures without a true delta implementation and
-/// for configurations where the incremental structures would be too large
-/// (e.g. PRL with a very wide pattern space).
+/// Correct-by-construction fallback: every ApplySegment is a full Compute of
+/// the post-image. Used for measures without a true delta implementation.
 class FullRecomputeState : public MeasureState {
  public:
   FullRecomputeState(const BoundMeasure* bound, double initial_score)
       : bound_(bound), score_(initial_score), prev_score_(initial_score) {}
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     prev_score_ = score_;
-    if (!deltas.empty()) score_ = bound_->Compute(masked_after);
+    if (!segment.empty()) score_ = bound_->Compute(masked_after);
   }
 
-  void Revert() override { score_ = prev_score_; }
+  void RevertSegment() override { score_ = prev_score_; }
 
   double Score() const override { return score_; }
 

@@ -14,8 +14,8 @@
 /// so `BoundMeasure::BindState(masked)` opens a second, *incremental*
 /// protocol: a `MeasureState` carries per-masked-file sufficient statistics
 /// (contingency cells, per-row best-match records, agreement-pattern
-/// histograms) and re-scores after a batch of `CellDelta`s in time
-/// proportional to the delta instead of the file.
+/// histograms) and re-scores after a `SegmentDelta` batch in time
+/// proportional to the segment instead of the file.
 
 #ifndef EVOCAT_METRICS_MEASURE_H_
 #define EVOCAT_METRICS_MEASURE_H_
@@ -45,54 +45,174 @@ struct CellDelta {
   int32_t new_code = 0;
 };
 
+/// \brief All changed cells of one masked record.
+///
+/// The measures reason about deltas per *masked record*: a crossover segment
+/// that swaps several attributes of the same row must be treated as one row
+/// transition (old row image -> new row image), otherwise contingency keys
+/// and record distances would be computed against half-updated rows.
+struct RowDelta {
+  int64_t row = 0;
+
+  struct Cell {
+    int attr = 0;  ///< schema attribute index
+    int32_t old_code = 0;
+    int32_t new_code = 0;
+  };
+  /// Changed cells of this row (a handful at most: one per protected attr).
+  std::vector<Cell> cells;
+
+  /// \brief The pre-batch code of (row, attr): the recorded old value for a
+  /// changed cell, the current value otherwise.
+  int32_t OldCode(const Dataset& masked_after, int attr) const {
+    for (const Cell& cell : cells) {
+      if (cell.attr == attr) return cell.old_code;
+    }
+    return masked_after.Code(row, attr);
+  }
+
+  /// \brief Whether `attr` changed in this row.
+  bool Touches(int attr) const {
+    for (const Cell& cell : cells) {
+      if (cell.attr == attr) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief A segment batch: the flat cell deltas of one operator application
+/// together with their by-row grouping, computed once and shared by every
+/// measure state (each used to re-group the same batch privately).
+///
+/// The GA's operators emit cells in flat gene order (row-major), so
+/// `Append` extends the current row group in O(1); `FromCells` covers
+/// arbitrary batches. Invariants: at most one cell per (row, attr); every
+/// cell appears in exactly one row group; `old_code` is the pre-batch value.
+class SegmentDelta {
+ public:
+  SegmentDelta() = default;
+
+  /// \brief Groups an arbitrary batch by row (first-appearance order).
+  static SegmentDelta FromCells(const std::vector<CellDelta>& cells);
+
+  /// \brief Appends one cell. Cells of the same row must arrive
+  /// consecutively (flat gene order) — a row seen earlier must not reappear.
+  void Append(int64_t row, int attr, int32_t old_code, int32_t new_code);
+
+  void clear() {
+    cells_.clear();
+    rows_.clear();
+  }
+
+  bool empty() const { return cells_.empty(); }
+  int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
+
+  /// \brief Flat per-cell view (cell-scoped measures: DBIL, EBIL, ID).
+  const std::vector<CellDelta>& cells() const { return cells_; }
+  /// \brief Row-transition view (record-scoped measures: CTBIL, linkage).
+  const std::vector<RowDelta>& rows() const { return rows_; }
+
+ private:
+  std::vector<CellDelta> cells_;
+  std::vector<RowDelta> rows_;
+};
+
 /// \brief Incremental evaluation state for one masked file under one measure.
 ///
 /// Obtained from `BoundMeasure::BindState(masked)`. The caller mutates its
 /// copy of the masked file, then reports the change:
 ///
 /// ```
-/// state->ApplyDelta(masked_after, deltas);   // O(|delta|)-ish update
-/// double score = state->Score();             // cached, cheap
-/// state->Revert();                           // undo the last ApplyDelta
+/// state->ApplySegment(masked_after, segment);  // O(segment)-ish update
+/// double score = state->Score();               // cached, cheap
+/// state->RevertSegment();                      // undo the last apply
 /// ```
 ///
-/// Contract for `ApplyDelta`:
+/// Contract for `ApplySegment`:
 ///  - `masked_after` already reflects every delta (post-image);
-///  - each delta's `old_code` is the value before the batch; at most one
+///  - each cell's `old_code` is the value before the batch; at most one
 ///    delta per (row, attr) cell; cells outside the bound attribute set are
 ///    ignored;
 ///  - scores agree with a from-scratch `Compute(masked_after)` to within
 ///    1e-9 (integer-exact for the counting measures);
-///  - when the batch exceeds `full_rebuild_threshold()` cells the state
-///    falls back to a full recompute automatically (large crossover
-///    segments), which is still revertible.
+///  - when the batch reaches `full_rebuild_threshold()` cells the state
+///    recomputes from scratch automatically (still revertible). The
+///    threshold comes from a per-measure cost model: each state declares the
+///    fraction of the protected cells at which a rebuild becomes cheaper
+///    than its incremental update (`rebuild_fraction`, overridable per
+///    measure through `FitnessEvaluator::Options` / the JobSpec `fitness`
+///    block).
 ///
-/// `Revert` undoes exactly one `ApplyDelta` (one level deep). States never
-/// retain a pointer to the masked dataset — every call passes the current
-/// file — so they survive the copy-on-write dataset reshuffling the engine
-/// performs when offspring replace parents.
+/// `RevertSegment` undoes exactly one `ApplySegment` (one level deep).
+/// States never retain a pointer to the masked dataset — every call passes
+/// the current file — so they survive the copy-on-write dataset reshuffling
+/// the engine performs when offspring replace parents.
 class MeasureState {
  public:
   virtual ~MeasureState() = default;
 
-  /// \brief Folds a batch of cell changes into the state (see contract).
-  virtual void ApplyDelta(const Dataset& masked_after,
-                          const std::vector<CellDelta>& deltas) = 0;
+  /// \brief Folds a segment batch into the state (see contract).
+  virtual void ApplySegment(const Dataset& masked_after,
+                            const SegmentDelta& segment) = 0;
 
-  /// \brief Undoes the most recent ApplyDelta (single level).
-  virtual void Revert() = 0;
+  /// \brief Undoes the most recent ApplySegment (single level).
+  virtual void RevertSegment() = 0;
 
   /// \brief Current score in [0, 100]; cached, O(1).
   virtual double Score() const = 0;
 
-  /// \brief Delta size (in cells) at which ApplyDelta recomputes in full.
-  int64_t full_rebuild_threshold() const { return full_rebuild_threshold_; }
-  void set_full_rebuild_threshold(int64_t cells) {
-    full_rebuild_threshold_ = cells < 1 ? 1 : cells;
+  /// \brief Convenience wrapper: groups `deltas` and applies them as one
+  /// segment. Prefer `ApplySegment` on hot paths — the grouping is then
+  /// computed once and shared across measures.
+  void ApplyDelta(const Dataset& masked_after,
+                  const std::vector<CellDelta>& deltas) {
+    ApplySegment(masked_after, SegmentDelta::FromCells(deltas));
   }
 
+  /// \brief Alias of RevertSegment (pairs with ApplyDelta).
+  void Revert() { RevertSegment(); }
+
+  /// \brief Fraction of the protected cells at which this state prefers a
+  /// full rebuild over its incremental update (the measure's cost model;
+  /// ~1.0 for the O(cell) counting measures, ~0.5 for the linkage attacks).
+  double rebuild_fraction() const { return rebuild_fraction_; }
+  void set_rebuild_fraction(double fraction) {
+    rebuild_fraction_ = fraction < 0.0 ? 0.0 : fraction;
+  }
+
+  /// \brief Total protected cells of the bound file (rows x bound attrs);
+  /// the base the rebuild fraction scales against.
+  void set_total_protected_cells(int64_t cells) {
+    total_protected_cells_ = cells < 0 ? 0 : cells;
+  }
+
+  /// \brief Absolute override of the rebuild threshold in cells (tests and
+  /// benches; 0 restores the fraction-derived threshold).
+  void set_full_rebuild_threshold(int64_t cells) {
+    explicit_threshold_cells_ = cells < 0 ? 0 : cells;
+  }
+
+  /// \brief Segment size (in cells) at which ApplySegment recomputes in
+  /// full: the explicit override when set, otherwise
+  /// `rebuild_fraction * total_protected_cells` (never below 1), or never
+  /// when no cell total has been declared.
+  int64_t full_rebuild_threshold() const {
+    if (explicit_threshold_cells_ > 0) return explicit_threshold_cells_;
+    if (total_protected_cells_ <= 0) return INT64_MAX;
+    auto cells = static_cast<int64_t>(
+        rebuild_fraction_ * static_cast<double>(total_protected_cells_));
+    return cells < 1 ? 1 : cells;
+  }
+
+ protected:
+  /// \param default_rebuild_fraction the measure's own cost-model default.
+  explicit MeasureState(double default_rebuild_fraction = 1.0)
+      : rebuild_fraction_(default_rebuild_fraction) {}
+
  private:
-  int64_t full_rebuild_threshold_ = INT64_MAX;
+  double rebuild_fraction_;
+  int64_t total_protected_cells_ = 0;
+  int64_t explicit_threshold_cells_ = 0;
 };
 
 /// \brief A measure bound to one original dataset and attribute set.
@@ -109,8 +229,8 @@ class BoundMeasure {
   /// \brief Opens incremental evaluation for `masked`.
   ///
   /// The default implementation returns a correct fallback state that runs a
-  /// full `Compute` on every ApplyDelta; measures override it with true
-  /// delta updates. The bound measure must outlive the state.
+  /// full `Compute` on every ApplySegment; measures override it with true
+  /// segment-delta updates. The bound measure must outlive the state.
   virtual std::unique_ptr<MeasureState> BindState(const Dataset& masked) const;
 };
 

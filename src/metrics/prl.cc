@@ -2,8 +2,10 @@
 
 #include "metrics/registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <unordered_map>
 
 #include "common/math_utils.h"
 #include "common/parallel.h"
@@ -30,11 +32,11 @@ double FellegiSunterModel::PatternWeight(uint32_t pattern) const {
   return w;
 }
 
-FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
-                                    int num_attrs, int em_iterations) {
-  size_t num_patterns = pattern_counts.size();
+FellegiSunterModel FitFellegiSunter(
+    const std::vector<std::pair<uint32_t, double>>& pattern_counts,
+    int num_attrs, int em_iterations) {
   double total = 0.0;
-  for (double c : pattern_counts) total += c;
+  for (const auto& [pattern, count] : pattern_counts) total += count;
 
   FellegiSunterModel model;
   model.m.assign(static_cast<size_t>(num_attrs), 0.9);
@@ -45,8 +47,7 @@ FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
     double sum_g = 0.0, sum_1mg = 0.0;
     std::vector<double> m_num(static_cast<size_t>(num_attrs), 0.0);
     std::vector<double> u_num(static_cast<size_t>(num_attrs), 0.0);
-    for (uint32_t p = 0; p < num_patterns; ++p) {
-      double count = pattern_counts[p];
+    for (const auto& [p, count] : pattern_counts) {
       if (count <= 0.0) continue;
       // E-step: posterior match probability of this pattern.
       double like_m = model.match_prevalence;
@@ -87,6 +88,17 @@ FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
     }
   }
   return model;
+}
+
+FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
+                                    int num_attrs, int em_iterations) {
+  // Ascending-pattern nonzero entries run through the identical arithmetic
+  // (the dense E-step skipped count <= 0 patterns anyway).
+  std::vector<std::pair<uint32_t, double>> sparse;
+  for (uint32_t p = 0; p < pattern_counts.size(); ++p) {
+    if (pattern_counts[p] > 0.0) sparse.emplace_back(p, pattern_counts[p]);
+  }
+  return FitFellegiSunter(sparse, num_attrs, em_iterations);
 }
 
 namespace {
@@ -185,36 +197,45 @@ class BoundPrl : public BoundMeasure {
 
 /// PRL's sufficient statistic is, per original record, the histogram of
 /// agreement patterns against every masked record (plus the global pattern
-/// counts feeding the EM fit). A changed masked record j shifts one
-/// histogram unit per original record — O(n * |attrs|) per changed row —
-/// after which the EM refit and the per-record argmax are O(n * 2^attrs),
-/// independent of the O(n^2) pair space.
+/// counts feeding the EM fit). The histograms are *compressed*: each record
+/// keeps a sorted sparse (pattern, count) vector instead of the former dense
+/// 2^attrs layout, so the state works at any attribute count (a record can
+/// meet at most n distinct patterns no matter how wide the pattern space
+/// is). A changed masked record j shifts one histogram unit per original
+/// record — O(n · |attrs| + n · log(distinct)) per changed row — after
+/// which the EM refit reads the sorted nonzero global counts (identical
+/// arithmetic to the dense oracle) and the per-record argmax reads only the
+/// record's own nonzero buckets. Cost model: the per-changed-row histogram
+/// shifts (two pattern computes plus two sorted-bucket updates per original
+/// record) overtake the flat O(n² · |attrs|) rebuild once a batch covers
+/// roughly a fifth of the protected cells — fraction 0.2.
 class PrlState : public MeasureState {
  public:
-  PrlState(const BoundPrl* bound, const Dataset& masked) : bound_(bound) {
+  PrlState(const BoundPrl* bound, const Dataset& masked)
+      : MeasureState(/*default_rebuild_fraction=*/0.2), bound_(bound) {
     InitFrom(masked);
     undo_.counts = core_.counts;
     undo_.score = core_.score;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     undo_.counts = core_.counts;
     undo_.score = core_.score;
-    undo_.row_logs.clear();
+    undo_.shifts.clear();
     undo_.rebuilt = false;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       undo_.rebuilt = true;
       undo_.hist_backup = core_.hist;
       InitFrom(masked_after);
       return;
     }
-    auto row_deltas = GroupDeltasByRow(deltas);
+    const auto& row_deltas = segment.rows();
     if (row_deltas.empty()) return;
 
     const auto& attrs = bound_->attrs();
     int64_t n = bound_->original().num_rows();
-    size_t num_patterns = static_cast<size_t>(1) << attrs.size();
+    scratch_.resize(static_cast<size_t>(n));
 
     for (const RowDelta& rd : row_deltas) {
       bool relevant = false;
@@ -223,10 +244,10 @@ class PrlState : public MeasureState {
       }
       if (!relevant) continue;
       // Per original record: shift one histogram unit from the changed
-      // row's old pattern to its new one; the per-record (old, new) pair is
-      // logged so Revert can replay the shift backwards in O(delta).
-      undo_.row_logs.emplace_back(static_cast<size_t>(n), 0);
-      auto& log = undo_.row_logs.back();
+      // row's old pattern to its new one. The (old, new) pairs land in a
+      // reused dense scratch; only records whose pattern actually moved are
+      // logged (sparsely) for Revert and folded into the global counts, so
+      // the undo footprint is bounded by real shifts, not n per row.
       ParallelFor(0, n, [&](int64_t i) {
         uint32_t p_old = 0, p_new = 0;
         for (size_t k = 0; k < attrs.size(); ++k) {
@@ -238,78 +259,130 @@ class PrlState : public MeasureState {
             p_new |= (1u << k);
           }
         }
-        log[static_cast<size_t>(i)] =
-            static_cast<uint16_t>((p_old << 8) | p_new);
+        scratch_[static_cast<size_t>(i)] =
+            (static_cast<uint64_t>(p_old) << 32) | p_new;
         if (p_old != p_new) {
-          auto base = static_cast<size_t>(i) * num_patterns;
-          core_.hist[base + p_old] -= 1;
-          core_.hist[base + p_new] += 1;
+          auto& hist = core_.hist[static_cast<size_t>(i)];
+          Shift(&hist, p_old, -1);
+          Shift(&hist, p_new, +1);
         }
       });
+      for (int64_t i = 0; i < n; ++i) {
+        auto p_old = static_cast<uint32_t>(scratch_[static_cast<size_t>(i)] >> 32);
+        auto p_new = static_cast<uint32_t>(scratch_[static_cast<size_t>(i)] &
+                                           0xFFFFFFFFu);
+        if (p_old != p_new) {
+          undo_.shifts.push_back(Undo::Shift{i, p_old, p_new});
+          --count_shifts_[p_old];
+          ++count_shifts_[p_new];
+        }
+      }
     }
-    // Global pattern counts are the histograms' column sums (exact integer
-    // totals, same values a from-scratch pass 1 produces).
-    RefreshCounts();
+    // Global pattern counts are the histograms' column sums; integer
+    // arithmetic, so shifting them by the batch's net per-pattern movement
+    // lands on exactly the values a from-scratch resum produces.
+    MergeCountShifts();
     RefreshScore(masked_after);
   }
 
-  void Revert() override {
+  void RevertSegment() override {
     if (undo_.rebuilt) {
       core_.hist = undo_.hist_backup;
     } else {
-      size_t num_patterns =
-          static_cast<size_t>(1) << bound_->attrs().size();
-      int64_t n = bound_->original().num_rows();
-      for (auto it = undo_.row_logs.rbegin(); it != undo_.row_logs.rend();
-           ++it) {
-        const auto& log = *it;
-        ParallelFor(0, n, [&](int64_t i) {
-          auto p_old = static_cast<uint32_t>(log[static_cast<size_t>(i)] >> 8);
-          auto p_new =
-              static_cast<uint32_t>(log[static_cast<size_t>(i)] & 0xFF);
-          if (p_old != p_new) {
-            auto base = static_cast<size_t>(i) * num_patterns;
-            core_.hist[base + p_new] -= 1;
-            core_.hist[base + p_old] += 1;
-          }
-        });
+      // Replay the logged shifts backwards (reverse order keeps multiple
+      // shifts of the same record consistent).
+      for (auto it = undo_.shifts.rbegin(); it != undo_.shifts.rend(); ++it) {
+        auto& hist = core_.hist[static_cast<size_t>(it->record)];
+        Shift(&hist, it->p_new, -1);
+        Shift(&hist, it->p_old, +1);
       }
     }
     core_.counts = undo_.counts;
     core_.score = undo_.score;
-    undo_.row_logs.clear();
+    undo_.shifts.clear();
   }
 
   double Score() const override { return core_.score; }
 
  private:
+  /// One nonzero histogram bucket: agreement pattern and its pair count.
+  using PatternCount = std::pair<uint32_t, int32_t>;
+
   struct Core {
-    std::vector<double> counts;   ///< global pattern counts (EM input)
-    std::vector<int32_t> hist;    ///< [i * 2^attrs + pattern] counts
+    /// Sorted nonzero global pattern counts (EM input).
+    std::vector<std::pair<uint32_t, double>> counts;
+    /// Per original record: sorted sparse (pattern, count) histogram of the
+    /// agreement patterns against every masked record.
+    std::vector<std::vector<PatternCount>> hist;
     double score = 0.0;
   };
 
-  /// One-level undo: counts/score snapshots are small; histogram changes are
-  /// replayed backwards from per-changed-row (old, new) pattern logs instead
-  /// of copying the whole O(n * 2^attrs) table per evaluation.
+  /// One-level undo: counts/score snapshots are small; histogram changes
+  /// are replayed backwards from a sparse log of the records whose pattern
+  /// actually moved — sized by real shifts, never by n x changed rows.
   struct Undo {
-    std::vector<double> counts;
+    /// One histogram unit moved from `p_old` to `p_new` for `record`.
+    struct Shift {
+      int64_t record;
+      uint32_t p_old;
+      uint32_t p_new;
+    };
+    std::vector<std::pair<uint32_t, double>> counts;
     double score = 0.0;
-    std::vector<std::vector<uint16_t>> row_logs;
+    std::vector<Shift> shifts;
     bool rebuilt = false;
-    std::vector<int32_t> hist_backup;
+    std::vector<std::vector<PatternCount>> hist_backup;
   };
+
+  /// Moves `delta` units of count into `pattern`'s bucket, keeping the
+  /// histogram sorted and zero-free.
+  static void Shift(std::vector<PatternCount>* hist, uint32_t pattern,
+                    int32_t delta) {
+    auto it = std::lower_bound(
+        hist->begin(), hist->end(), pattern,
+        [](const PatternCount& entry, uint32_t p) { return entry.first < p; });
+    if (it != hist->end() && it->first == pattern) {
+      it->second += delta;
+      if (it->second == 0) hist->erase(it);
+    } else {
+      hist->insert(it, PatternCount{pattern, delta});
+    }
+  }
 
   void InitFrom(const Dataset& masked) {
     const auto& attrs = bound_->attrs();
     int64_t n = bound_->original().num_rows();
-    size_t num_patterns = static_cast<size_t>(1) << attrs.size();
-    core_.counts.assign(num_patterns, 0.0);
-    core_.hist.assign(static_cast<size_t>(n) * num_patterns, 0);
+    size_t num_attrs = attrs.size();
+    core_.hist.assign(static_cast<size_t>(n), {});
+    // Narrow pattern spaces count into a dense per-record scratch; wide ones
+    // (where 2^attrs outgrows the row count) sort the row's n patterns and
+    // run-length encode. Both produce the same sorted nonzero buckets.
+    const bool dense_scratch =
+        num_attrs <= 12;  // 2^12 * 4 bytes of scratch per record
     ParallelFor(0, n, [&](int64_t i) {
-      auto base = static_cast<size_t>(i) * num_patterns;
-      for (int64_t j = 0; j < n; ++j) {
-        core_.hist[base + bound_->PatternOf(i, masked, j)] += 1;
+      auto& hist = core_.hist[static_cast<size_t>(i)];
+      if (dense_scratch) {
+        std::vector<int32_t> scratch(static_cast<size_t>(1) << num_attrs, 0);
+        for (int64_t j = 0; j < n; ++j) {
+          ++scratch[bound_->PatternOf(i, masked, j)];
+        }
+        for (size_t p = 0; p < scratch.size(); ++p) {
+          if (scratch[p] != 0) {
+            hist.emplace_back(static_cast<uint32_t>(p), scratch[p]);
+          }
+        }
+      } else {
+        std::vector<uint32_t> patterns(static_cast<size_t>(n));
+        for (int64_t j = 0; j < n; ++j) {
+          patterns[static_cast<size_t>(j)] = bound_->PatternOf(i, masked, j);
+        }
+        std::sort(patterns.begin(), patterns.end());
+        for (size_t j = 0; j < patterns.size();) {
+          size_t run = j;
+          while (run < patterns.size() && patterns[run] == patterns[j]) ++run;
+          hist.emplace_back(patterns[j], static_cast<int32_t>(run - j));
+          j = run;
+        }
       }
     });
     RefreshCounts();
@@ -317,44 +390,96 @@ class PrlState : public MeasureState {
   }
 
   void RefreshCounts() {
-    int64_t n = bound_->original().num_rows();
-    size_t num_patterns = static_cast<size_t>(1) << bound_->attrs().size();
-    core_.counts.assign(num_patterns, 0.0);
-    for (int64_t i = 0; i < n; ++i) {
-      auto base = static_cast<size_t>(i) * num_patterns;
-      for (size_t p = 0; p < num_patterns; ++p) {
-        core_.counts[p] += static_cast<double>(core_.hist[base + p]);
+    // Column sums over integer buckets: exact in any accumulation order.
+    std::unordered_map<uint32_t, int64_t> totals;
+    for (const auto& hist : core_.hist) {
+      for (const auto& [pattern, count] : hist) totals[pattern] += count;
+    }
+    core_.counts.clear();
+    core_.counts.reserve(totals.size());
+    for (const auto& [pattern, count] : totals) {
+      if (count != 0) {
+        core_.counts.emplace_back(pattern, static_cast<double>(count));
       }
     }
+    std::sort(core_.counts.begin(), core_.counts.end());
+  }
+
+  /// Applies the batch's accumulated per-pattern count movement to the
+  /// sorted global counts in one linear merge (counts are integer-valued,
+  /// so the shifted totals equal a from-scratch resum exactly).
+  void MergeCountShifts() {
+    if (count_shifts_.empty()) return;
+    std::vector<std::pair<uint32_t, double>> shifts;
+    shifts.reserve(count_shifts_.size());
+    for (const auto& [pattern, delta] : count_shifts_) {
+      if (delta != 0) shifts.emplace_back(pattern, static_cast<double>(delta));
+    }
+    count_shifts_.clear();
+    if (shifts.empty()) return;
+    std::sort(shifts.begin(), shifts.end());
+    std::vector<std::pair<uint32_t, double>> merged;
+    merged.reserve(core_.counts.size() + shifts.size());
+    size_t a = 0, b = 0;
+    while (a < core_.counts.size() || b < shifts.size()) {
+      if (b >= shifts.size() || (a < core_.counts.size() &&
+                                 core_.counts[a].first < shifts[b].first)) {
+        merged.push_back(core_.counts[a++]);
+      } else if (a >= core_.counts.size() ||
+                 shifts[b].first < core_.counts[a].first) {
+        merged.push_back(shifts[b++]);
+      } else {
+        double value = core_.counts[a].second + shifts[b].second;
+        if (value != 0.0) merged.emplace_back(core_.counts[a].first, value);
+        ++a;
+        ++b;
+      }
+    }
+    core_.counts = std::move(merged);
   }
 
   void RefreshScore(const Dataset& masked) {
     const auto& attrs = bound_->attrs();
     int64_t n = bound_->original().num_rows();
-    size_t num_patterns = static_cast<size_t>(1) << attrs.size();
     FellegiSunterModel model = FitFellegiSunter(
         core_.counts, static_cast<int>(attrs.size()), bound_->em_iterations());
-    std::vector<double> weights(num_patterns);
-    for (uint32_t p = 0; p < num_patterns; ++p) {
-      weights[p] = model.PatternWeight(p);
+    // Weights for exactly the patterns alive somewhere in the file; every
+    // record's buckets (and its self pattern) are a subset of these.
+    std::vector<double> weights(core_.counts.size());
+    for (size_t idx = 0; idx < core_.counts.size(); ++idx) {
+      weights[idx] = model.PatternWeight(core_.counts[idx].first);
     }
+    auto weight_of = [&](uint32_t pattern) {
+      auto it = std::lower_bound(
+          core_.counts.begin(), core_.counts.end(), pattern,
+          [](const std::pair<uint32_t, double>& entry, uint32_t p) {
+            return entry.first < p;
+          });
+      if (it != core_.counts.end() && it->first == pattern) {
+        return weights[static_cast<size_t>(it - core_.counts.begin())];
+      }
+      return model.PatternWeight(pattern);
+    };
     std::vector<double> credits(static_cast<size_t>(n), 0.0);
     ParallelFor(0, n, [&](int64_t i) {
-      auto base = static_cast<size_t>(i) * num_patterns;
+      const auto& hist = core_.hist[static_cast<size_t>(i)];
       // Best weight attained by any masked record, support size, and whether
       // the true match is in the support (scan-equivalent, see Compute).
       double best = -1e100;
-      for (size_t p = 0; p < num_patterns; ++p) {
-        if (core_.hist[base + p] > 0 && weights[p] > best) best = weights[p];
+      for (const auto& [pattern, count] : hist) {
+        if (count > 0) {
+          double w = weight_of(pattern);
+          if (w > best) best = w;
+        }
       }
       int64_t best_count = 0;
-      for (size_t p = 0; p < num_patterns; ++p) {
-        if (core_.hist[base + p] > 0 && weights[p] >= best - kEps) {
-          best_count += core_.hist[base + p];
+      for (const auto& [pattern, count] : hist) {
+        if (count > 0 && weight_of(pattern) >= best - kEps) {
+          best_count += count;
         }
       }
       uint32_t p_self = bound_->PatternOf(i, masked, i);
-      bool self_is_best = weights[p_self] >= best - kEps;
+      bool self_is_best = weight_of(p_self) >= best - kEps;
       if (self_is_best && best_count > 0) {
         credits[static_cast<size_t>(i)] = 1.0 / static_cast<double>(best_count);
       }
@@ -367,18 +492,18 @@ class PrlState : public MeasureState {
   const BoundPrl* bound_;
   Core core_;
   Undo undo_;
+  /// Reused dense (p_old, p_new) scratch for one changed row's parallel
+  /// pattern pass (one allocation per state, not per row).
+  std::vector<uint64_t> scratch_;
+  /// Scratch for the current batch's net global-count movement.
+  std::unordered_map<uint32_t, int64_t> count_shifts_;
 };
 
 std::unique_ptr<MeasureState> BoundPrl::BindState(const Dataset& masked) const {
-  // The per-record histograms need n * 2^attrs counters; beyond a sane
-  // budget (wide pattern spaces or huge files) fall back to full recompute.
-  int64_t n = original_->num_rows();
-  int64_t hist_bytes =
-      n * (static_cast<int64_t>(1) << attrs_.size()) *
-      static_cast<int64_t>(sizeof(int32_t));
-  if (attrs_.size() > 8 || hist_bytes > (8 << 20)) {
-    return BoundMeasure::BindState(masked);
-  }
+  // The compressed histograms hold at most one bucket per distinct pattern a
+  // record actually meets (<= n each), so the state serves any attribute
+  // count the measure accepts — no dense-layout attribute cap, no memory
+  // cliff.
   return std::make_unique<PrlState>(this, masked);
 }
 

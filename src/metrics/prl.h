@@ -13,8 +13,10 @@
 #ifndef EVOCAT_METRICS_PRL_H_
 #define EVOCAT_METRICS_PRL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metrics/measure.h"
@@ -59,6 +61,15 @@ struct FellegiSunterModel {
 /// equals `p`; `num_attrs` is the number of compared attributes.
 FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
                                     int num_attrs, int em_iterations);
+
+/// \brief Sparse-count fit: entries are (pattern, count) pairs sorted by
+/// ascending pattern. Runs the identical floating-point sequence as the
+/// dense overload over the nonzero patterns, so both routes agree
+/// bit-for-bit — this is what keeps the compressed pattern-histogram state
+/// exact against the dense full-evaluation oracle at any attribute count.
+FellegiSunterModel FitFellegiSunter(
+    const std::vector<std::pair<uint32_t, double>>& pattern_counts,
+    int num_attrs, int em_iterations);
 
 }  // namespace metrics
 }  // namespace evocat

@@ -90,10 +90,15 @@ class BoundRsrl : public BoundMeasure {
 /// when a mid-rank crosses the window boundary. Both effects are applied
 /// surgically; records whose best-match support empties are rescanned, and
 /// batches whose flip blocks cover too many pairs fall back to a rebuild.
+/// Cost model: like DBRL plus the flip-block sweeps and candidate-matrix
+/// refreshes, so the rebuild point sits a bit earlier — fraction 0.12 (an
+/// n²/8 pair-coverage guard below also rebuilds when the mid-rank flips
+/// alone get rebuild-sized).
 class RsrlState : public MeasureState {
  public:
   RsrlState(const BoundRsrl* bound, const Dataset& masked)
-      : bound_(bound),
+      : MeasureState(/*default_rebuild_fraction=*/0.12),
+        bound_(bound),
         attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
     const auto& attrs = bound_->attrs();
     const Dataset& original = bound_->original();
@@ -114,8 +119,8 @@ class RsrlState : public MeasureState {
     undo_.score = core_.score;
   }
 
-  void ApplyDelta(const Dataset& masked_after,
-                  const std::vector<CellDelta>& deltas) override {
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
     // One-level undo: the flat structures are snapshotted (cheap memcpys of
     // small tables plus the n-sized row-best array); the allocation-heavy
     // per-code row lists are reverted by replaying their moves backwards.
@@ -126,11 +131,11 @@ class RsrlState : public MeasureState {
     undo_.score = core_.score;
     undo_.moves.clear();
     undo_.rebuilt = false;
-    if (static_cast<int64_t>(deltas.size()) >= full_rebuild_threshold()) {
+    if (segment.num_cells() >= full_rebuild_threshold()) {
       RebuildWithUndo(masked_after);
       return;
     }
-    auto row_deltas = GroupDeltasByRow(deltas);
+    const auto& row_deltas = segment.rows();
     if (row_deltas.empty()) return;
 
     const auto& attrs = bound_->attrs();
@@ -265,7 +270,7 @@ class RsrlState : public MeasureState {
     core_.score = LinkageCreditScore(core_.rows);
   }
 
-  void Revert() override {
+  void RevertSegment() override {
     if (undo_.rebuilt) {
       core_.rows_by_code = undo_.lists_backup;
       core_.pos_of_row = undo_.pos_backup;

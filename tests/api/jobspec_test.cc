@@ -32,6 +32,10 @@ const char* kFullSpec = R"({
     "ctbil_max_dimension": 3,
     "prl_em_iterations": 25
   },
+  "fitness": {
+    "delta_rebuild_fraction": 0.3,
+    "rebuild_fractions": {"DBRL": 0.2, "PRL": 0.6}
+  },
   "ga": {
     "generations": 250,
     "mutation_rate": 0.4,
@@ -65,6 +69,12 @@ TEST(JobSpecParseTest, FullSpecParses) {
   EXPECT_EQ(spec.measures.aggregation, metrics::ScoreAggregation::kWeighted);
   EXPECT_DOUBLE_EQ(spec.measures.il_weight, 0.7);
   EXPECT_EQ(spec.measures.ctbil_max_dimension, 3);
+  EXPECT_DOUBLE_EQ(spec.fitness.delta_rebuild_fraction, 0.3);
+  ASSERT_EQ(spec.fitness.rebuild_fractions.size(), 2u);
+  EXPECT_EQ(spec.fitness.rebuild_fractions[0].first, "DBRL");
+  EXPECT_DOUBLE_EQ(spec.fitness.rebuild_fractions[0].second, 0.2);
+  EXPECT_EQ(spec.fitness.rebuild_fractions[1].first, "PRL");
+  EXPECT_DOUBLE_EQ(spec.fitness.rebuild_fractions[1].second, 0.6);
   EXPECT_EQ(spec.ga.generations, 250);
   EXPECT_EQ(spec.ga.selection, core::SelectionStrategy::kRank);
   EXPECT_FALSE(spec.ga.incremental_eval);
@@ -246,6 +256,59 @@ TEST(JobSpecValidateTest, NeedsBothMeasureKinds) {
   ASSERT_FALSE(dr_only.ok());
   EXPECT_NE(dr_only.status().message().find("information-loss"),
             std::string::npos);
+}
+
+TEST(JobSpecParseTest, LegacyMeasuresRebuildFractionAliasStillParses) {
+  // The knob moved from measures.* into the fitness cost-model block; old
+  // specs keep working and re-serialize into the new home.
+  JobSpec spec = JobSpec::FromJsonText(
+                     R"({"measures": {"delta_rebuild_fraction": 0.25}})")
+                     .ValueOrDie();
+  EXPECT_DOUBLE_EQ(spec.fitness.delta_rebuild_fraction, 0.25);
+  std::string dumped = spec.ToJsonText();
+  JobSpec reparsed = JobSpec::FromJsonText(dumped).ValueOrDie();
+  EXPECT_DOUBLE_EQ(reparsed.fitness.delta_rebuild_fraction, 0.25);
+  EXPECT_EQ(reparsed.ToJsonText(), dumped);
+}
+
+TEST(JobSpecValidateTest, FitnessRebuildTuningIsValidated) {
+  auto global = JobSpec::FromJsonText(
+      R"({"fitness": {"delta_rebuild_fraction": 1.5}})");
+  ASSERT_FALSE(global.ok());
+  EXPECT_NE(global.status().message().find("fitness.delta_rebuild_fraction"),
+            std::string::npos);
+
+  auto unknown = JobSpec::FromJsonText(
+      R"({"fitness": {"rebuild_fractions": {"XIL": 0.5}}})");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("fitness.rebuild_fractions"),
+            std::string::npos);
+
+  auto range = JobSpec::FromJsonText(
+      R"({"fitness": {"rebuild_fractions": {"DBRL": 0.0}}})");
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.status().message().find("DBRL"), std::string::npos);
+
+  auto bad_type = JobSpec::FromJsonText(
+      R"({"fitness": {"rebuild_fractions": {"DBRL": "fast"}}})");
+  ASSERT_FALSE(bad_type.ok());
+
+  auto unknown_key =
+      JobSpec::FromJsonText(R"({"fitness": {"rebuild_cells": 10}})");
+  ASSERT_FALSE(unknown_key.ok());
+  EXPECT_NE(unknown_key.status().message().find("fitness.rebuild_cells"),
+            std::string::npos);
+}
+
+TEST(JobSpecTest, FitnessOptionsCarryRebuildTuning) {
+  JobSpec spec;
+  spec.fitness.delta_rebuild_fraction = 0.4;
+  spec.fitness.rebuild_fractions = {{"RSRL", 0.3}};
+  metrics::FitnessEvaluator::Options options = spec.FitnessOptions();
+  EXPECT_DOUBLE_EQ(options.delta_rebuild_fraction, 0.4);
+  ASSERT_EQ(options.measure_rebuild_fractions.size(), 1u);
+  EXPECT_EQ(options.measure_rebuild_fractions[0].first, "RSRL");
+  EXPECT_DOUBLE_EQ(options.measure_rebuild_fractions[0].second, 0.3);
 }
 
 TEST(JobSpecTest, FitnessOptionsReflectToggles) {

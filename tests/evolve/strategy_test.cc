@@ -128,6 +128,9 @@ TEST(StrategyRegistryTest, ValidatesParameters) {
   EXPECT_FALSE(registry.Create("islands", {{"migration_interval", "0"}}).ok());
   EXPECT_FALSE(registry.Create("islands", {{"migrants", "-1"}}).ok());
   EXPECT_FALSE(registry.Create("islands", {{"parallel", "maybe"}}).ok());
+  EXPECT_FALSE(registry.Create("islands", {{"stop_mode", "sometimes"}}).ok());
+  EXPECT_TRUE(registry.Create("islands", {{"stop_mode", "global"}}).ok());
+  EXPECT_TRUE(registry.Create("islands", {{"stop_mode", "per_island"}}).ok());
   // Malformed value.
   EXPECT_FALSE(registry.Create("steady_state", {{"lambda", "eight"}}).ok());
   // Valid configurations construct.
@@ -318,6 +321,47 @@ TEST(IslandsStrategyTest, HistoryCarriesEveryIslandsTrajectory) {
     best_history = std::min(best_history, record.min_score);
   }
   EXPECT_DOUBLE_EQ(result.population.best().score(), best_history);
+}
+
+TEST(IslandsStrategyTest, GlobalStopModeHaltsAllIslandsTogether) {
+  // stop_mode=global: no_improvement_window watches the cross-island best
+  // at migration-epoch barriers — once it stalls for the window, every
+  // island stops in the same epoch (per_island would leave healthy islands
+  // running and stop stalled ones individually).
+  StrategyFixture fixture;
+  core::GaConfig config;
+  config.generations = 60;
+  config.seed = 37;
+  config.no_improvement_window = 2;
+
+  auto global = StrategyRegistry::Global()
+                    .Create("islands", {{"islands", "3"},
+                                        {"migration_interval", "2"},
+                                        {"stop_mode", "global"}})
+                    .ValueOrDie();
+  auto result = std::move(global->Run(fixture.evaluator.get(), config,
+                                      fixture.SeedPopulation(23), nullptr))
+                    .ValueOrDie();
+
+  // Epoch-synchronized: every island contributed the same generation count,
+  // a multiple of the migration interval.
+  std::vector<int> per_island(3, 0);
+  for (const auto& record : result.history) {
+    ++per_island[static_cast<size_t>(record.island)];
+  }
+  EXPECT_EQ(per_island[0], per_island[1]);
+  EXPECT_EQ(per_island[1], per_island[2]);
+  EXPECT_EQ(per_island[0] % 2, 0);
+  // The stop fired: with a 2-generation window over 60 generations this
+  // deterministic run stalls long before the full budget.
+  EXPECT_LT(result.history.size(), 3u * 60u);
+
+  // A window-less run is untouched by the mode (no early stop to take).
+  config.no_improvement_window = 0;
+  auto full = std::move(global->Run(fixture.evaluator.get(), config,
+                                    fixture.SeedPopulation(23), nullptr))
+                  .ValueOrDie();
+  EXPECT_EQ(full.history.size(), 3u * 60u);
 }
 
 TEST(IslandsStrategyTest, RejectsPopulationTooSmallForIslandCount) {

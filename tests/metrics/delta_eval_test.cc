@@ -16,6 +16,7 @@
 
 #include "../test_util.h"
 #include "common/rng.h"
+#include "core/operators.h"
 #include "datagen/generator.h"
 #include "metrics/ctbil.h"
 #include "metrics/dbil.h"
@@ -41,9 +42,10 @@ struct World {
   std::vector<int> attrs;
 };
 
-World MakeWorld(uint64_t seed, int64_t rows = 120) {
-  auto profile = datagen::UniformTestProfile("d", rows, {7, 5, 9});
-  profile.attributes[1].kind = AttrKind::kOrdinal;
+World MakeWorldWithCards(uint64_t seed, int64_t rows,
+                         const std::vector<int>& cards) {
+  auto profile = datagen::UniformTestProfile("d", rows, cards);
+  if (cards.size() > 1) profile.attributes[1].kind = AttrKind::kOrdinal;
   World world;
   world.original = datagen::Generate(profile, seed).ValueOrDie();
   world.attrs = AllAttrs(world.original);
@@ -52,6 +54,10 @@ World MakeWorld(uint64_t seed, int64_t rows = 120) {
                      .Protect(world.original, world.attrs, &rng)
                      .ValueOrDie();
   return world;
+}
+
+World MakeWorld(uint64_t seed, int64_t rows = 120) {
+  return MakeWorldWithCards(seed, rows, {7, 5, 9});
 }
 
 /// Applies a random batch of 1..max_cells distinct-cell changes to `masked`
@@ -85,8 +91,9 @@ std::vector<CellDelta> RandomBatch(Dataset* masked,
 }
 
 void RunMeasureSequence(const Measure& measure, uint64_t seed, int steps,
-                        int max_cells, bool force_rebuilds = false) {
-  World world = MakeWorld(seed);
+                        int max_cells, bool force_rebuilds = false,
+                        World world = World{}) {
+  if (world.attrs.empty()) world = MakeWorld(seed);
   auto bound =
       std::move(measure.Bind(world.original, world.attrs)).ValueOrDie();
   auto state = bound->BindState(world.masked);
@@ -161,6 +168,151 @@ TEST(DeltaEvalTest, WideBatchesTriggerRebuildAndStayExact) {
   RunMeasureSequence(CtbIl(2), 23, 40, 24, /*force_rebuilds=*/true);
   RunMeasureSequence(ProbabilisticRecordLinkage(10), 24, 20, 24,
                      /*force_rebuilds=*/true);
+}
+
+TEST(DeltaEvalTest, PrlWideAttributeCountsMatchFullEvaluation) {
+  // The compressed pattern-histogram state has no dense-layout attribute
+  // cap: 9-16 protected attributes (2^9..2^16 pattern spaces) must track
+  // the full-evaluation oracle exactly, including through rebuilds.
+  for (int num_attrs : {9, 12, 16}) {
+    std::vector<int> cards(static_cast<size_t>(num_attrs), 3);
+    World world = MakeWorldWithCards(100 + static_cast<uint64_t>(num_attrs),
+                                     /*rows=*/60, cards);
+    RunMeasureSequence(ProbabilisticRecordLinkage(10),
+                       200 + static_cast<uint64_t>(num_attrs),
+                       /*steps=*/12, /*max_cells=*/6, /*force_rebuilds=*/false,
+                       std::move(world));
+  }
+  // And with rebuilds forced on every batch (the revertible-rebuild path).
+  World world = MakeWorldWithCards(131, /*rows=*/50,
+                                   std::vector<int>(12, 3));
+  RunMeasureSequence(ProbabilisticRecordLinkage(10), 231, /*steps=*/8,
+                     /*max_cells=*/6, /*force_rebuilds=*/true,
+                     std::move(world));
+}
+
+TEST(DeltaEvalTest, SegmentBatchesSpanningGenomeMatchFullEvaluation) {
+  // Crossover-style segments from 1% to 100% of the genome, against every
+  // measure: small segments stay incremental, large ones cross each
+  // measure's own rebuild threshold — both must track the oracle and
+  // revert exactly.
+  std::vector<std::unique_ptr<Measure>> measures;
+  measures.push_back(std::make_unique<CtbIl>(2));
+  measures.push_back(std::make_unique<DbIl>());
+  measures.push_back(std::make_unique<EbIl>());
+  measures.push_back(std::make_unique<IntervalDisclosure>(10.0));
+  measures.push_back(std::make_unique<DistanceBasedRecordLinkage>());
+  measures.push_back(std::make_unique<ProbabilisticRecordLinkage>(10));
+  measures.push_back(std::make_unique<RankSwappingRecordLinkage>(15.0));
+
+  World world = MakeWorld(71, /*rows=*/90);
+  Rng donor_rng(72);
+  Dataset donor = protection::Pram(0.4)
+                      .Protect(world.original, world.attrs, &donor_rng)
+                      .ValueOrDie();
+  core::GenomeLayout layout(world.attrs, world.original.num_rows());
+  int64_t genome = layout.Length();
+
+  for (const auto& measure : measures) {
+    auto bound =
+        std::move(measure->Bind(world.original, world.attrs)).ValueOrDie();
+    Dataset masked = world.masked.Clone();
+    auto state = bound->BindState(masked);
+    Rng rng(73);
+    for (double fraction : {0.01, 0.05, 0.25, 0.5, 1.0}) {
+      auto length = static_cast<int64_t>(fraction * static_cast<double>(genome));
+      if (length < 1) length = 1;
+      int64_t s = length >= genome
+                      ? 0
+                      : static_cast<int64_t>(rng.UniformInt(0, genome - length));
+      double score_before = state->Score();
+      Dataset before = masked.Clone();
+      auto segment = core::CrossoverSegmentSwap(layout, donor, &masked, s,
+                                                s + length - 1);
+      state->ApplySegment(masked, segment);
+      double full = bound->Compute(masked);
+      ASSERT_NEAR(state->Score(), full, kTol)
+          << measure->Name() << " diverged on a " << fraction << " segment";
+      state->RevertSegment();
+      ASSERT_NEAR(state->Score(), score_before, kTol)
+          << measure->Name() << " revert broke on a " << fraction
+          << " segment";
+      masked = std::move(before);
+    }
+  }
+}
+
+TEST(DeltaEvalTest, SegmentDeltaAppendMatchesFromCells) {
+  // The operators' streaming Append and the generic FromCells grouping must
+  // produce the same segment view for row-major batches.
+  std::vector<CellDelta> cells{{0, 0, 1, 2}, {0, 2, 3, 4}, {1, 1, 0, 5},
+                               {4, 0, 2, 0}, {4, 1, 1, 3}};
+  SegmentDelta streamed;
+  for (const CellDelta& cell : cells) {
+    streamed.Append(cell.row, cell.attr, cell.old_code, cell.new_code);
+  }
+  SegmentDelta grouped = SegmentDelta::FromCells(cells);
+  ASSERT_EQ(streamed.num_cells(), grouped.num_cells());
+  ASSERT_EQ(streamed.rows().size(), grouped.rows().size());
+  for (size_t r = 0; r < streamed.rows().size(); ++r) {
+    EXPECT_EQ(streamed.rows()[r].row, grouped.rows()[r].row);
+    ASSERT_EQ(streamed.rows()[r].cells.size(), grouped.rows()[r].cells.size());
+    for (size_t c = 0; c < streamed.rows()[r].cells.size(); ++c) {
+      EXPECT_EQ(streamed.rows()[r].cells[c].attr,
+                grouped.rows()[r].cells[c].attr);
+      EXPECT_EQ(streamed.rows()[r].cells[c].old_code,
+                grouped.rows()[r].cells[c].old_code);
+      EXPECT_EQ(streamed.rows()[r].cells[c].new_code,
+                grouped.rows()[r].cells[c].new_code);
+    }
+  }
+}
+
+TEST(DeltaEvalTest, FitnessStateRebuildSizedSegmentsMatchAndRevert) {
+  // Rebuild-sized segments route FitnessState::ApplyDelta through the
+  // concurrent per-measure path; scores must match a full Evaluate and
+  // revert exactly, and a forced global rebuild fraction must not change
+  // the numbers.
+  World world = MakeWorld(81, /*rows=*/80);
+  Rng donor_rng(82);
+  Dataset donor = protection::Pram(0.4)
+                      .Protect(world.original, world.attrs, &donor_rng)
+                      .ValueOrDie();
+  core::GenomeLayout layout(world.attrs, world.original.num_rows());
+  int64_t genome = layout.Length();
+
+  FitnessEvaluator::Options defaults;
+  defaults.prl_em_iterations = 10;
+  FitnessEvaluator::Options forced = defaults;
+  forced.delta_rebuild_fraction = 0.25;  // the old global cliff
+  forced.measure_rebuild_fractions = {{"DBRL", 0.2}};
+  for (const auto& options : {defaults, forced}) {
+    auto evaluator =
+        std::move(FitnessEvaluator::Create(world.original, world.attrs,
+                                           options))
+            .ValueOrDie();
+    Dataset masked = world.masked.Clone();
+    auto state = evaluator->BindState(masked);
+    Rng rng(83);
+    for (double fraction : {0.3, 0.6, 1.0}) {
+      auto length = static_cast<int64_t>(fraction * static_cast<double>(genome));
+      int64_t s = length >= genome
+                      ? 0
+                      : static_cast<int64_t>(rng.UniformInt(0, genome - length));
+      double score_before = state->breakdown().score;
+      Dataset before = masked.Clone();
+      auto segment = core::CrossoverSegmentSwap(layout, donor, &masked, s,
+                                                s + length - 1);
+      state->ApplyDelta(masked, segment);
+      FitnessBreakdown full = evaluator->Evaluate(masked);
+      ASSERT_NEAR(state->breakdown().score, full.score, kTol);
+      ASSERT_NEAR(state->breakdown().il, full.il, kTol);
+      ASSERT_NEAR(state->breakdown().dr, full.dr, kTol);
+      state->Revert();
+      ASSERT_NEAR(state->breakdown().score, score_before, kTol);
+      masked = std::move(before);
+    }
+  }
 }
 
 TEST(DeltaEvalTest, SingleCellMutationsStressRankWindows) {
