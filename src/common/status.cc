@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kCancelled,
+  kResourceExhausted,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -78,6 +79,10 @@ class Status {
   template <typename... Args>
   static Status Cancelled(Args&&... args) {
     return Make(StatusCode::kCancelled, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
   }
 
   /// \brief True iff the operation succeeded.

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -9,17 +10,18 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/params.h"
 #include "common/string_utils.h"
+#include "common/timer.h"
 
 namespace evocat {
 namespace server {
 
 namespace {
-
-constexpr size_t kMaxHeaderBytes = 64 * 1024;
 
 bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
   if (a.size() != b.size()) return false;
@@ -88,27 +90,32 @@ Status SendAll(int fd, const std::string& data) {
   return Status::OK();
 }
 
-Result<HttpResponse> FetchOverFd(int fd, const HttpRequest& request) {
-  Status sent = SendAll(fd, SerializeHttpRequest(request));
-  if (!sent.ok()) {
-    ::close(fd);
-    return sent;
-  }
-  ::shutdown(fd, SHUT_WR);
-  std::string raw;
-  char buffer[4096];
+enum class RecvOutcome { kData, kEof, kTimeout, kError };
+
+/// One bounded recv: waits up to `timeout_ms` for readability (negative or
+/// zero budget counts as already expired), then reads what is there.
+RecvOutcome RecvWithTimeout(int fd, char* buffer, size_t capacity,
+                            int timeout_ms, ssize_t* n_out) {
   while (true) {
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
+    if (timeout_ms <= 0) return RecvOutcome::kTimeout;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IOError("recv failed: ", std::strerror(errno));
+      return RecvOutcome::kError;
     }
-    if (n == 0) break;
-    raw.append(buffer, static_cast<size_t>(n));
+    if (ready == 0) return RecvOutcome::kTimeout;
+    ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return RecvOutcome::kError;
+    }
+    if (n == 0) return RecvOutcome::kEof;
+    *n_out = n;
+    return RecvOutcome::kData;
   }
-  ::close(fd);
-  return ParseHttpResponse(raw);
 }
 
 }  // namespace
@@ -144,16 +151,26 @@ std::vector<std::pair<std::string, std::string>> HttpRequest::QueryParams()
   return params;
 }
 
+bool WantsKeepAlive(const HttpRequest& request) {
+  if (request.version == "HTTP/1.0") return false;
+  const std::string* connection = request.FindHeader("Connection");
+  return connection == nullptr || !EqualsIgnoreCase(*connection, "close");
+}
+
 const char* HttpReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 202: return "Accepted";
     case 204: return "No Content";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
@@ -188,6 +205,11 @@ Result<HttpRequest> ParseRequestHead(const std::string& raw,
         "Transfer-Encoding is not supported; use Content-Length");
   }
   return request;
+}
+
+/// The HTTP status a server should answer for a head/body parse failure.
+int StatusForParseError(const Status& status) {
+  return status.code() == StatusCode::kNotImplemented ? 501 : 400;
 }
 
 }  // namespace
@@ -235,6 +257,9 @@ Result<HttpResponse> ParseHttpResponse(const std::string& raw) {
   if (const std::string* type = response.FindHeader("Content-Type")) {
     response.content_type = *type;
   }
+  if (const std::string* connection = response.FindHeader("Connection")) {
+    response.keep_alive = EqualsIgnoreCase(*connection, "keep-alive");
+  }
   response.body = raw.substr(headers_end + 4);
   EVOCAT_ASSIGN_OR_RETURN(int64_t length, ContentLengthOf(response.headers));
   if (response.FindHeader("Content-Length") != nullptr &&
@@ -249,7 +274,17 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
                     HttpReasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
+  for (const auto& [key, value] : response.headers) {
+    // The synthesized framing headers always win over custom entries.
+    if (EqualsIgnoreCase(key, "Content-Type") ||
+        EqualsIgnoreCase(key, "Content-Length") ||
+        EqualsIgnoreCase(key, "Connection")) {
+      continue;
+    }
+    out += key + ": " + value + "\r\n";
+  }
+  out += response.keep_alive ? "Connection: keep-alive\r\n\r\n"
+                             : "Connection: close\r\n\r\n";
   out += response.body;
   return out;
 }
@@ -262,52 +297,116 @@ std::string SerializeHttpRequest(const HttpRequest& request) {
   if (!request.body.empty()) {
     out += "Content-Type: application/json\r\n";
   }
+  for (const auto& [key, value] : request.headers) {
+    if (EqualsIgnoreCase(key, "Host") ||
+        EqualsIgnoreCase(key, "Content-Type") ||
+        EqualsIgnoreCase(key, "Content-Length") ||
+        EqualsIgnoreCase(key, "Connection")) {
+      continue;
+    }
+    out += key + ": " + value + "\r\n";
+  }
   out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
+  out += request.keep_alive ? "Connection: keep-alive\r\n\r\n"
+                            : "Connection: close\r\n\r\n";
   out += request.body;
   return out;
 }
 
-Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes) {
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpReadLimits& limits,
+                                    int* http_status) {
+  auto answer = [http_status](int status) {
+    if (http_status != nullptr) *http_status = status;
+  };
+  answer(0);
+
   std::string raw;
   char buffer[4096];
   size_t headers_end = std::string::npos;
-  // Phase 1: read until the blank line separating headers from body.
+  Timer phase;  // idle first, restarted when the head starts/completes
+
+  // Phase 1: read until the blank line separating headers from body. The
+  // idle window applies until the first byte; from then on the whole head
+  // must arrive within `header_timeout_ms` (slow-loris guard).
   while (headers_end == std::string::npos) {
-    if (raw.size() > kMaxHeaderBytes) {
-      return Status::OutOfRange("request headers exceed ", kMaxHeaderBytes,
-                                " bytes");
+    if (raw.size() > limits.max_header_bytes) {
+      answer(431);
+      return Status::OutOfRange("request line and headers exceed ",
+                                limits.max_header_bytes, " bytes");
     }
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("recv failed: ", std::strerror(errno));
+    bool started = !raw.empty();
+    int budget = (started ? limits.header_timeout_ms : limits.idle_timeout_ms) -
+                 static_cast<int>(phase.ElapsedMillis());
+    ssize_t n = 0;
+    switch (RecvWithTimeout(fd, buffer, sizeof(buffer), budget, &n)) {
+      case RecvOutcome::kTimeout:
+        if (started) {
+          answer(408);
+          return Status::IOError("request head stalled beyond ",
+                                 limits.header_timeout_ms, " ms");
+        }
+        return Status::IOError("connection idle beyond ",
+                               limits.idle_timeout_ms, " ms");
+      case RecvOutcome::kEof:
+        return Status::IOError(started
+                                   ? "connection closed mid-request"
+                                   : "connection closed between requests");
+      case RecvOutcome::kError:
+        return Status::IOError("recv failed: ", std::strerror(errno));
+      case RecvOutcome::kData:
+        break;
     }
-    if (n == 0) {
-      return Status::IOError("connection closed before a complete request");
-    }
+    if (!started) phase.Reset();  // head timing starts at the first byte
     size_t scan_from = raw.size() < 3 ? 0 : raw.size() - 3;
     raw.append(buffer, static_cast<size_t>(n));
     headers_end = raw.find("\r\n\r\n", scan_from);
   }
-  // Phase 2: the headers announce the body size; read exactly that much.
-  EVOCAT_ASSIGN_OR_RETURN(HttpRequest request,
-                          ParseRequestHead(raw, headers_end));
-  EVOCAT_ASSIGN_OR_RETURN(int64_t length, ContentLengthOf(request.headers));
-  if (static_cast<size_t>(length) > max_body_bytes) {
+  if (headers_end > limits.max_header_bytes) {
+    // The whole block can land in one recv, so the in-loop guard (which
+    // only sees unterminated floods) is not enough on its own.
+    answer(431);
+    return Status::OutOfRange("request line and headers exceed ",
+                              limits.max_header_bytes, " bytes");
+  }
+
+  // Phase 2: the headers announce the body size; read exactly that much
+  // within the body deadline.
+  Result<HttpRequest> head = ParseRequestHead(raw, headers_end);
+  if (!head.ok()) {
+    answer(StatusForParseError(head.status()));
+    return head.status();
+  }
+  HttpRequest request = std::move(head).ValueOrDie();
+  Result<int64_t> length_or = ContentLengthOf(request.headers);
+  if (!length_or.ok()) {
+    answer(400);
+    return length_or.status();
+  }
+  int64_t length = length_or.ValueOrDie();
+  if (static_cast<size_t>(length) > limits.max_body_bytes) {
+    answer(413);
     return Status::OutOfRange("request body of ", length, " bytes exceeds ",
-                              max_body_bytes);
+                              limits.max_body_bytes);
   }
   size_t total = headers_end + 4 + static_cast<size_t>(length);
+  phase.Reset();
   while (raw.size() < total) {
-    ssize_t n = ::recv(fd, buffer,
-                       std::min(sizeof(buffer), total - raw.size()), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("recv failed: ", std::strerror(errno));
-    }
-    if (n == 0) {
-      return Status::IOError("connection closed mid-body");
+    int budget =
+        limits.body_timeout_ms - static_cast<int>(phase.ElapsedMillis());
+    ssize_t n = 0;
+    switch (RecvWithTimeout(fd, buffer,
+                            std::min(sizeof(buffer), total - raw.size()),
+                            budget, &n)) {
+      case RecvOutcome::kTimeout:
+        answer(408);
+        return Status::IOError("request body stalled beyond ",
+                               limits.body_timeout_ms, " ms");
+      case RecvOutcome::kEof:
+        return Status::IOError("connection closed mid-body");
+      case RecvOutcome::kError:
+        return Status::IOError("recv failed: ", std::strerror(errno));
+      case RecvOutcome::kData:
+        break;
     }
     raw.append(buffer, static_cast<size_t>(n));
   }
@@ -315,12 +414,23 @@ Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes) {
   return request;
 }
 
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes) {
+  HttpReadLimits limits;
+  limits.max_body_bytes = max_body_bytes;
+  return ReadHttpRequest(fd, limits, nullptr);
+}
+
 Status WriteHttpResponse(int fd, const HttpResponse& response) {
   return SendAll(fd, SerializeHttpResponse(response));
 }
 
-Result<HttpResponse> HttpFetch(const std::string& host, int port,
-                               const HttpRequest& request) {
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<int> ConnectTcpFd(const std::string& host, int port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket failed: ", std::strerror(errno));
@@ -337,11 +447,10 @@ Result<HttpResponse> HttpFetch(const std::string& host, int port,
     return Status::IOError("connect to ", host, ":", port,
                            " failed: ", std::strerror(errno));
   }
-  return FetchOverFd(fd, request);
+  return fd;
 }
 
-Result<HttpResponse> HttpFetchUnix(const std::string& socket_path,
-                                   const HttpRequest& request) {
+Result<int> ConnectUnixFd(const std::string& socket_path) {
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket failed: ", std::strerror(errno));
@@ -358,7 +467,173 @@ Result<HttpResponse> HttpFetchUnix(const std::string& socket_path,
     return Status::IOError("connect to ", socket_path,
                            " failed: ", std::strerror(errno));
   }
+  return fd;
+}
+
+/// Reads one Content-Length-framed response (works on keep-alive
+/// connections, where EOF never comes).
+Result<HttpResponse> ReadFramedResponse(int fd) {
+  std::string raw;
+  char buffer[4096];
+  size_t headers_end = std::string::npos;
+  while (headers_end == std::string::npos) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv failed: ", std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed before a complete response");
+    }
+    size_t scan_from = raw.size() < 3 ? 0 : raw.size() - 3;
+    raw.append(buffer, static_cast<size_t>(n));
+    headers_end = raw.find("\r\n\r\n", scan_from);
+  }
+  std::vector<std::pair<std::string, std::string>> headers;
+  size_t line_end = raw.find("\r\n");
+  EVOCAT_RETURN_NOT_OK(
+      ParseHeaderLines(raw, line_end + 2, headers_end, &headers));
+  EVOCAT_ASSIGN_OR_RETURN(int64_t length, ContentLengthOf(headers));
+  size_t total = headers_end + 4 + static_cast<size_t>(length);
+  while (raw.size() < total) {
+    ssize_t n = ::recv(fd, buffer,
+                       std::min(sizeof(buffer), total - raw.size()), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv failed: ", std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed mid-response");
+    }
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  return ParseHttpResponse(raw.substr(0, total));
+}
+
+Result<HttpResponse> FetchOverFd(int fd, const HttpRequest& request) {
+  Status sent = SendAll(fd, SerializeHttpRequest(request));
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  Result<HttpResponse> response = ReadFramedResponse(fd);
+  ::close(fd);
+  return response;
+}
+
+/// xorshift64* jitter stream — cheap, seedable, no global RNG state.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+}  // namespace
+
+Result<HttpConnection> HttpConnection::ConnectTcp(const std::string& host,
+                                                  int port) {
+  EVOCAT_ASSIGN_OR_RETURN(int fd, ConnectTcpFd(host, port));
+  return HttpConnection(fd);
+}
+
+Result<HttpConnection> HttpConnection::ConnectUnix(
+    const std::string& socket_path) {
+  EVOCAT_ASSIGN_OR_RETURN(int fd, ConnectUnixFd(socket_path));
+  return HttpConnection(fd);
+}
+
+HttpConnection::~HttpConnection() { Close(); }
+
+HttpConnection::HttpConnection(HttpConnection&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+HttpConnection& HttpConnection::operator=(HttpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<HttpResponse> HttpConnection::RoundTrip(const HttpRequest& request) {
+  if (fd_ < 0) return Status::IOError("connection is closed");
+  HttpRequest persistent = request;
+  persistent.keep_alive = true;
+  Status sent = SendAll(fd_, SerializeHttpRequest(persistent));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Result<HttpResponse> response = ReadFramedResponse(fd_);
+  if (!response.ok() ||
+      (response.ok() && !response.ValueOrDie().keep_alive)) {
+    Close();  // transport error, or the server said Connection: close
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                               const HttpRequest& request) {
+  EVOCAT_ASSIGN_OR_RETURN(int fd, ConnectTcpFd(host, port));
   return FetchOverFd(fd, request);
+}
+
+Result<HttpResponse> HttpFetchUnix(const std::string& socket_path,
+                                   const HttpRequest& request) {
+  EVOCAT_ASSIGN_OR_RETURN(int fd, ConnectUnixFd(socket_path));
+  return FetchOverFd(fd, request);
+}
+
+Result<HttpResponse> HttpFetchRetry(const std::string& host, int port,
+                                    const HttpRequest& request,
+                                    const HttpRetryOptions& options) {
+  uint64_t jitter_state =
+      options.jitter_seed == 0 ? 0x9E3779B97F4A7C15ull : options.jitter_seed;
+  int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  Result<HttpResponse> last = Status::IOError("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      int64_t backoff = options.base_backoff_ms;
+      for (int k = 1; k < attempt; ++k) backoff *= 2;
+      backoff = std::min<int64_t>(backoff, options.max_backoff_ms);
+      // A parseable Retry-After hint (seconds) takes precedence, capped so
+      // a hostile server cannot park the client.
+      if (last.ok()) {
+        if (const std::string* hint =
+                last.ValueOrDie().FindHeader("Retry-After")) {
+          int64_t seconds = 0;
+          if (ParseInt64(*hint, &seconds).ok() && seconds >= 0) {
+            backoff = std::min<int64_t>(seconds * 1000,
+                                        options.max_backoff_ms);
+          }
+        }
+      }
+      if (backoff > 0) {
+        backoff += static_cast<int64_t>(NextJitter(&jitter_state) %
+                                        (static_cast<uint64_t>(backoff) / 2 +
+                                         1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    last = HttpFetch(host, port, request);
+    if (!last.ok()) continue;  // connect/transport error: retry
+    int status = last.ValueOrDie().status;
+    if (status != 429 && status < 500) return last;
+  }
+  return last;
 }
 
 }  // namespace server

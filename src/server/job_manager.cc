@@ -4,8 +4,31 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/logging.h"
+#include "server/wal.h"
+
 namespace evocat {
 namespace server {
+
+namespace {
+
+/// Estimated resident bytes of a finished job's artifacts — the retention
+/// budget's unit. An estimate (dictionary-encoded columns, small-string
+/// optimization and allocator overhead are invisible from here), but it
+/// scales with the real drivers: the protected dataset, the populations and
+/// the history.
+size_t ApproxArtifactBytes(const api::RunArtifacts& artifacts) {
+  size_t bytes = sizeof(api::RunArtifacts);
+  bytes += static_cast<size_t>(artifacts.best_data.num_cells()) *
+           sizeof(int32_t);
+  bytes += artifacts.history.size() * sizeof(core::GenerationRecord);
+  bytes += (artifacts.initial.size() + artifacts.final_population.size() + 1) *
+           (sizeof(api::MemberSummary) + 64);
+  bytes += artifacts.job_name.size() + artifacts.dataset.size();
+  return bytes;
+}
+
+}  // namespace
 
 const char* JobStateToString(JobState state) {
   switch (state) {
@@ -20,9 +43,31 @@ const char* JobStateToString(JobState state) {
 
 JobManager::JobManager(api::Session* session, TaskScheduler* scheduler,
                        Options options)
-    : session_(session), scheduler_(scheduler), options_(options) {}
+    : session_(session), scheduler_(scheduler), options_(options) {
+  if (options_.wal == nullptr) return;
+  // Crash recovery: everything the WAL saw submitted but not finished is
+  // re-queued under its original id. Ids resume past the highest replayed
+  // sequence so new submissions never collide with recovered ones.
+  std::vector<Wal::RecoveredJob> recovered = options_.wal->TakeRecovered();
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_id_ = options_.wal->next_sequence();
+  for (Wal::RecoveredJob& entry : recovered) {
+    std::shared_ptr<Job> job = std::make_shared<Job>();
+    job->id = std::move(entry.id);
+    job->spec = std::move(entry.spec);
+    job->recovered = true;
+    jobs_[job->id] = job;
+    EnqueueLocked(job);
+  }
+  if (!recovered.empty()) {
+    EVOCAT_LOG(INFO) << "re-queued " << recovered.size()
+                     << " unfinished job(s) from WAL '"
+                     << options_.wal->path() << "'";
+  }
+}
 
 JobManager::~JobManager() {
+  shutting_down_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [id, job] : jobs_) {
@@ -33,38 +78,76 @@ JobManager::~JobManager() {
     }
   }
   // Queued tasks observe their cancel flag and return immediately; running
-  // jobs stop at the next generation. Either way the group drains.
+  // jobs stop at the next generation. Either way the group drains. No
+  // terminal WAL records are written for these, so a durable daemon re-runs
+  // them after restart.
   scheduler_->Wait(&inflight_);
 }
 
-std::string JobManager::Submit(api::JobSpec spec) {
+void JobManager::EnqueueLocked(const std::shared_ptr<Job>& job) {
+  pending_.push_back(job);
+  scheduler_->Submit(&inflight_, [this] { RunNextPending(); });
+}
+
+Result<std::string> JobManager::Submit(api::JobSpec spec) {
   std::shared_ptr<Job> job = std::make_shared<Job>();
   job->spec = std::move(spec);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    size_t queued = 0;
+    for (const auto& pending : pending_) {
+      if (pending->state == JobState::kQueued) ++queued;
+    }
+    if (options_.max_pending_jobs > 0 && queued >= options_.max_pending_jobs) {
+      ++rejected_submits_;
+      return Status::ResourceExhausted(
+          "pending queue is full (", queued, " of ", options_.max_pending_jobs,
+          " jobs); retry with backoff");
+    }
     char id[32];
     std::snprintf(id, sizeof(id), "job-%06llu",
                   static_cast<unsigned long long>(next_id_++));
     job->id = id;
-    jobs_[job->id] = job;
   }
-  scheduler_->Submit(&inflight_, [this, job] { Execute(job); });
+
+  // Durability first: the job is only admitted once its submit record is on
+  // disk. The id was reserved above, so a concurrent submit cannot reuse it
+  // even if this append fails.
+  if (options_.wal != nullptr) {
+    Status logged = options_.wal->AppendSubmit(job->id, job->spec);
+    if (!logged.ok()) {
+      return Status::IOError("job not admitted (WAL append failed): ",
+                             logged.message());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_[job->id] = job;
+    EnqueueLocked(job);
+  }
   return job->id;
 }
 
-void JobManager::Execute(const std::shared_ptr<Job>& job) {
+void JobManager::RunNextPending() {
+  std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (job->control.cancel.load(std::memory_order_relaxed)) {
-      // Canceled while queued: never ran.
-      job->state = JobState::kCanceled;
-      job->error = Status::Cancelled("job canceled while queued");
-      job->queued_seconds = job->submitted.ElapsedSeconds();
-      finished_order_.push_back(job->id);
-      ++lifetime_finished_;
-      EvictFinishedLocked();
-      return;
+    while (!pending_.empty()) {
+      std::shared_ptr<Job> candidate = std::move(pending_.front());
+      pending_.pop_front();
+      if (candidate->state != JobState::kQueued) continue;  // canceled early
+      if (candidate->control.cancel.load(std::memory_order_relaxed)) {
+        // Canceled (e.g. at shutdown) without the immediate-cancel path:
+        // never ran.
+        candidate->error = Status::Cancelled("job canceled while queued");
+        FinishLocked(candidate, JobState::kCanceled);
+        continue;
+      }
+      job = std::move(candidate);
+      break;
     }
+    if (job == nullptr) return;  // every entry was already terminal
     job->state = JobState::kRunning;
     job->queued_seconds = job->submitted.ElapsedSeconds();
     job->started.Reset();
@@ -72,22 +155,49 @@ void JobManager::Execute(const std::shared_ptr<Job>& job) {
 
   Result<api::RunArtifacts> result = session_->Run(job->spec, &job->control);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  job->run_seconds = job->started.ElapsedSeconds();
-  if (result.ok()) {
-    job->state = JobState::kDone;
-    job->artifacts = std::make_shared<const api::RunArtifacts>(
-        std::move(result).ValueOrDie());
-  } else if (result.status().code() == StatusCode::kCancelled) {
-    job->state = JobState::kCanceled;
-    job->error = result.status();
-  } else {
-    job->state = JobState::kFailed;
-    job->error = result.status();
+  JobState terminal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->run_seconds = job->started.ElapsedSeconds();
+    if (result.ok()) {
+      terminal = JobState::kDone;
+      job->artifacts = std::make_shared<const api::RunArtifacts>(
+          std::move(result).ValueOrDie());
+      job->retained_bytes = ApproxArtifactBytes(*job->artifacts);
+      retained_bytes_ += job->retained_bytes;
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      terminal = JobState::kCanceled;
+      job->error = result.status();
+    } else {
+      terminal = JobState::kFailed;
+      job->error = result.status();
+    }
+    FinishLocked(job, terminal);
   }
+  AppendTerminalToWal(job->id, terminal);
+}
+
+void JobManager::FinishLocked(const std::shared_ptr<Job>& job,
+                              JobState state) {
+  job->state = state;
   finished_order_.push_back(job->id);
   ++lifetime_finished_;
   EvictFinishedLocked();
+}
+
+void JobManager::AppendTerminalToWal(const std::string& id, JobState state) {
+  if (options_.wal == nullptr) return;
+  if (shutting_down_.load(std::memory_order_relaxed) &&
+      state == JobState::kCanceled) {
+    return;  // shutdown cancel: keep the job live so the next boot re-runs it
+  }
+  Status logged = options_.wal->AppendTerminal(id, JobStateToString(state));
+  if (!logged.ok()) {
+    // Worst case the job is re-run after a restart — deterministic specs
+    // make that harmless, so a terminal-append failure only costs work.
+    EVOCAT_LOG(WARNING) << "WAL terminal append for '" << id
+                        << "' failed: " << logged.ToString();
+  }
 }
 
 JobManager::JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
@@ -96,6 +206,7 @@ JobManager::JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   snapshot.name = job.spec.name;
   snapshot.state = job.state;
   snapshot.error = job.error;
+  snapshot.recovered = job.recovered;
   switch (job.state) {
     case JobState::kQueued:
       snapshot.queued_seconds = job.submitted.ElapsedSeconds();
@@ -143,17 +254,39 @@ Result<std::shared_ptr<const api::RunArtifacts>> JobManager::GetResult(
 }
 
 Status JobManager::Cancel(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
-    return Status::NotFound("unknown job id '", id, "'");
+  JobState terminal = JobState::kRunning;  // sentinel: nothing to log yet
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("unknown job id '", id, "'");
+    }
+    Job& job = *it->second;
+    switch (job.state) {
+      case JobState::kQueued:
+        // Still queued: cancel takes effect *now* — the job flips to
+        // canceled before this returns and never occupies a worker (the
+        // dequeue loop skips non-queued entries). Without this, a canceled
+        // job sits "queued" behind the backlog, holds an admission slot,
+        // and only transitions when a worker finally dequeues it.
+        job.control.cancel.store(true, std::memory_order_relaxed);
+        job.error = Status::Cancelled("job canceled while queued");
+        job.queued_seconds = job.submitted.ElapsedSeconds();
+        FinishLocked(it->second, JobState::kCanceled);
+        terminal = JobState::kCanceled;
+        break;
+      case JobState::kRunning:
+        // Cooperative: the engine polls the flag at the next generation.
+        job.control.cancel.store(true, std::memory_order_relaxed);
+        break;
+      default:
+        return Status::Invalid("job '", id, "' already finished (",
+                               JobStateToString(job.state), ")");
+    }
   }
-  Job& job = *it->second;
-  if (job.state != JobState::kQueued && job.state != JobState::kRunning) {
-    return Status::Invalid("job '", id, "' already finished (",
-                           JobStateToString(job.state), ")");
+  if (terminal == JobState::kCanceled) {
+    AppendTerminalToWal(id, terminal);
   }
-  job.control.cancel.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -189,10 +322,45 @@ JobManager::Counts JobManager::counts() const {
   return counts;
 }
 
+JobManager::Admission JobManager::admission() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Admission admission;
+  for (const auto& pending : pending_) {
+    if (pending->state == JobState::kQueued) ++admission.pending;
+  }
+  admission.pending_capacity =
+      static_cast<int64_t>(options_.max_pending_jobs);
+  admission.retained_bytes = static_cast<int64_t>(retained_bytes_);
+  admission.retained_capacity =
+      static_cast<int64_t>(options_.max_retained_bytes);
+  admission.rejected_submits = rejected_submits_;
+  admission.degraded =
+      (admission.pending_capacity > 0 &&
+       admission.pending >= admission.pending_capacity) ||
+      (admission.retained_capacity > 0 &&
+       admission.retained_bytes > admission.retained_capacity);
+  return admission;
+}
+
 void JobManager::EvictFinishedLocked() {
-  while (finished_order_.size() > options_.max_finished_jobs) {
-    jobs_.erase(finished_order_.front());
+  auto evict_oldest = [this] {
+    auto it = jobs_.find(finished_order_.front());
+    if (it != jobs_.end()) {
+      retained_bytes_ -= std::min(retained_bytes_,
+                                  it->second->retained_bytes);
+      jobs_.erase(it);
+    }
     finished_order_.pop_front();
+  };
+  while (finished_order_.size() > options_.max_finished_jobs) {
+    evict_oldest();
+  }
+  // Retention budget: evict oldest-first beyond the byte cap, but always
+  // keep the newest finished job so its submitter can fetch it.
+  while (options_.max_retained_bytes > 0 &&
+         retained_bytes_ > options_.max_retained_bytes &&
+         finished_order_.size() > 1) {
+    evict_oldest();
   }
 }
 

@@ -1,16 +1,22 @@
 /// \file job_manager.h
 /// \brief Async job table behind the evocatd endpoints.
 ///
-/// `Submit` assigns an id and queues the job on the work-stealing task
-/// scheduler; callers poll `GetStatus`, fetch `GetResult` once the state is
-/// `done`, and `Cancel` queued or running jobs (running jobs stop
-/// cooperatively at the next GA generation). Finished jobs are retained —
-/// artifacts included — up to `Options::max_finished_jobs`, then evicted
-/// oldest-first so an always-on daemon holds bounded memory.
+/// `Submit` admits a job into a **bounded pending queue** (ResourceExhausted
+/// — HTTP 429 — when full), durably logs it to the write-ahead log when one
+/// is attached, and schedules it on the work-stealing task scheduler;
+/// callers poll `GetStatus`, fetch `GetResult` once the state is `done`, and
+/// `Cancel` queued or running jobs. A job canceled while still queued flips
+/// to `canceled` immediately — it never occupies a worker. Finished jobs are
+/// retained — artifacts included — up to `Options::max_finished_jobs` *and*
+/// `Options::max_retained_bytes`, then evicted oldest-first so an always-on
+/// daemon holds bounded memory. On construction the manager re-queues every
+/// unfinished job the WAL recovered, under its original id (specs embed
+/// their seeds, so recovered jobs re-run to bit-identical artifacts).
 
 #ifndef EVOCAT_SERVER_JOB_MANAGER_H_
 #define EVOCAT_SERVER_JOB_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -27,6 +33,8 @@
 namespace evocat {
 namespace server {
 
+class Wal;
+
 /// \brief Lifecycle of one submitted job.
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCanceled };
 
@@ -39,6 +47,18 @@ class JobManager {
     /// Finished jobs (done/failed/canceled) retained for result fetches;
     /// beyond this the oldest-finished entry is evicted.
     size_t max_finished_jobs = 64;
+    /// Admission bound: submissions beyond this many queued jobs are
+    /// answered ResourceExhausted (the server maps it to 429 +
+    /// Retry-After). 0 = unbounded.
+    size_t max_pending_jobs = 256;
+    /// Global retention budget over the *estimated* bytes of retained
+    /// artifacts; the oldest finished jobs are evicted beyond it (at least
+    /// one finished job is always kept). 0 = unbounded.
+    size_t max_retained_bytes = 256 * 1024 * 1024;
+    /// Durable submit/terminal log; optional (nullptr = volatile queue).
+    /// Must outlive the manager. Recovered jobs are re-queued by the
+    /// constructor.
+    Wal* wal = nullptr;
   };
 
   /// \param session executes the jobs (and owns the source cache).
@@ -47,13 +67,17 @@ class JobManager {
   JobManager(api::Session* session, TaskScheduler* scheduler)
       : JobManager(session, scheduler, Options()) {}
   /// \brief Cancels everything still pending and waits for in-flight jobs.
+  /// Shutdown cancellations are *not* logged as terminal, so a WAL-backed
+  /// daemon re-runs them on the next boot.
   ~JobManager();
 
   JobManager(const JobManager&) = delete;
   JobManager& operator=(const JobManager&) = delete;
 
-  /// \brief Queues a (pre-validated) spec; returns the job id.
-  std::string Submit(api::JobSpec spec);
+  /// \brief Admits a (pre-validated) spec; returns the job id, or
+  /// ResourceExhausted when the pending queue is full / IOError when the
+  /// WAL append failed (nothing was admitted).
+  Result<std::string> Submit(api::JobSpec spec);
 
   /// \brief Point-in-time view of one job.
   struct JobSnapshot {
@@ -66,6 +90,8 @@ class JobManager {
     double queued_seconds = 0.0;
     /// Seconds executing (so far, when still running).
     double run_seconds = 0.0;
+    /// True for jobs re-queued from the WAL after a restart.
+    bool recovered = false;
   };
 
   /// \brief NotFound for unknown (or evicted) ids.
@@ -76,8 +102,9 @@ class JobManager {
   Result<std::shared_ptr<const api::RunArtifacts>> GetResult(
       const std::string& id) const;
 
-  /// \brief Cancels a queued or running job (flips its cancel flag; a
-  /// running job stops at the next generation). Invalid once finished.
+  /// \brief Cancels a queued or running job. A queued job flips to
+  /// `canceled` before this returns (it will never run); a running job
+  /// stops cooperatively at the next generation. Invalid once finished.
   Status Cancel(const std::string& id);
 
   /// \brief Every known job, newest first.
@@ -97,8 +124,24 @@ class JobManager {
   };
   Counts counts() const;
 
+  /// \brief Load/degradation snapshot for /healthz and admission tests.
+  struct Admission {
+    int64_t pending = 0;            ///< queued jobs right now
+    int64_t pending_capacity = 0;   ///< 0 = unbounded
+    int64_t retained_bytes = 0;     ///< estimated retained artifact bytes
+    int64_t retained_capacity = 0;  ///< 0 = unbounded
+    int64_t rejected_submits = 0;   ///< lifetime 429s
+    /// Queue at capacity or retention budget exceeded: a load balancer
+    /// should drain this instance.
+    bool degraded = false;
+  };
+  Admission admission() const;
+
   /// \brief Worker threads of the scheduler executing the jobs.
   int workers() const { return scheduler_->num_workers(); }
+
+  /// \brief The attached WAL (nullptr when running volatile).
+  const Wal* wal() const { return options_.wal; }
 
  private:
   struct Job {
@@ -112,9 +155,19 @@ class JobManager {
     double queued_seconds = 0.0;
     double run_seconds = 0.0;
     Timer started;  ///< reset when execution begins
+    bool recovered = false;
+    /// Estimated artifact bytes counted against `max_retained_bytes`.
+    size_t retained_bytes = 0;
   };
 
-  void Execute(const std::shared_ptr<Job>& job);
+  /// Admits one job (id already assigned) and schedules the queue drain.
+  void EnqueueLocked(const std::shared_ptr<Job>& job);
+  /// Scheduler task: pops and executes the oldest still-queued job.
+  void RunNextPending();
+  void FinishLocked(const std::shared_ptr<Job>& job, JobState state);
+  /// Logs a terminal record unless the manager is shutting down (shutdown
+  /// cancels must be re-run on the next boot).
+  void AppendTerminalToWal(const std::string& id, JobState state);
   JobSnapshot SnapshotLocked(const Job& job) const;
   void EvictFinishedLocked();
 
@@ -122,13 +175,20 @@ class JobManager {
   TaskScheduler* scheduler_;
   Options options_;
   TaskScheduler::Group inflight_;
+  std::atomic<bool> shutting_down_{false};
 
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Job>> jobs_;
+  /// Admission order; entries may already be terminal (canceled while
+  /// queued) and are skipped at dequeue.
+  std::deque<std::shared_ptr<Job>> pending_;
   /// Finished ids in completion order (eviction queue).
   std::deque<std::string> finished_order_;
   /// Lifetime terminal transitions (never decremented by eviction).
   int64_t lifetime_finished_ = 0;
+  int64_t rejected_submits_ = 0;
+  /// Estimated bytes of retained artifacts across finished jobs.
+  size_t retained_bytes_ = 0;
   uint64_t next_id_ = 1;
 };
 

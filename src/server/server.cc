@@ -16,6 +16,7 @@
 #include "api/jobspec.h"
 #include "common/logging.h"
 #include "common/version.h"
+#include "server/wal.h"
 
 namespace evocat {
 namespace server {
@@ -30,7 +31,9 @@ int HttpStatusFor(const Status& status) {
     case StatusCode::kAlreadyExists: return 409;
     case StatusCode::kCancelled: return 409;
     case StatusCode::kOutOfRange: return 413;
+    case StatusCode::kResourceExhausted: return 429;
     case StatusCode::kNotImplemented: return 501;
+    case StatusCode::kIOError: return 503;
     default: return 500;
   }
 }
@@ -67,6 +70,9 @@ api::JsonValue SnapshotJson(const JobManager::JobSnapshot& snapshot) {
            api::JsonValue::MakeString(JobStateToString(snapshot.state)));
   json.Set("queued_seconds", api::JsonValue::MakeNumber(snapshot.queued_seconds));
   json.Set("run_seconds", api::JsonValue::MakeNumber(snapshot.run_seconds));
+  if (snapshot.recovered) {
+    json.Set("recovered", api::JsonValue::MakeBool(true));
+  }
   if (!snapshot.error.ok()) {
     api::JsonValue error = api::JsonValue::MakeObject();
     error.Set("code", api::JsonValue::MakeString(
@@ -75,6 +81,20 @@ api::JsonValue SnapshotJson(const JobManager::JobSnapshot& snapshot) {
     json.Set("error", std::move(error));
   }
   return json;
+}
+
+/// Constant-time equality: the comparison's duration depends only on the
+/// lengths, never on where the first mismatching byte sits, so response
+/// timing leaks nothing about the expected token.
+bool ConstantTimeEquals(const std::string& a, const std::string& b) {
+  unsigned char acc = a.size() == b.size() ? 0 : 1;
+  size_t longest = std::max(a.size(), b.size());
+  for (size_t i = 0; i < longest; ++i) {
+    unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    acc |= static_cast<unsigned char>(ca ^ cb);
+  }
+  return acc == 0;
 }
 
 }  // namespace
@@ -177,7 +197,8 @@ void Server::Stop() {
 
 void Server::IoLoop() {
   // Each I/O thread polls the shared listening socket with a timeout so Stop
-  // is observed promptly, then accepts and serves one connection at a time.
+  // is observed promptly, then accepts and serves one connection at a time
+  // (keep-alive: possibly many requests).
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -186,33 +207,63 @@ void Server::IoLoop() {
     if (ready <= 0) continue;  // timeout or EINTR
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;  // EAGAIN: a sibling thread won the race
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
 
-    // A silent or glacial client must not pin this I/O thread (and block
-    // Stop) forever: bound every read/write on the connection.
-    timeval io_deadline{};
-    io_deadline.tv_sec = 10;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &io_deadline,
-                 sizeof(io_deadline));
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &io_deadline,
-                 sizeof(io_deadline));
+void Server::ServeConnection(int conn) {
+  // A silent peer must not pin this I/O thread on writes either.
+  timeval write_deadline{};
+  write_deadline.tv_sec = 10;
+  ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &write_deadline,
+               sizeof(write_deadline));
 
-    Result<HttpRequest> request = ReadHttpRequest(conn, options_.max_body_bytes);
-    HttpResponse response;
-    if (request.ok()) {
-      response = Handle(request.ValueOrDie());
-    } else if (request.status().code() == StatusCode::kIOError) {
-      // Peer vanished; nothing to answer.
-      ::close(conn);
-      continue;
-    } else {
-      response = ErrorResponse(request.status());
+  HttpReadLimits limits;
+  limits.max_header_bytes = options_.max_header_bytes;
+  limits.max_body_bytes = options_.max_body_bytes;
+  limits.idle_timeout_ms = options_.idle_timeout_ms;
+  limits.header_timeout_ms = options_.header_timeout_ms;
+  limits.body_timeout_ms = options_.body_timeout_ms;
+
+  int served = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int error_status = 0;
+    Result<HttpRequest> request = ReadHttpRequest(conn, limits, &error_status);
+    if (!request.ok()) {
+      // 400/408/413/431/501: tell the client what went wrong, then close.
+      // 0 means the peer is gone or idled out — nothing to answer.
+      if (error_status != 0) {
+        HttpResponse response = ErrorResponse(error_status, request.status());
+        response.keep_alive = false;
+        (void)WriteHttpResponse(conn, response);
+      }
+      return;
     }
+
+    ++served;
+    bool keep = WantsKeepAlive(request.ValueOrDie()) &&
+                served < options_.max_requests_per_connection &&
+                !stop_.load(std::memory_order_relaxed);
+    HttpResponse response = Handle(request.ValueOrDie());
+    response.keep_alive = keep;
     Status written = WriteHttpResponse(conn, response);
     if (!written.ok()) {
       EVOCAT_LOG(DEBUG) << "response write failed: " << written.ToString();
+      return;
     }
-    ::close(conn);
+    if (!keep) return;
   }
+}
+
+bool Server::Authorized(const HttpRequest& request) const {
+  if (options_.auth_token.empty()) return true;
+  const std::string* header = request.FindHeader("Authorization");
+  if (header == nullptr) return false;
+  constexpr char kScheme[] = "Bearer ";
+  if (header->rfind(kScheme, 0) != 0) return false;
+  return ConstantTimeEquals(header->substr(sizeof(kScheme) - 1),
+                            options_.auth_token);
 }
 
 HttpResponse Server::Handle(const HttpRequest& request) {
@@ -222,7 +273,16 @@ HttpResponse Server::Handle(const HttpRequest& request) {
     if (request.method != "GET") {
       return ErrorResponse(405, Status::Invalid("use GET ", path));
     }
+    // Exempt from auth: load balancers and probes need it unauthenticated.
     return HandleHealth();
+  }
+
+  if (!Authorized(request)) {
+    HttpResponse response = ErrorResponse(
+        401, Status::Invalid("missing or wrong bearer token; send "
+                             "'Authorization: Bearer <token>'"));
+    response.headers.emplace_back("WWW-Authenticate", "Bearer");
+    return response;
   }
 
   if (path == "/v1/jobs") {
@@ -273,7 +333,18 @@ HttpResponse Server::HandleSubmit(const HttpRequest& request) {
   Result<api::JobSpec> spec = api::JobSpec::FromJsonText(request.body);
   if (!spec.ok()) return ErrorResponse(spec.status());
 
-  std::string id = jobs_->Submit(std::move(spec).ValueOrDie());
+  Result<std::string> submitted = jobs_->Submit(std::move(spec).ValueOrDie());
+  if (!submitted.ok()) {
+    HttpResponse response = ErrorResponse(submitted.status());
+    if (response.status == 429) {
+      // Backpressure contract: a full queue is transient — tell clients
+      // when to come back instead of letting them hammer the endpoint.
+      response.headers.emplace_back(
+          "Retry-After", std::to_string(options_.retry_after_seconds));
+    }
+    return response;
+  }
+  const std::string& id = submitted.ValueOrDie();
   Result<JobManager::JobSnapshot> snapshot = jobs_->GetStatus(id);
   api::JsonValue json = snapshot.ok()
                             ? SnapshotJson(snapshot.ValueOrDie())
@@ -344,8 +415,14 @@ HttpResponse Server::HandleCancel(const std::string& id) {
 }
 
 HttpResponse Server::HandleHealth() {
+  JobManager::Admission admission = jobs_->admission();
+
   api::JsonValue json = api::JsonValue::MakeObject();
-  json.Set("status", api::JsonValue::MakeString("ok"));
+  // `degraded` is the drain signal: the instance still answers, but load
+  // balancers should stop routing new submissions to it.
+  json.Set("status", api::JsonValue::MakeString(
+                         admission.degraded ? "degraded" : "ok"));
+  json.Set("degraded", api::JsonValue::MakeBool(admission.degraded));
   json.Set("version", api::JsonValue::MakeString(kVersion));
   json.Set("uptime_seconds", api::JsonValue::MakeNumber(uptime_.ElapsedSeconds()));
   json.Set("workers", api::JsonValue::MakeInt(jobs_->workers()));
@@ -362,6 +439,37 @@ HttpResponse Server::HandleHealth() {
   // (queued + running) and watch finished for liveness progress.
   jobs.Set("finished", api::JsonValue::MakeInt(counts.finished));
   json.Set("jobs", std::move(jobs));
+
+  api::JsonValue queue = api::JsonValue::MakeObject();
+  queue.Set("pending", api::JsonValue::MakeInt(admission.pending));
+  queue.Set("capacity", api::JsonValue::MakeInt(admission.pending_capacity));
+  queue.Set("rejected_submits",
+            api::JsonValue::MakeInt(admission.rejected_submits));
+  queue.Set("retained_bytes",
+            api::JsonValue::MakeInt(admission.retained_bytes));
+  queue.Set("retained_capacity",
+            api::JsonValue::MakeInt(admission.retained_capacity));
+  json.Set("queue", std::move(queue));
+
+  if (const Wal* wal = jobs_->wal()) {
+    Wal::Stats stats = wal->stats();
+    api::JsonValue wal_json = api::JsonValue::MakeObject();
+    wal_json.Set("path", api::JsonValue::MakeString(wal->path()));
+    wal_json.Set("replayed_records",
+                 api::JsonValue::MakeInt(stats.replayed_records));
+    wal_json.Set("recovered_jobs",
+                 api::JsonValue::MakeInt(stats.recovered_jobs));
+    wal_json.Set("invalid_specs",
+                 api::JsonValue::MakeInt(stats.invalid_specs));
+    wal_json.Set("quarantined_bytes",
+                 api::JsonValue::MakeInt(stats.quarantined_bytes));
+    if (!stats.quarantine_path.empty()) {
+      wal_json.Set("quarantine_path",
+                   api::JsonValue::MakeString(stats.quarantine_path));
+    }
+    wal_json.Set("compactions", api::JsonValue::MakeInt(stats.compactions));
+    json.Set("wal", std::move(wal_json));
+  }
 
   api::Session::CacheStats stats = session_->cache_stats();
   api::JsonValue cache = api::JsonValue::MakeObject();

@@ -5,17 +5,22 @@
 /// a Unix-domain socket:
 ///
 ///   POST /v1/jobs              submit a JobSpec, returns 202 + job id
+///                              (429 + Retry-After when the queue is full)
 ///   GET  /v1/jobs              list jobs (newest first)
 ///   GET  /v1/jobs/{id}         job status
 ///   GET  /v1/jobs/{id}/result  RunArtifacts JSON (?best_csv=0 to omit CSV)
 ///   POST /v1/jobs/{id}/cancel  cooperative cancel
-///   GET  /healthz              liveness + job/cache/worker counters
+///   GET  /healthz              liveness + degradation + job/cache counters
 ///
-/// Requests are validated with the façade's field-naming JSON errors;
-/// execution is asynchronous on the work-stealing scheduler via JobManager.
-/// `Handle` is a pure request->response function, so every route is testable
-/// without sockets; `Start` adds the socket front-end (a small pool of
-/// accept+handle I/O threads, one short-lived connection per request).
+/// Connections are HTTP/1.1 keep-alive with idle/header/body deadlines and
+/// request-line+header byte bounds (431), so slow or hostile clients cannot
+/// pin the I/O threads. With `Options::auth_token` set, every route except
+/// `/healthz` requires `Authorization: Bearer <token>` (constant-time
+/// compare; 401 otherwise). Requests are validated with the façade's
+/// field-naming JSON errors; execution is asynchronous on the work-stealing
+/// scheduler via JobManager. `Handle` is a pure request->response function,
+/// so every route is testable without sockets; `Start` adds the socket
+/// front-end (a small pool of accept+handle I/O threads).
 
 #ifndef EVOCAT_SERVER_SERVER_H_
 #define EVOCAT_SERVER_SERVER_H_
@@ -46,6 +51,23 @@ class Server {
     std::string unix_socket;
     /// 413 for request bodies beyond this.
     size_t max_body_bytes = 8 * 1024 * 1024;
+    /// 431 for request-line + header blocks beyond this.
+    size_t max_header_bytes = 64 * 1024;
+    /// Keep-alive idle window: the connection closes when no new request
+    /// starts within this many milliseconds.
+    int idle_timeout_ms = 30000;
+    /// Slow-loris guard: a started request's head/body must arrive within
+    /// these windows or the connection is answered 408 and closed.
+    int header_timeout_ms = 10000;
+    int body_timeout_ms = 30000;
+    /// Requests served per connection before an orderly close (bounds how
+    /// long one client can monopolize an I/O thread).
+    int max_requests_per_connection = 1000;
+    /// `Retry-After` seconds advertised on 429 responses.
+    int retry_after_seconds = 2;
+    /// When non-empty, require `Authorization: Bearer <token>` on every
+    /// route except /healthz (compared in constant time).
+    std::string auth_token;
     /// Accept+handle I/O threads. Endpoint handlers never block on job
     /// execution, so a few threads absorb a deep submit/poll stream.
     int io_threads = 4;
@@ -76,6 +98,9 @@ class Server {
 
  private:
   void IoLoop();
+  /// Serves requests on one accepted connection until close/timeout/limit.
+  void ServeConnection(int conn);
+  bool Authorized(const HttpRequest& request) const;
   HttpResponse HandleSubmit(const HttpRequest& request);
   HttpResponse HandleList();
   HttpResponse HandleStatus(const std::string& id);

@@ -1,0 +1,395 @@
+#include "server/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/params.h"
+#include "common/string_utils.h"
+
+namespace evocat {
+namespace server {
+
+namespace {
+
+constexpr char kFileHeader[] = "evocat-wal-v1\n";
+constexpr char kTypeSubmit[] = "submit";
+constexpr char kTypeTerminal[] = "term";
+
+/// Standard CRC-32 (IEEE 802.3, reflected), table built on first use.
+uint32_t Crc32(const std::string& data) {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string CrcHex(uint32_t crc) {
+  char out[16];
+  std::snprintf(out, sizeof(out), "%08x", crc);
+  return out;
+}
+
+/// The bytes the record CRC covers: every field a replay decision uses.
+std::string CrcInput(const std::string& type, const std::string& id,
+                     const std::string& state, const std::string& payload) {
+  return type + ' ' + id + ' ' + state + ' ' + payload;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("WAL write failed: ", std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// fsync the directory holding `path` so a rename/create survives a crash.
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::string();
+    return Status::IOError("open '", path, "' failed: ", std::strerror(errno));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("read '", path, "' failed: ",
+                             std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Trailing decimal run of a job id ("job-000017" -> 17); 0 when none.
+uint64_t IdSequence(const std::string& id) {
+  size_t end = id.size();
+  size_t begin = end;
+  while (begin > 0 && std::isdigit(static_cast<unsigned char>(id[begin - 1]))) {
+    --begin;
+  }
+  if (begin == end) return 0;
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    value = value * 10 + static_cast<uint64_t>(id[i] - '0');
+    if (value > (uint64_t{1} << 62)) return 0;  // absurd; treat as opaque
+  }
+  return value;
+}
+
+}  // namespace
+
+Wal::Wal(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+Wal::~Wal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       Options options) {
+  std::unique_ptr<Wal> wal(new Wal(path, options));
+  std::lock_guard<std::mutex> lock(wal->mutex_);
+  EVOCAT_RETURN_NOT_OK(wal->ReplayLocked());
+  return wal;
+}
+
+Status Wal::ReplayLocked() {
+  EVOCAT_ASSIGN_OR_RETURN(std::string raw, ReadWholeFile(path_));
+
+  size_t pos = 0;
+  std::string damage_reason;
+  if (!raw.empty()) {
+    if (raw.rfind(kFileHeader, 0) != 0) {
+      // Unrecognized header: quarantine the whole file rather than guess.
+      damage_reason = "unrecognized WAL header";
+    } else {
+      pos = std::strlen(kFileHeader);
+    }
+  }
+
+  size_t good_prefix = pos;
+  while (damage_reason.empty() && pos < raw.size()) {
+    size_t header_end = raw.find('\n', pos);
+    if (header_end == std::string::npos) {
+      damage_reason = "truncated record header";
+      break;
+    }
+    std::vector<std::string> fields =
+        Split(raw.substr(pos, header_end - pos), ' ');
+    if (fields.size() != 6 || fields[0] != "R") {
+      damage_reason = "malformed record header";
+      break;
+    }
+    const std::string& type = fields[1];
+    const std::string& id = fields[2];
+    const std::string& state = fields[3];
+    int64_t payload_len = 0;
+    if (!ParseInt64(fields[4], &payload_len).ok() || payload_len < 0) {
+      damage_reason = "bad payload length";
+      break;
+    }
+    size_t payload_begin = header_end + 1;
+    size_t record_end = payload_begin + static_cast<size_t>(payload_len) + 1;
+    if (record_end > raw.size() ||
+        raw[record_end - 1] != '\n') {
+      damage_reason = "truncated record payload";
+      break;
+    }
+    std::string payload =
+        raw.substr(payload_begin, static_cast<size_t>(payload_len));
+    if (CrcHex(Crc32(CrcInput(type, id, state, payload))) != fields[5]) {
+      damage_reason = "record CRC mismatch";
+      break;
+    }
+
+    if (type == kTypeSubmit) {
+      live_[id] = payload;
+    } else if (type == kTypeTerminal) {
+      live_.erase(id);
+    } else {
+      damage_reason = "unknown record type '" + type + "'";
+      break;
+    }
+    if (uint64_t seq = IdSequence(id); seq >= next_sequence_) {
+      next_sequence_ = seq + 1;
+    }
+    ++stats_.replayed_records;
+    ++file_records_;
+    pos = record_end;
+    good_prefix = pos;
+  }
+
+  if (!damage_reason.empty()) {
+    EVOCAT_RETURN_NOT_OK(QuarantineTailLocked(good_prefix, damage_reason));
+  }
+
+  // Live submits, in log order (the log is the order; live_ is keyed by id,
+  // so re-scan the accepted prefix for ordering).
+  std::map<std::string, bool> taken;
+  size_t scan = raw.empty() ? 0 : std::strlen(kFileHeader);
+  while (scan < good_prefix) {
+    size_t header_end = raw.find('\n', scan);
+    std::vector<std::string> fields =
+        Split(raw.substr(scan, header_end - scan), ' ');
+    int64_t payload_len = 0;
+    (void)ParseInt64(fields[4], &payload_len);
+    size_t payload_begin = header_end + 1;
+    if (fields[1] == kTypeSubmit && live_.count(fields[2]) &&
+        !taken[fields[2]]) {
+      taken[fields[2]] = true;
+      Result<api::JobSpec> spec = api::JobSpec::FromJsonText(
+          raw.substr(payload_begin, static_cast<size_t>(payload_len)));
+      if (spec.ok()) {
+        recovered_.push_back({fields[2], std::move(spec).ValueOrDie()});
+      } else {
+        ++stats_.invalid_specs;
+        EVOCAT_LOG(WARNING) << "WAL submit '" << fields[2]
+                            << "' no longer parses, skipping: "
+                            << spec.status().ToString();
+      }
+    }
+    scan = payload_begin + static_cast<size_t>(payload_len) + 1;
+  }
+  stats_.recovered_jobs = static_cast<int64_t>(recovered_.size());
+
+  // Open for appends; write the header on a fresh file.
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open '", path_, "' for append failed: ",
+                           std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat '", path_, "' failed: ",
+                           std::strerror(errno));
+  }
+  file_bytes_ = static_cast<size_t>(st.st_size);
+  if (file_bytes_ == 0) {
+    EVOCAT_RETURN_NOT_OK(WriteAll(fd_, kFileHeader));
+    file_bytes_ = std::strlen(kFileHeader);
+    if (options_.sync) ::fsync(fd_);
+    SyncParentDir(path_);
+  }
+  return Status::OK();
+}
+
+Status Wal::QuarantineTailLocked(size_t good_prefix,
+                                 const std::string& reason) {
+  EVOCAT_ASSIGN_OR_RETURN(std::string raw, ReadWholeFile(path_));
+  if (good_prefix >= raw.size()) return Status::OK();  // nothing to cut
+
+  const std::string quarantine_path = path_ + ".quarantine";
+  int qfd = ::open(quarantine_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                   0644);
+  if (qfd < 0) {
+    return Status::IOError("open '", quarantine_path, "' failed: ",
+                           std::strerror(errno));
+  }
+  Status wrote = WriteAll(qfd, raw.substr(good_prefix));
+  ::fsync(qfd);
+  ::close(qfd);
+  EVOCAT_RETURN_NOT_OK(wrote);
+
+  if (::truncate(path_.c_str(), static_cast<off_t>(good_prefix)) != 0) {
+    return Status::IOError("truncate '", path_, "' failed: ",
+                           std::strerror(errno));
+  }
+  SyncParentDir(path_);
+  stats_.quarantined_bytes = static_cast<int64_t>(raw.size() - good_prefix);
+  stats_.quarantine_path = quarantine_path;
+  EVOCAT_LOG(WARNING) << "WAL '" << path_ << "': " << reason << " at byte "
+                      << good_prefix << "; quarantined "
+                      << stats_.quarantined_bytes << " bytes to "
+                      << quarantine_path;
+  return Status::OK();
+}
+
+Status Wal::AppendRecordLocked(const std::string& type, const std::string& id,
+                               const std::string& state,
+                               const std::string& payload) {
+  if (fd_ < 0) return Status::IOError("WAL '", path_, "' is not open");
+  std::string record = "R " + type + ' ' + id + ' ' + state + ' ' +
+                       std::to_string(payload.size()) + ' ' +
+                       CrcHex(Crc32(CrcInput(type, id, state, payload))) +
+                       '\n' + payload + '\n';
+  EVOCAT_RETURN_NOT_OK(WriteAll(fd_, record));
+  if (options_.sync && ::fsync(fd_) != 0) {
+    return Status::IOError("fsync '", path_, "' failed: ",
+                           std::strerror(errno));
+  }
+  file_bytes_ += record.size();
+  ++file_records_;
+  return Status::OK();
+}
+
+Status Wal::AppendSubmit(const std::string& id, const api::JobSpec& spec) {
+  std::string payload = spec.ToJson().Dump(0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  EVOCAT_RETURN_NOT_OK(AppendRecordLocked(kTypeSubmit, id, "-", payload));
+  live_[id] = std::move(payload);
+  if (uint64_t seq = IdSequence(id); seq >= next_sequence_) {
+    next_sequence_ = seq + 1;
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendTerminal(const std::string& id, const std::string& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EVOCAT_RETURN_NOT_OK(AppendRecordLocked(kTypeTerminal, id, state, ""));
+  live_.erase(id);
+  return MaybeCompactLocked();
+}
+
+Status Wal::MaybeCompactLocked() {
+  if (options_.compact_min_bytes == 0) return Status::OK();
+  if (file_bytes_ < options_.compact_min_bytes) return Status::OK();
+  if (static_cast<int64_t>(live_.size()) * 2 >= file_records_) {
+    return Status::OK();  // mostly live: rewriting would not shrink much
+  }
+
+  // Rewrite live submits to a temp file, fsync, atomically swap it in.
+  const std::string tmp_path = path_ + ".compact";
+  int tmp = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) {
+    return Status::IOError("open '", tmp_path, "' failed: ",
+                           std::strerror(errno));
+  }
+  std::string contents = kFileHeader;
+  for (const auto& [id, payload] : live_) {
+    contents += "R " + std::string(kTypeSubmit) + ' ' + id + " - " +
+                std::to_string(payload.size()) + ' ' +
+                CrcHex(Crc32(CrcInput(kTypeSubmit, id, "-", payload))) + '\n' +
+                payload + '\n';
+  }
+  Status wrote = WriteAll(tmp, contents);
+  if (wrote.ok() && options_.sync && ::fsync(tmp) != 0) {
+    wrote = Status::IOError("fsync '", tmp_path, "' failed: ",
+                            std::strerror(errno));
+  }
+  ::close(tmp);
+  EVOCAT_RETURN_NOT_OK(wrote);
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename '", tmp_path, "' over '", path_,
+                           "' failed: ", std::strerror(errno));
+  }
+  SyncParentDir(path_);
+
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    return Status::IOError("reopen '", path_, "' failed: ",
+                           std::strerror(errno));
+  }
+  file_bytes_ = contents.size();
+  file_records_ = static_cast<int64_t>(live_.size());
+  ++stats_.compactions;
+  EVOCAT_LOG(INFO) << "WAL '" << path_ << "' compacted to " << live_.size()
+                   << " live jobs (" << file_bytes_ << " bytes)";
+  return Status::OK();
+}
+
+std::vector<Wal::RecoveredJob> Wal::TakeRecovered() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RecoveredJob> out;
+  out.swap(recovered_);
+  return out;
+}
+
+uint64_t Wal::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
+}
+
+Wal::Stats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace server
+}  // namespace evocat

@@ -1,0 +1,144 @@
+/// \file wal.h
+/// \brief Write-ahead log making evocatd's job queue durable across crashes.
+///
+/// The log is an append-only file of framed records: a `submit` record
+/// carries a job id plus its serialized JobSpec, a `term` record marks the
+/// id's terminal state (done/failed/canceled). Every append is fsync'd, so
+/// an acknowledged submission survives `SIGKILL`. On `Open` the existing
+/// file is replayed: submits without a matching terminal record become
+/// `recovered()` jobs the JobManager re-queues under their original ids —
+/// specs embed their seeds, so a recovered job re-runs to bit-identical
+/// artifacts. A truncated or corrupt tail (torn write, disk hiccup) is
+/// *quarantined*: the bad suffix is copied to `<path>.quarantine`, the log
+/// is truncated back to the last whole record, and the daemon boots with
+/// everything before the tear. When terminal records dominate the file it
+/// is compacted in place (live submits rewritten to a temp file, atomic
+/// rename), so an always-on daemon holds a bounded log.
+///
+/// Record framing (text header, binary-safe length-prefixed payload):
+///
+///   evocat-wal-v1\n                                    file header
+///   R <type> <id> <state> <payload_len> <crc32hex>\n   record header
+///   <payload bytes>\n
+///
+/// where `type` is `submit` (state `-`, payload = compact JobSpec JSON) or
+/// `term` (state done|failed|canceled, empty payload). The CRC covers
+/// type, id, state and payload, so replay detects both torn tails and
+/// bit rot inside a record.
+
+#ifndef EVOCAT_SERVER_WAL_H_
+#define EVOCAT_SERVER_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/jobspec.h"
+#include "common/result.h"
+
+namespace evocat {
+namespace server {
+
+/// \brief Durable submit/terminal log with crash recovery.
+class Wal {
+ public:
+  struct Options {
+    /// fsync after every append (and after compaction). Turning this off
+    /// trades the durability guarantee for append latency — tests only.
+    bool sync = true;
+    /// Compaction trigger: once the file exceeds this many bytes *and*
+    /// live submits are under half the replayed+appended records, the log
+    /// is rewritten with live submits only. 0 disables compaction.
+    size_t compact_min_bytes = 1 * 1024 * 1024;
+  };
+
+  /// \brief One unfinished job found during replay, in log order.
+  struct RecoveredJob {
+    std::string id;
+    api::JobSpec spec;
+  };
+
+  struct Stats {
+    /// Whole records accepted during boot replay.
+    int64_t replayed_records = 0;
+    /// Submits without a terminal record (re-queued by the JobManager).
+    int64_t recovered_jobs = 0;
+    /// Submit payloads that no longer parse as a JobSpec (schema drift);
+    /// skipped, not recovered.
+    int64_t invalid_specs = 0;
+    /// Bytes moved to `<path>.quarantine` at boot (0 = clean log).
+    int64_t quarantined_bytes = 0;
+    /// Where the bad suffix went (empty = clean log).
+    std::string quarantine_path;
+    /// Compactions performed since Open.
+    int64_t compactions = 0;
+  };
+
+  /// \brief Opens (creating if absent) and replays the log at `path`.
+  /// IOError only for unreadable/unwritable files — a damaged tail is
+  /// quarantined, never fatal.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           Options options);
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// \brief Durably records an accepted submission. The job is only
+  /// admitted once this returns OK.
+  Status AppendSubmit(const std::string& id, const api::JobSpec& spec);
+
+  /// \brief Durably records a terminal transition; `state` is one of
+  /// "done", "failed", "canceled". May trigger compaction.
+  Status AppendTerminal(const std::string& id, const std::string& state);
+
+  /// \brief Unfinished jobs from replay, oldest first. The JobManager
+  /// takes these exactly once; subsequent calls return an empty vector.
+  std::vector<RecoveredJob> TakeRecovered();
+
+  /// \brief 1 + the highest numeric suffix among replayed job ids, so the
+  /// JobManager's id sequence resumes without collisions (1 on a fresh log).
+  uint64_t next_sequence() const;
+
+  /// \brief Replay/compaction counters (thread-safe snapshot).
+  Stats stats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, Options options);
+
+  Status ReplayLocked();
+  Status QuarantineTailLocked(size_t good_prefix, const std::string& reason);
+  Status AppendRecordLocked(const std::string& type, const std::string& id,
+                            const std::string& state,
+                            const std::string& payload);
+  Status MaybeCompactLocked();
+
+  const std::string path_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  size_t file_bytes_ = 0;
+  /// Records in the file right now (live submits + their terminals).
+  int64_t file_records_ = 0;
+  /// id -> serialized spec for submits without a terminal record yet
+  /// (compaction rewrites exactly these).
+  std::map<std::string, std::string> live_;
+  std::vector<RecoveredJob> recovered_;
+  uint64_t next_sequence_ = 1;
+  Stats stats_;
+};
+
+}  // namespace server
+}  // namespace evocat
+
+#endif  // EVOCAT_SERVER_WAL_H_

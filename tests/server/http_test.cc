@@ -1,10 +1,40 @@
 #include "server/http.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 namespace evocat {
 namespace server {
 namespace {
+
+/// A connected socket pair: the test writes raw bytes into `client` and
+/// reads them back through `ReadHttpRequest(server, ...)` — the server's
+/// exact fd path, no real network needed.
+struct SocketPair {
+  int client = -1;
+  int server = -1;
+
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client = fds[0];
+    server = fds[1];
+  }
+  ~SocketPair() {
+    if (client >= 0) ::close(client);
+    if (server >= 0) ::close(server);
+  }
+
+  void Send(const std::string& bytes) const {
+    ASSERT_EQ(::send(client, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+};
 
 TEST(HttpParseTest, ParsesRequestLineHeadersAndBody) {
   std::string raw =
@@ -83,6 +113,154 @@ TEST(HttpSerializeTest, RequestRoundTripsThroughServerParser) {
   EXPECT_EQ(parsed.method, "POST");
   EXPECT_EQ(parsed.target, "/v1/jobs");
   EXPECT_EQ(parsed.body, request.body);
+}
+
+TEST(HttpReasonPhraseTest, CoversTheProtectionStatuses) {
+  EXPECT_STREQ(HttpReasonPhrase(401), "Unauthorized");
+  EXPECT_STREQ(HttpReasonPhrase(408), "Request Timeout");
+  EXPECT_STREQ(HttpReasonPhrase(413), "Payload Too Large");
+  EXPECT_STREQ(HttpReasonPhrase(429), "Too Many Requests");
+  EXPECT_STREQ(HttpReasonPhrase(431), "Request Header Fields Too Large");
+}
+
+TEST(HttpKeepAliveTest, WantsKeepAliveFollowsVersionAndConnectionHeader) {
+  HttpRequest request;
+  request.version = "HTTP/1.1";
+  EXPECT_TRUE(WantsKeepAlive(request));  // 1.1 default is persistent
+
+  request.headers.emplace_back("Connection", "close");
+  EXPECT_FALSE(WantsKeepAlive(request));
+
+  request.headers.clear();
+  request.headers.emplace_back("connection", "CLOSE");  // case-insensitive
+  EXPECT_FALSE(WantsKeepAlive(request));
+
+  request.headers.clear();
+  request.version = "HTTP/1.0";  // 1.0 is one-shot
+  EXPECT_FALSE(WantsKeepAlive(request));
+}
+
+TEST(HttpKeepAliveTest, SerializationCarriesTheConnectionHeader) {
+  HttpResponse response;
+  response.keep_alive = true;
+  EXPECT_NE(SerializeHttpResponse(response).find("Connection: keep-alive\r\n"),
+            std::string::npos);
+  response.keep_alive = false;
+  EXPECT_NE(SerializeHttpResponse(response).find("Connection: close\r\n"),
+            std::string::npos);
+
+  HttpRequest request;
+  request.keep_alive = true;
+  EXPECT_NE(SerializeHttpRequest(request).find("Connection: keep-alive\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpSerializeTest, CustomResponseHeadersAreEmittedAndParsedBack) {
+  HttpResponse response;
+  response.status = 429;
+  response.headers.emplace_back("Retry-After", "2");
+  // A custom entry must never override the synthesized framing headers.
+  response.headers.emplace_back("Content-Length", "999999");
+
+  std::string raw = SerializeHttpResponse(response);
+  EXPECT_NE(raw.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_EQ(raw.find("Content-Length: 999999"), std::string::npos);
+
+  HttpResponse parsed = ParseHttpResponse(raw).ValueOrDie();
+  EXPECT_EQ(parsed.status, 429);
+  ASSERT_NE(parsed.FindHeader("Retry-After"), nullptr);
+  EXPECT_EQ(*parsed.FindHeader("Retry-After"), "2");
+}
+
+TEST(HttpReadLimitsTest, OversizedHeaderBlockAnswers431) {
+  SocketPair pair;
+  HttpReadLimits limits;
+  limits.max_header_bytes = 128;
+  pair.Send("GET / HTTP/1.1\r\nX-Padding: " + std::string(512, 'x') +
+            "\r\n\r\n");
+
+  int http_status = 0;
+  Result<HttpRequest> request =
+      ReadHttpRequest(pair.server, limits, &http_status);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(http_status, 431);
+}
+
+TEST(HttpReadLimitsTest, OversizedBodyAnswers413WithoutReadingIt) {
+  SocketPair pair;
+  HttpReadLimits limits;
+  limits.max_body_bytes = 64;
+  // The body itself never arrives: the Content-Length announcement alone
+  // must trigger the rejection.
+  pair.Send("POST /v1/jobs HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+
+  int http_status = 0;
+  Result<HttpRequest> request =
+      ReadHttpRequest(pair.server, limits, &http_status);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(http_status, 413);
+}
+
+TEST(HttpReadLimitsTest, StalledHeaderAnswers408) {
+  SocketPair pair;
+  HttpReadLimits limits;
+  limits.header_timeout_ms = 60;  // slow-loris guard, shortened for the test
+  limits.idle_timeout_ms = 5000;
+  pair.Send("GET /v1/jobs HTTP/1.1\r\nX-Slow");  // head starts, never ends
+
+  int http_status = 0;
+  Result<HttpRequest> request =
+      ReadHttpRequest(pair.server, limits, &http_status);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(http_status, 408);
+}
+
+TEST(HttpReadLimitsTest, IdleConnectionTimesOutSilently) {
+  SocketPair pair;
+  HttpReadLimits limits;
+  limits.idle_timeout_ms = 60;
+  // No bytes at all: the keep-alive window expires — nothing to answer.
+  int http_status = -1;
+  Result<HttpRequest> request =
+      ReadHttpRequest(pair.server, limits, &http_status);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(http_status, 0);
+}
+
+TEST(HttpReadLimitsTest, CompleteRequestStillParsesUnderLimits) {
+  SocketPair pair;
+  HttpReadLimits limits;
+  pair.Send(
+      "POST /v1/jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n");
+
+  int http_status = -1;
+  HttpRequest request =
+      ReadHttpRequest(pair.server, limits, &http_status).ValueOrDie();
+  EXPECT_EQ(http_status, 0);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"a\": 1}\n");
+  EXPECT_TRUE(WantsKeepAlive(request));
+}
+
+TEST(HttpReadLimitsTest, MalformedHeadAnswers400) {
+  SocketPair pair;
+  int http_status = 0;
+  pair.Send("NOT-HTTP\r\n\r\n");
+  Result<HttpRequest> request =
+      ReadHttpRequest(pair.server, HttpReadLimits(), &http_status);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(http_status, 400);
+}
+
+TEST(HttpRetryTest, GivesUpAfterMaxAttemptsOnConnectFailure) {
+  HttpRetryOptions options;
+  options.max_attempts = 2;
+  options.base_backoff_ms = 1;
+  // Port 1 on loopback: connection refused, every attempt.
+  Result<HttpResponse> response =
+      HttpFetchRetry("127.0.0.1", 1, HttpRequest{}, options);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIOError);
 }
 
 }  // namespace

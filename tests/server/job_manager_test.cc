@@ -1,0 +1,368 @@
+#include "server/job_manager.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "server/wal.h"
+
+namespace evocat {
+namespace server {
+namespace {
+
+std::string TinyJobJson(const std::string& name, long long generations) {
+  return R"({
+    "name": ")" + name + R"(",
+    "source": {
+      "kind": "synthetic",
+      "profile": {
+        "name": "tiny",
+        "num_records": 60,
+        "attributes": [
+          {"name": "a0", "kind": "ordinal", "cardinality": 7},
+          {"name": "a1", "kind": "nominal", "cardinality": 5},
+          {"name": "a2", "kind": "nominal", "cardinality": 9}
+        ],
+        "protected_attributes": ["a0", "a1", "a2"]
+      }
+    },
+    "methods": [
+      {"name": "microaggregation", "grid": {"k": [3, 6]}},
+      {"name": "pram", "grid": {"retain": [0.7, 0.4]}}
+    ],
+    "measures": {"prl_em_iterations": 10},
+    "ga": {"generations": )" + std::to_string(generations) + R"(},
+    "seeds": {"master": 404}
+  })";
+}
+
+api::JobSpec TinySpec(const std::string& name, long long generations) {
+  return api::JobSpec::FromJsonText(TinyJobJson(name, generations))
+      .ValueOrDie();
+}
+
+/// A generation budget no test will ever wait out — such a job runs until
+/// canceled.
+constexpr long long kForever = 50000000;
+
+bool WaitUntil(const std::function<bool()>& predicate, int seconds = 60) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+bool WaitForState(const JobManager& jobs, const std::string& id,
+                  JobState state) {
+  return WaitUntil([&] {
+    Result<JobManager::JobSnapshot> snapshot = jobs.GetStatus(id);
+    return snapshot.ok() && snapshot.ValueOrDie().state == state;
+  });
+}
+
+std::string UniquePath(const std::string& stem) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string path = ::testing::TempDir() + "/" + info->name() + "_" + stem;
+  // TempDir survives across runs; a WAL left by a previous execution would
+  // replay into this test. Scrub the path and its sidecars.
+  std::remove(path.c_str());
+  std::remove((path + ".quarantine").c_str());
+  std::remove((path + ".compact").c_str());
+  return path;
+}
+
+TEST(JobManagerAdmissionTest, BoundedQueueRejectsWithResourceExhausted) {
+  api::Session session;
+  TaskScheduler scheduler(1);  // one worker: the blocker pins it
+  JobManager::Options options;
+  options.max_pending_jobs = 2;
+  JobManager jobs(&session, &scheduler, options);
+
+  std::string blocker =
+      jobs.Submit(TinySpec("blocker", kForever)).ValueOrDie();
+  ASSERT_TRUE(WaitForState(jobs, blocker, JobState::kRunning));
+
+  std::string first = jobs.Submit(TinySpec("queued-1", 4)).ValueOrDie();
+  std::string second = jobs.Submit(TinySpec("queued-2", 4)).ValueOrDie();
+
+  // The queue is at capacity: the next submit bounces, nothing is admitted.
+  Result<std::string> third = jobs.Submit(TinySpec("rejected", 4));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+
+  JobManager::Admission admission = jobs.admission();
+  EXPECT_EQ(admission.pending, 2);
+  EXPECT_EQ(admission.pending_capacity, 2);
+  EXPECT_EQ(admission.rejected_submits, 1);
+  EXPECT_TRUE(admission.degraded);
+
+  // Canceling a queued job frees its admission slot immediately.
+  ASSERT_TRUE(jobs.Cancel(first).ok());
+  EXPECT_FALSE(jobs.admission().degraded);
+  EXPECT_TRUE(jobs.Submit(TinySpec("admitted-now", 4)).ok());
+
+  ASSERT_TRUE(jobs.Cancel(blocker).ok());
+  ASSERT_TRUE(WaitForState(jobs, blocker, JobState::kCanceled));
+  ASSERT_TRUE(WaitForState(jobs, second, JobState::kDone));
+}
+
+TEST(JobManagerAdmissionTest, CancelStormOnQueuedJobsNeverRunsAny) {
+  api::Session session;
+  TaskScheduler scheduler(1);
+  JobManager jobs(&session, &scheduler);
+
+  std::string blocker =
+      jobs.Submit(TinySpec("blocker", kForever)).ValueOrDie();
+  ASSERT_TRUE(WaitForState(jobs, blocker, JobState::kRunning));
+
+  // A storm of queued jobs behind the blocker...
+  std::vector<std::string> queued;
+  for (int i = 0; i < 16; ++i) {
+    queued.push_back(
+        jobs.Submit(TinySpec("storm-" + std::to_string(i), kForever))
+            .ValueOrDie());
+  }
+  // ...all canceled while still queued. The regression this guards: a
+  // canceled-but-queued job used to stay "queued" until a worker dequeued
+  // it, so cancellation only "happened" after the whole backlog drained.
+  for (const std::string& id : queued) {
+    ASSERT_TRUE(jobs.Cancel(id).ok());
+    JobManager::JobSnapshot snapshot = jobs.GetStatus(id).ValueOrDie();
+    EXPECT_EQ(snapshot.state, JobState::kCanceled)
+        << id << " still " << JobStateToString(snapshot.state)
+        << " right after Cancel returned";
+  }
+
+  ASSERT_TRUE(jobs.Cancel(blocker).ok());
+  ASSERT_TRUE(WaitForState(jobs, blocker, JobState::kCanceled));
+
+  // None of the canceled jobs ever transitioned through running.
+  for (const std::string& id : queued) {
+    JobManager::JobSnapshot snapshot = jobs.GetStatus(id).ValueOrDie();
+    EXPECT_EQ(snapshot.state, JobState::kCanceled);
+    EXPECT_EQ(snapshot.run_seconds, 0.0) << id << " was executed";
+  }
+  JobManager::Counts counts = jobs.counts();
+  EXPECT_EQ(counts.canceled, 17);
+  EXPECT_EQ(counts.finished, 17);
+}
+
+TEST(JobManagerRetentionTest, EvictsOldestFinishedBeyondJobCap) {
+  api::Session session;
+  TaskScheduler scheduler(2);
+  JobManager::Options options;
+  options.max_finished_jobs = 2;
+  JobManager jobs(&session, &scheduler, options);
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(
+        jobs.Submit(TinySpec("retained-" + std::to_string(i), 4)).ValueOrDie());
+    ASSERT_TRUE(WaitForState(jobs, ids.back(), JobState::kDone));
+  }
+
+  // Oldest finished evicted first; the two newest remain fetchable.
+  EXPECT_EQ(jobs.GetStatus(ids[0]).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(jobs.GetResult(ids[1]).ok());
+  EXPECT_TRUE(jobs.GetResult(ids[2]).ok());
+  JobManager::Counts counts = jobs.counts();
+  EXPECT_EQ(counts.done, 2);
+  EXPECT_EQ(counts.finished, 3);  // lifetime counter ignores eviction
+}
+
+TEST(JobManagerRetentionTest, ByteBudgetEvictsButKeepsNewestResult) {
+  api::Session session;
+  TaskScheduler scheduler(2);
+  JobManager::Options options;
+  options.max_retained_bytes = 1;  // any finished artifact exceeds this
+  JobManager jobs(&session, &scheduler, options);
+
+  std::string first = jobs.Submit(TinySpec("first", 4)).ValueOrDie();
+  ASSERT_TRUE(WaitForState(jobs, first, JobState::kDone));
+  // Over budget, but the sole finished job is never evicted: its submitter
+  // still gets to fetch it.
+  EXPECT_TRUE(jobs.GetResult(first).ok());
+  JobManager::Admission admission = jobs.admission();
+  EXPECT_GT(admission.retained_bytes, 1);
+  EXPECT_TRUE(admission.degraded);
+
+  std::string second = jobs.Submit(TinySpec("second", 4)).ValueOrDie();
+  ASSERT_TRUE(WaitForState(jobs, second, JobState::kDone));
+  EXPECT_EQ(jobs.GetStatus(first).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(jobs.GetResult(second).ok());
+}
+
+TEST(JobManagerConcurrencyTest, SubmitCancelPollUnderLoadKeepsCountsSane) {
+  api::Session session;
+  TaskScheduler scheduler(2);
+  JobManager jobs(&session, &scheduler);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kJobsEach = 6;
+  std::mutex ids_mutex;
+  std::vector<std::string> ids;
+
+  std::atomic<bool> polling{true};
+  std::thread poller([&] {
+    // Hammer the read paths while submits/cancels mutate the table — the
+    // TSan CI job turns any locking slip here into a failure.
+    while (polling.load()) {
+      (void)jobs.List();
+      (void)jobs.counts();
+      (void)jobs.admission();
+      std::vector<std::string> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(ids_mutex);
+        snapshot = ids;
+      }
+      for (const std::string& id : snapshot) (void)jobs.GetStatus(id);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kJobsEach; ++i) {
+        std::string name =
+            "load-" + std::to_string(t) + "-" + std::to_string(i);
+        Result<std::string> id = jobs.Submit(TinySpec(name, 3));
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        std::lock_guard<std::mutex> lock(ids_mutex);
+        ids.push_back(std::move(id).ValueOrDie());
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+
+  // Cancel every other job; finished ones reject the cancel, which is fine.
+  {
+    std::lock_guard<std::mutex> lock(ids_mutex);
+    for (size_t i = 0; i < ids.size(); i += 2) (void)jobs.Cancel(ids[i]);
+  }
+
+  constexpr int kTotal = kSubmitters * kJobsEach;
+  ASSERT_TRUE(WaitUntil([&] { return jobs.counts().finished == kTotal; }))
+      << "finished=" << jobs.counts().finished;
+  polling.store(false);
+  poller.join();
+
+  JobManager::Counts counts = jobs.counts();
+  EXPECT_EQ(counts.queued, 0);
+  EXPECT_EQ(counts.running, 0);
+  EXPECT_EQ(counts.failed, 0);
+  EXPECT_EQ(counts.done + counts.canceled, kTotal);
+  EXPECT_EQ(jobs.admission().pending, 0);
+  EXPECT_EQ(jobs.List().size(), static_cast<size_t>(kTotal));
+}
+
+TEST(JobManagerWalTest, RecoveredJobRunsToBitIdenticalArtifacts) {
+  std::string path = UniquePath("jobs.wal");
+  api::JobSpec spec = TinySpec("recovered", 12);
+
+  // A submit that never saw a terminal record — the crashed daemon's WAL.
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    ASSERT_TRUE(wal->AppendSubmit("job-000001", spec).ok());
+  }
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  {
+    api::Session session;
+    TaskScheduler scheduler(2);
+    JobManager::Options options;
+    options.wal = wal.get();
+    JobManager jobs(&session, &scheduler, options);
+
+    // Recovered under its original id, flagged as such, and new ids resume
+    // past the replayed sequence.
+    JobManager::JobSnapshot snapshot = jobs.GetStatus("job-000001").ValueOrDie();
+    EXPECT_TRUE(snapshot.recovered);
+    EXPECT_EQ(jobs.Submit(TinySpec("fresh", 4)).ValueOrDie(), "job-000002");
+
+    ASSERT_TRUE(WaitForState(jobs, "job-000001", JobState::kDone));
+    ASSERT_TRUE(WaitForState(jobs, "job-000002", JobState::kDone));
+    std::shared_ptr<const api::RunArtifacts> recovered =
+        jobs.GetResult("job-000001").ValueOrDie();
+
+    // Specs embed their seeds, so the re-run reproduces the interrupted
+    // run's artifacts exactly.
+    api::Session oracle;
+    api::RunArtifacts direct = oracle.Run(spec).ValueOrDie();
+    EXPECT_EQ(recovered->final_scores.min, direct.final_scores.min);
+    EXPECT_EQ(recovered->final_scores.mean, direct.final_scores.mean);
+    EXPECT_EQ(recovered->final_scores.max, direct.final_scores.max);
+    EXPECT_EQ(recovered->best.origin, direct.best.origin);
+    EXPECT_EQ(recovered->history.size(), direct.history.size());
+  }
+
+  // Both jobs reached terminal records: a third boot recovers nothing.
+  wal.reset();
+  auto reopened = Wal::Open(path).ValueOrDie();
+  EXPECT_TRUE(reopened->TakeRecovered().empty());
+}
+
+TEST(JobManagerWalTest, ShutdownCancelLeavesJobsLiveForNextBoot) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    api::Session session;
+    TaskScheduler scheduler(1);
+    JobManager::Options options;
+    options.wal = wal.get();
+    JobManager jobs(&session, &scheduler, options);
+    std::string running =
+        jobs.Submit(TinySpec("interrupted", kForever)).ValueOrDie();
+    ASSERT_TRUE(WaitForState(jobs, running, JobState::kRunning));
+    std::string queued =
+        jobs.Submit(TinySpec("never-started", 4)).ValueOrDie();
+    (void)queued;
+    // Destructors: shutdown cancels both, but writes no terminal records.
+  }
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  std::vector<Wal::RecoveredJob> recovered = wal->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].spec.name, "interrupted");
+  EXPECT_EQ(recovered[1].spec.name, "never-started");
+}
+
+TEST(JobManagerWalTest, UserCancelIsDurable) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    api::Session session;
+    TaskScheduler scheduler(1);
+    JobManager::Options options;
+    options.wal = wal.get();
+    JobManager jobs(&session, &scheduler, options);
+    std::string blocker =
+        jobs.Submit(TinySpec("blocker", kForever)).ValueOrDie();
+    ASSERT_TRUE(WaitForState(jobs, blocker, JobState::kRunning));
+    std::string canceled = jobs.Submit(TinySpec("user-canceled", 4)).ValueOrDie();
+    ASSERT_TRUE(jobs.Cancel(canceled).ok());  // explicit: logged as terminal
+    ASSERT_TRUE(jobs.Cancel(blocker).ok());
+    ASSERT_TRUE(WaitForState(jobs, blocker, JobState::kCanceled));
+  }
+
+  // Both cancels happened before shutdown, so both were durably retired:
+  // unlike a shutdown-drain cancel, a user cancel must not come back.
+  auto wal = Wal::Open(path).ValueOrDie();
+  EXPECT_TRUE(wal->TakeRecovered().empty());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace evocat

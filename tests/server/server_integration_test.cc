@@ -1,8 +1,10 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -44,11 +46,13 @@ std::string TinyJobJson(const std::string& name, int generations) {
 struct TestDaemon {
   api::Session session;
   TaskScheduler scheduler{2};
-  JobManager jobs{&session, &scheduler};
+  JobManager jobs;
   Server server;
 
-  explicit TestDaemon(Server::Options options = {})
-      : server(&jobs, &session, [&options] {
+  explicit TestDaemon(Server::Options options = {},
+                      JobManager::Options job_options = {})
+      : jobs(&session, &scheduler, job_options),
+        server(&jobs, &session, [&options] {
           if (options.unix_socket.empty()) {
             options.host = "127.0.0.1";
             options.port = 0;  // ephemeral
@@ -264,6 +268,121 @@ TEST(ServerIntegrationTest, ServesOverUnixSocket) {
   EXPECT_EQ(submitted.status, 202) << submitted.body;
 
   daemon.server.Stop();
+}
+
+TEST(ServerIntegrationTest, KeepAliveConnectionCarriesManyRequests) {
+  TestDaemon daemon;
+  ASSERT_TRUE(daemon.server.Start().ok());
+  int port = daemon.server.port();
+
+  HttpConnection connection =
+      HttpConnection::ConnectTcp("127.0.0.1", port).ValueOrDie();
+
+  // Several round trips over the one TCP connection: submit, then poll and
+  // fetch without reconnecting.
+  HttpResponse health = connection.RoundTrip(Get("/healthz")).ValueOrDie();
+  EXPECT_EQ(health.status, 200);
+  EXPECT_TRUE(health.keep_alive);
+  ASSERT_TRUE(connection.connected());
+
+  HttpResponse submitted =
+      connection.RoundTrip(Post("/v1/jobs", TinyJobJson("persistent", 6)))
+          .ValueOrDie();
+  ASSERT_EQ(submitted.status, 202) << submitted.body;
+  std::string id = ParseBody(submitted).Find("id")->string_value();
+  ASSERT_TRUE(connection.connected());
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::string state = "?";
+  while (std::chrono::steady_clock::now() < deadline && state != "done") {
+    HttpResponse polled =
+        connection.RoundTrip(Get("/v1/jobs/" + id)).ValueOrDie();
+    state = ParseBody(polled).Find("state")->string_value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(state, "done");
+
+  HttpResponse result =
+      connection.RoundTrip(Get("/v1/jobs/" + id + "/result?best_csv=0"))
+          .ValueOrDie();
+  EXPECT_EQ(result.status, 200) << result.body;
+  EXPECT_TRUE(connection.connected());
+
+  daemon.server.Stop();
+}
+
+TEST(ServerIntegrationTest, FullQueueAnswers429WithRetryAfter) {
+  Server::Options options;
+  options.retry_after_seconds = 7;
+  JobManager::Options job_options;
+  job_options.max_pending_jobs = 1;
+  TestDaemon daemon(options, job_options);  // routing only, no sockets
+
+  // Pin both workers (waiting for each pin to leave the queue, so the
+  // 1-slot queue never bounces a pin), then fill the single queue slot.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    HttpResponse admitted = daemon.server.Handle(
+        Post("/v1/jobs", TinyJobJson("pin-" + std::to_string(i), 50000000)));
+    ASSERT_EQ(admitted.status, 202) << admitted.body;
+    ids.push_back(ParseBody(admitted).Find("id")->string_value());
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline &&
+           daemon.jobs.counts().running < std::min(i + 1, 2)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_EQ(daemon.jobs.counts().running, 2);
+  ASSERT_EQ(daemon.jobs.admission().pending, 1);
+
+  HttpResponse rejected = daemon.server.Handle(
+      Post("/v1/jobs", TinyJobJson("bounced", 4)));
+  EXPECT_EQ(rejected.status, 429) << rejected.body;
+  ASSERT_NE(rejected.FindHeader("Retry-After"), nullptr);
+  EXPECT_EQ(*rejected.FindHeader("Retry-After"), "7");
+  EXPECT_NE(rejected.body.find("ResourceExhausted"), std::string::npos)
+      << rejected.body;
+
+  // /healthz reflects the saturation: degraded, queue counters populated.
+  api::JsonValue health = ParseBody(daemon.server.Handle(Get("/healthz")));
+  EXPECT_EQ(health.Find("status")->string_value(), "degraded");
+  EXPECT_TRUE(health.Find("degraded")->bool_value());
+  const api::JsonValue* queue = health.Find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->Find("pending")->int_value(), 1);
+  EXPECT_EQ(queue->Find("capacity")->int_value(), 1);
+  EXPECT_EQ(queue->Find("rejected_submits")->int_value(), 1);
+
+  for (const std::string& id : ids) {
+    EXPECT_EQ(daemon.server.Handle(Post("/v1/jobs/" + id + "/cancel")).status,
+              202);
+  }
+}
+
+TEST(ServerIntegrationTest, BearerAuthProtectsEveryRouteButHealth) {
+  Server::Options options;
+  options.auth_token = "sesame";
+  TestDaemon daemon(options);
+
+  // Probes stay unauthenticated.
+  EXPECT_EQ(daemon.server.Handle(Get("/healthz")).status, 200);
+
+  HttpResponse anonymous = daemon.server.Handle(Get("/v1/jobs"));
+  EXPECT_EQ(anonymous.status, 401);
+  ASSERT_NE(anonymous.FindHeader("WWW-Authenticate"), nullptr);
+
+  HttpRequest wrong_scheme = Get("/v1/jobs");
+  wrong_scheme.headers.emplace_back("Authorization", "Basic sesame");
+  EXPECT_EQ(daemon.server.Handle(wrong_scheme).status, 401);
+
+  HttpRequest wrong_token = Get("/v1/jobs");
+  wrong_token.headers.emplace_back("Authorization", "Bearer sesamee");
+  EXPECT_EQ(daemon.server.Handle(wrong_token).status, 401);
+
+  HttpRequest authorized = Get("/v1/jobs");
+  authorized.headers.emplace_back("Authorization", "Bearer sesame");
+  EXPECT_EQ(daemon.server.Handle(authorized).status, 200);
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+#include "server/wal.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/jobspec.h"
+
+namespace evocat {
+namespace server {
+namespace {
+
+std::string TinySpecJson(const std::string& name) {
+  return R"({
+    "name": ")" + name + R"(",
+    "source": {
+      "kind": "synthetic",
+      "profile": {
+        "name": "tiny",
+        "num_records": 40,
+        "attributes": [
+          {"name": "a0", "kind": "ordinal", "cardinality": 5},
+          {"name": "a1", "kind": "nominal", "cardinality": 4}
+        ],
+        "protected_attributes": ["a0", "a1"]
+      }
+    },
+    "methods": [{"name": "pram", "grid": {"retain": [0.7]}}],
+    "measures": {"prl_em_iterations": 5},
+    "ga": {"generations": 4},
+    "seeds": {"master": 11}
+  })";
+}
+
+api::JobSpec TinySpec(const std::string& name) {
+  return api::JobSpec::FromJsonText(TinySpecJson(name)).ValueOrDie();
+}
+
+std::string UniquePath(const std::string& stem) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string path = ::testing::TempDir() + "/" + info->name() + "_" + stem;
+  // TempDir survives across runs; a WAL left by a previous execution would
+  // replay into this test. Scrub the path and its sidecars.
+  std::remove(path.c_str());
+  std::remove((path + ".quarantine").c_str());
+  std::remove((path + ".compact").c_str());
+  return path;
+}
+
+std::string FileContents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void AppendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << bytes;
+}
+
+size_t FileSize(const std::string& path) { return FileContents(path).size(); }
+
+/// Same CRC-32 the WAL uses (IEEE 802.3, reflected) — the tests below craft
+/// records with valid framing but unparseable payloads.
+uint32_t TestCrc32(const std::string& data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string CraftRecord(const std::string& type, const std::string& id,
+                        const std::string& state, const std::string& payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x",
+                TestCrc32(type + ' ' + id + ' ' + state + ' ' + payload));
+  return "R " + type + ' ' + id + ' ' + state + ' ' +
+         std::to_string(payload.size()) + ' ' + crc + '\n' + payload + '\n';
+}
+
+TEST(WalTest, RecoversUnfinishedSubmitsInLogOrder) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    ASSERT_TRUE(wal->AppendSubmit("job-000001", TinySpec("first")).ok());
+    ASSERT_TRUE(wal->AppendSubmit("job-000002", TinySpec("second")).ok());
+    EXPECT_TRUE(wal->TakeRecovered().empty());  // fresh log: nothing replayed
+  }
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  std::vector<Wal::RecoveredJob> recovered = wal->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].id, "job-000001");
+  EXPECT_EQ(recovered[0].spec.name, "first");
+  EXPECT_EQ(recovered[1].id, "job-000002");
+  EXPECT_EQ(recovered[1].spec.name, "second");
+  // The id sequence resumes past the replayed ids.
+  EXPECT_EQ(wal->next_sequence(), 3u);
+
+  Wal::Stats stats = wal->stats();
+  EXPECT_EQ(stats.replayed_records, 2);
+  EXPECT_EQ(stats.recovered_jobs, 2);
+  EXPECT_EQ(stats.quarantined_bytes, 0);
+
+  // TakeRecovered is one-shot.
+  EXPECT_TRUE(wal->TakeRecovered().empty());
+}
+
+TEST(WalTest, TerminalRecordRetiresItsJob) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    ASSERT_TRUE(wal->AppendSubmit("job-000001", TinySpec("done-job")).ok());
+    ASSERT_TRUE(wal->AppendSubmit("job-000002", TinySpec("crashed-job")).ok());
+    ASSERT_TRUE(wal->AppendTerminal("job-000001", "done").ok());
+  }
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  std::vector<Wal::RecoveredJob> recovered = wal->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].id, "job-000002");
+  EXPECT_EQ(recovered[0].spec.name, "crashed-job");
+  EXPECT_EQ(wal->next_sequence(), 3u);
+}
+
+TEST(WalTest, QuarantinesTruncatedTail) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    ASSERT_TRUE(wal->AppendSubmit("job-000001", TinySpec("survivor")).ok());
+  }
+  // A torn write: the header of a record whose payload never hit the disk.
+  std::string torn = "R submit job-000002 - 5000 deadbeef\n{\"par";
+  AppendRaw(path, torn);
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  Wal::Stats stats = wal->stats();
+  EXPECT_EQ(stats.quarantined_bytes, static_cast<int64_t>(torn.size()));
+  EXPECT_EQ(stats.quarantine_path, path + ".quarantine");
+  EXPECT_EQ(FileContents(path + ".quarantine"), torn);
+
+  // Everything before the tear boots normally...
+  std::vector<Wal::RecoveredJob> recovered = wal->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].id, "job-000001");
+
+  // ...and the truncated log accepts appends again.
+  ASSERT_TRUE(wal->AppendSubmit("job-000003", TinySpec("after-repair")).ok());
+  auto reopened = Wal::Open(path).ValueOrDie();
+  EXPECT_EQ(reopened->TakeRecovered().size(), 2u);
+  EXPECT_EQ(reopened->stats().quarantined_bytes, 0);
+}
+
+TEST(WalTest, QuarantinesCorruptRecord) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    ASSERT_TRUE(wal->AppendSubmit("job-000001", TinySpec("clean")).ok());
+    ASSERT_TRUE(wal->AppendSubmit("job-000002", TinySpec("rotted")).ok());
+  }
+  // Flip one payload byte inside the second record: framing still parses,
+  // the CRC does not.
+  std::string raw = FileContents(path);
+  size_t flip = raw.rfind("rotted");
+  ASSERT_NE(flip, std::string::npos);
+  raw[flip] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << raw;
+  }
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  EXPECT_GT(wal->stats().quarantined_bytes, 0);
+  std::vector<Wal::RecoveredJob> recovered = wal->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].id, "job-000001");
+}
+
+TEST(WalTest, SkipsSubmitsWhoseSpecNoLongerParses) {
+  std::string path = UniquePath("jobs.wal");
+  { auto wal = Wal::Open(path).ValueOrDie(); }  // header only
+
+  // A record with valid framing and CRC whose payload fails JobSpec
+  // validation (schema drift across versions), followed by a good one.
+  AppendRaw(path, CraftRecord("submit", "job-000001", "-",
+                              R"({"ga": {"mutation_rate": 3.0}})"));
+  AppendRaw(path, CraftRecord("submit", "job-000002", "-",
+                              TinySpecJson("still-good")));
+
+  auto wal = Wal::Open(path).ValueOrDie();
+  Wal::Stats stats = wal->stats();
+  EXPECT_EQ(stats.replayed_records, 2);
+  EXPECT_EQ(stats.invalid_specs, 1);
+  EXPECT_EQ(stats.quarantined_bytes, 0);  // not damage, just undecodable
+  std::vector<Wal::RecoveredJob> recovered = wal->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].id, "job-000002");
+  EXPECT_EQ(wal->next_sequence(), 3u);
+}
+
+TEST(WalTest, CompactionDropsRetiredRecords) {
+  std::string path = UniquePath("jobs.wal");
+  Wal::Options options;
+  options.sync = false;          // speed: no durability needed in-test
+  options.compact_min_bytes = 1;  // compact as soon as retired records dominate
+
+  auto wal = Wal::Open(path, options).ValueOrDie();
+  // One job that stays live through every compaction...
+  ASSERT_TRUE(wal->AppendSubmit("job-000001", TinySpec("long-lived")).ok());
+  // ...and a churn of jobs that complete immediately.
+  for (int i = 2; i <= 20; ++i) {
+    char id[16];
+    std::snprintf(id, sizeof(id), "job-%06d", i);
+    ASSERT_TRUE(wal->AppendSubmit(id, TinySpec("churn")).ok());
+    ASSERT_TRUE(wal->AppendTerminal(id, "done").ok());
+  }
+  EXPECT_GT(wal->stats().compactions, 0);
+
+  // The compacted file holds exactly the live submit.
+  size_t compacted_size = FileSize(path);
+  std::string one_submit_log = UniquePath("one.wal");
+  {
+    Wal::Options plain;
+    plain.sync = false;
+    auto reference = Wal::Open(one_submit_log, plain).ValueOrDie();
+    ASSERT_TRUE(
+        reference->AppendSubmit("job-000001", TinySpec("long-lived")).ok());
+  }
+  EXPECT_EQ(compacted_size, FileSize(one_submit_log));
+
+  auto reopened = Wal::Open(path).ValueOrDie();
+  std::vector<Wal::RecoveredJob> recovered = reopened->TakeRecovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].id, "job-000001");
+  EXPECT_EQ(recovered[0].spec.name, "long-lived");
+  EXPECT_EQ(reopened->next_sequence(), 2u);  // terminal ids were compacted away
+}
+
+TEST(WalTest, NextSequenceIgnoresNonNumericIds) {
+  std::string path = UniquePath("jobs.wal");
+  {
+    auto wal = Wal::Open(path).ValueOrDie();
+    ASSERT_TRUE(wal->AppendSubmit("imported-batch", TinySpec("opaque")).ok());
+    ASSERT_TRUE(wal->AppendSubmit("job-000041", TinySpec("numbered")).ok());
+  }
+  auto wal = Wal::Open(path).ValueOrDie();
+  EXPECT_EQ(wal->next_sequence(), 42u);
+  EXPECT_EQ(wal->TakeRecovered().size(), 2u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace evocat
