@@ -19,15 +19,18 @@
 // BENCH_engine.json (override the path with EVOCAT_BENCH_JSON) so the perf
 // trajectory is tracked across PRs.
 //
-// Usage: micro_delta_eval [--quick] [rows] [engine_generations]
+// Usage: micro_delta_eval [--quick] [--scale] [rows] [engine_generations]
 //   --quick shrinks every scenario for CI smoke jobs (and skips the hard
 //   speedup gates, which assume benchmark-sized inputs).
+//   --scale adds the 100k- and 1M-row data-plane scenarios (packed +
+//   sharded vs legacy path, bit-exact scores, >= 3x at 1M).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -42,6 +45,7 @@
 #include "metrics/ebil.h"
 #include "metrics/fitness.h"
 #include "metrics/interval_disclosure.h"
+#include "metrics/plane.h"
 #include "metrics/prl.h"
 #include "metrics/rsrl.h"
 #include "protection/pram.h"
@@ -133,15 +137,130 @@ MeasureTiming TimeMeasure(const metrics::BoundMeasure& bound, Dataset* masked,
   return timing;
 }
 
+std::vector<std::pair<std::string, std::unique_ptr<metrics::Measure>>>
+ScaleMeasures() {
+  std::vector<std::pair<std::string, std::unique_ptr<metrics::Measure>>> m;
+  m.emplace_back("CTBIL", std::make_unique<metrics::CtbIl>(2));
+  m.emplace_back("DBIL", std::make_unique<metrics::DbIl>());
+  m.emplace_back("EBIL", std::make_unique<metrics::EbIl>());
+  m.emplace_back("ID", std::make_unique<metrics::IntervalDisclosure>(10.0));
+  m.emplace_back("DBRL",
+                 std::make_unique<metrics::DistanceBasedRecordLinkage>());
+  m.emplace_back("PRL",
+                 std::make_unique<metrics::ProbabilisticRecordLinkage>(25));
+  m.emplace_back("RSRL",
+                 std::make_unique<metrics::RankSwappingRecordLinkage>(15.0));
+  return m;
+}
+
+struct ScaleResult {
+  bench::JsonObject json;
+  /// Aggregate old/new speedup over the measures with clustered delta paths
+  /// (RSRL keeps its row-oriented delta path by design, so it is reported
+  /// per-measure but excluded from the gated aggregate).
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+/// The scale scenario: the same single-cell mutation walk timed on the
+/// legacy row-oriented plane (the oracle path) and on the packed + sharded
+/// plane, measure by measure. Scores must agree *exactly* (diff == 0) —
+/// the plane is a layout/parallelism change, not a numeric one.
+ScaleResult RunScaleScenario(int64_t rows, int num_steps) {
+  auto profile = datagen::AdultProfile();
+  profile.num_records = rows;
+  Dataset original = datagen::Generate(profile, 404).ValueOrDie();
+  auto attrs =
+      datagen::ProtectedAttributeIndices(profile, original).ValueOrDie();
+  Rng rng(405);
+  Dataset masked =
+      protection::Pram(0.5).Protect(original, attrs, &rng).ValueOrDie();
+  auto steps = DrawMutations(masked, attrs, num_steps, 0x5CA1E);
+
+  metrics::DataPlaneConfig old_plane;  // legacy row-oriented path
+  metrics::DataPlaneConfig new_plane;
+  new_plane.sharded = true;
+  new_plane.packed = true;
+
+  /// Times apply + score + revert over the walk under the given plane and
+  /// collects the per-step scores.
+  auto run_path = [&](const metrics::Measure& measure,
+                      const metrics::DataPlaneConfig& plane,
+                      std::vector<double>* scores) {
+    metrics::SetDataPlane(plane);
+    auto bound = std::move(measure.Bind(original, attrs)).ValueOrDie();
+    auto state = bound->BindState(masked);
+    double elapsed = 0.0;
+    for (const MutationStep& step : steps) {
+      int32_t old_code = masked.Code(step.row, step.attr);
+      masked.SetCode(step.row, step.attr, step.new_code);
+      std::vector<metrics::CellDelta> deltas{
+          {step.row, step.attr, old_code, step.new_code}};
+      Timer timer;
+      state->ApplyDelta(masked, deltas);
+      scores->push_back(state->Score());
+      state->Revert();
+      elapsed += timer.ElapsedSeconds();
+      masked.SetCode(step.row, step.attr, old_code);
+    }
+    return elapsed / static_cast<double>(steps.size());
+  };
+
+  ScaleResult result;
+  std::printf("# scale scenario: rows=%lld\n", static_cast<long long>(rows));
+  std::printf("scale_measure,old_ms,new_ms,speedup,max_abs_diff\n");
+  bench::JsonObject measures_json;
+  double old_total = 0.0, new_total = 0.0;
+  for (const auto& [name, measure] : ScaleMeasures()) {
+    std::vector<double> old_scores, new_scores;
+    double old_s = run_path(*measure, old_plane, &old_scores);
+    double new_s = run_path(*measure, new_plane, &new_scores);
+    double diff = 0.0;
+    for (size_t i = 0; i < old_scores.size(); ++i) {
+      diff = std::max(diff, std::fabs(old_scores[i] - new_scores[i]));
+    }
+    result.max_abs_diff = std::max(result.max_abs_diff, diff);
+    if (name != "RSRL") {
+      old_total += old_s;
+      new_total += new_s;
+    }
+    double speedup = new_s > 0 ? old_s / new_s : 0.0;
+    std::printf("%s,%.4f,%.4f,%.1fx,%.3g\n", name.c_str(), old_s * 1e3,
+                new_s * 1e3, speedup, diff);
+    bench::JsonObject one;
+    one.Add("old_eval_seconds", old_s)
+        .Add("new_eval_seconds", new_s)
+        .Add("speedup", speedup)
+        .Add("max_abs_diff", diff);
+    measures_json.Add(name, one);
+  }
+  metrics::SetDataPlane(metrics::DataPlaneConfig{});
+  result.speedup = new_total > 0 ? old_total / new_total : 0.0;
+  std::printf("scale_aggregate,rows=%lld,old_ms=%.3f,new_ms=%.3f,"
+              "speedup=%.2fx,max_abs_diff=%.3g\n",
+              static_cast<long long>(rows), old_total * 1e3, new_total * 1e3,
+              result.speedup, result.max_abs_diff);
+  result.json.Add("rows", rows)
+      .Add("measures", measures_json)
+      .Add("old_eval_seconds", old_total)
+      .Add("new_eval_seconds", new_total)
+      .Add("speedup", result.speedup)
+      .Add("max_abs_diff", result.max_abs_diff);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   bool quick = false;
+  bool scale = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") {
       quick = true;
+    } else if (std::string(argv[i]) == "--scale") {
+      scale = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -407,6 +526,15 @@ int main(int argc, char** argv) {
       .Add("engine_incremental", bench::EngineThroughputJson(delta_run))
       .Add("engine_speedup", engine_speedup);
 
+  // Gated 100k- and 1M-row scenarios: the packed + sharded plane against
+  // the legacy path, bit-exact scores required.
+  ScaleResult scale_100k, scale_1m;
+  if (scale) {
+    scale_100k = RunScaleScenario(100000, quick ? 6 : 12);
+    scale_1m = RunScaleScenario(1000000, quick ? 4 : 8);
+    json.Add("scale_100k", scale_100k.json).Add("scale_1m", scale_1m.json);
+  }
+
   const char* json_path = std::getenv("EVOCAT_BENCH_JSON");
   std::string path = json_path != nullptr ? json_path : "BENCH_engine.json";
   Status status = bench::WriteJsonFile(path, json);
@@ -439,6 +567,22 @@ int main(int argc, char** argv) {
                    "FAIL: 12-attribute PRL delta path %.2fx slower than the "
                    "full-rebuild path\n",
                    prl_vs_rebuild);
+      return 1;
+    }
+  }
+  if (scale) {
+    if (scale_100k.max_abs_diff != 0.0 || scale_1m.max_abs_diff != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: packed+sharded plane diverged from the oracle "
+                   "(100k diff %.3g, 1M diff %.3g) — must be exactly 0\n",
+                   scale_100k.max_abs_diff, scale_1m.max_abs_diff);
+      return 1;
+    }
+    if (!quick && scale_1m.speedup < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: 1M-row packed+sharded delta eval %.2fx below the "
+                   "3x target\n",
+                   scale_1m.speedup);
       return 1;
     }
   }

@@ -12,9 +12,16 @@
 // steal counter) is the win. On a single hardware thread both degenerate
 // to the same serial schedule (speedup ~1.0).
 //
+// Scenario 3 (--scale, gated): one 100k-record Adult-shaped job end to end,
+// on the legacy row-oriented plane and on the packed + sharded data plane.
+// The best individual must be bit-identical — the plane changes layout and
+// parallelism, never results. --scale runs ONLY this scenario (scenarios 1
+// and 2 are the default invocation; the scale CI job shouldn't repeat them).
+//
 // Writes every number to BENCH_session.json.
 
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "api/session.h"
@@ -22,6 +29,7 @@
 #include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "datagen/profile.h"
+#include "metrics/plane.h"
 
 using namespace evocat;
 
@@ -47,9 +55,83 @@ bool SameArtifacts(const std::vector<api::JobSpec>& jobs,
   return true;
 }
 
+/// Scenario 3: a 100k-record job end to end, legacy vs data plane. Returns
+/// false on any job failure or a best-individual mismatch between planes.
+bool RunScaleScenario(double* legacy_seconds, double* plane_seconds) {
+  api::JobSpec big;
+  big.name = "scale-100k";
+  big.source.kind = api::SourceSpec::Kind::kSynthetic;
+  big.source.has_inline_profile = true;
+  big.source.profile = datagen::AdultProfile();
+  big.source.profile.num_records = 100000;
+  big.ga.generations = 10;
+  big.seeds.master = 3000;
+  big.outputs.initial_population = false;
+  big.outputs.final_population = false;
+  big.outputs.history = false;
+
+  metrics::SetDataPlane(metrics::DataPlaneConfig{});
+  api::Session legacy_session;
+  Timer legacy_timer;
+  auto legacy_run = legacy_session.Run(big);
+  *legacy_seconds = legacy_timer.ElapsedSeconds();
+  if (!legacy_run.ok()) {
+    std::fprintf(stderr, "scale legacy: %s\n",
+                 legacy_run.status().ToString().c_str());
+    return false;
+  }
+
+  metrics::DataPlaneConfig plane;
+  plane.sharded = true;
+  plane.packed = true;
+  metrics::SetDataPlane(plane);
+  api::Session plane_session;
+  Timer plane_timer;
+  auto plane_run = plane_session.Run(big);
+  *plane_seconds = plane_timer.ElapsedSeconds();
+  metrics::SetDataPlane(metrics::DataPlaneConfig{});
+  if (!plane_run.ok()) {
+    std::fprintf(stderr, "scale plane: %s\n",
+                 plane_run.status().ToString().c_str());
+    return false;
+  }
+  if (!plane_run.ValueOrDie().best_data.SameCodes(
+          legacy_run.ValueOrDie().best_data)) {
+    std::fprintf(stderr,
+                 "scale-100k: data-plane result differs from legacy run\n");
+    return false;
+  }
+  std::printf(
+      "scale-100k: legacy: %.2fs  packed+sharded: %.2fs  speedup: %.2fx "
+      "(bit-identical)\n",
+      *legacy_seconds, *plane_seconds,
+      *plane_seconds > 0 ? *legacy_seconds / *plane_seconds : 0.0);
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool scale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) scale = true;
+  }
+  if (scale) {
+    double legacy_seconds = 0.0, plane_seconds = 0.0;
+    if (!RunScaleScenario(&legacy_seconds, &plane_seconds)) return 1;
+    bench::JsonObject summary;
+    summary.Add("scale_100k_legacy_seconds", legacy_seconds);
+    summary.Add("scale_100k_plane_seconds", plane_seconds);
+    summary.Add("scale_100k_speedup",
+                plane_seconds > 0 ? legacy_seconds / plane_seconds : 0.0);
+    Status status = bench::WriteJsonFile("BENCH_session.json", summary);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote BENCH_session.json\n");
+    return 0;
+  }
   // Small files with a long evolution: the GA loop is inherently serial per
   // job (one offspring at a time), which is exactly the regime where batch
   // execution pays — jobs spread across the pool instead of idling it.

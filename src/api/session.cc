@@ -254,10 +254,18 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
   }
 
   // Evaluate the seeds now: callers want the initial cloud, and best-removal
-  // needs scores. Mirrors the original experiment runner exactly.
+  // needs scores. With incremental evaluation on, bind each member's delta
+  // state instead of running the full O(n²)-per-linkage-measure oracle — the
+  // state's breakdown is the same score, the engine reuses the bind, and at
+  // 10^5+ rows this is the difference between seconds and hours of seeding.
   ParallelFor(0, static_cast<int64_t>(initial.size()), [&](int64_t i) {
-    initial[static_cast<size_t>(i)].fitness =
-        evaluator->Evaluate(initial[static_cast<size_t>(i)].data);
+    core::Individual& member = initial[static_cast<size_t>(i)];
+    if (spec.ga.incremental_eval) {
+      member.eval_state = evaluator->BindState(member.data);
+      member.fitness = member.eval_state->breakdown();
+    } else {
+      member.fitness = evaluator->Evaluate(member.data);
+    }
   });
   std::stable_sort(initial.begin(), initial.end(),
                    [](const core::Individual& a, const core::Individual& b) {

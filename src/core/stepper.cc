@@ -44,7 +44,12 @@ Status EvaluateInitialPopulation(const metrics::FitnessEvaluator* evaluator,
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
     Individual& individual = (*initial)[static_cast<size_t>(i)];
     if (incremental) {
-      individual.eval_state = evaluator->BindState(individual.data);
+      // A member that arrives with a bound state (the session binds seeds
+      // for its initial-cloud report) keeps it — rebinding would double the
+      // most expensive pass of a large-population run.
+      if (individual.eval_state == nullptr) {
+        individual.eval_state = evaluator->BindState(individual.data);
+      }
       individual.fitness = individual.eval_state->breakdown();
     } else {
       individual.fitness = evaluator->Evaluate(individual.data);

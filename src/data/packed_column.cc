@@ -1,0 +1,77 @@
+#include "data/packed_column.h"
+
+namespace evocat {
+
+int PackedColumn::BitWidthFor(int32_t cardinality) {
+  int bits = 1;
+  while ((int64_t{1} << bits) < static_cast<int64_t>(cardinality)) ++bits;
+  return bits;
+}
+
+PackedColumn PackedColumn::Pack(const std::vector<int32_t>& codes,
+                                int32_t cardinality) {
+  PackedColumn column;
+  column.bits_ = BitWidthFor(cardinality);
+  column.mask_ = (uint64_t{1} << column.bits_) - 1;
+  column.num_values_ = static_cast<int64_t>(codes.size());
+  uint64_t total_bits = static_cast<uint64_t>(codes.size()) *
+                        static_cast<uint64_t>(column.bits_);
+  // One guard word past the end so straddle reads of the last value never
+  // run off the buffer.
+  size_t num_words = static_cast<size_t>((total_bits + 63) >> 6) + 1;
+  column.words_ = std::make_shared<std::vector<uint64_t>>(num_words, 0);
+  uint64_t* words = column.words_->data();
+  uint64_t bit = 0;
+  for (int32_t code : codes) {
+    auto value = static_cast<uint64_t>(static_cast<uint32_t>(code)) & column.mask_;
+    size_t word = static_cast<size_t>(bit >> 6);
+    int offset = static_cast<int>(bit & 63u);
+    words[word] |= value << offset;
+    if (offset + column.bits_ > 64) words[word + 1] |= value >> (64 - offset);
+    bit += static_cast<uint64_t>(column.bits_);
+  }
+  return column;
+}
+
+void PackedColumn::Set(int64_t i, int32_t code) {
+  Detach();
+  uint64_t bit = static_cast<uint64_t>(i) * static_cast<uint64_t>(bits_);
+  size_t word = static_cast<size_t>(bit >> 6);
+  int offset = static_cast<int>(bit & 63u);
+  auto value = static_cast<uint64_t>(static_cast<uint32_t>(code)) & mask_;
+  uint64_t* words = words_->data();
+  words[word] = (words[word] & ~(mask_ << offset)) | (value << offset);
+  if (offset + bits_ > 64) {
+    int spill = 64 - offset;
+    words[word + 1] =
+        (words[word + 1] & ~(mask_ >> spill)) | (value >> spill);
+  }
+}
+
+std::vector<int32_t> PackedColumn::Unpack() const {
+  std::vector<int32_t> codes(static_cast<size_t>(num_values_));
+  ForEachRange(0, num_values_, [&](int64_t i, int32_t code) {
+    codes[static_cast<size_t>(i)] = code;
+  });
+  return codes;
+}
+
+void PackedColumn::AccumulateCounts(int64_t begin, int64_t end,
+                                    int64_t* counts) const {
+  ForEachRange(begin, end,
+               [&](int64_t, int32_t code) { ++counts[code]; });
+}
+
+PackedTable PackedTable::FromDataset(const Dataset& dataset,
+                                     const std::vector<int>& attrs) {
+  PackedTable table;
+  table.attrs_ = attrs;
+  table.columns_.reserve(attrs.size());
+  for (int attr : attrs) {
+    table.columns_.push_back(PackedColumn::Pack(
+        dataset.column(attr), dataset.schema().attribute(attr).cardinality()));
+  }
+  return table;
+}
+
+}  // namespace evocat

@@ -13,6 +13,13 @@ std::vector<int64_t> CategoryCounts(const Dataset& dataset, int attr) {
   return counts;
 }
 
+std::vector<int64_t> CategoryCounts(const PackedColumn& column,
+                                    int32_t cardinality) {
+  std::vector<int64_t> counts(static_cast<size_t>(cardinality), 0);
+  column.AccumulateCounts(0, column.size(), counts.data());
+  return counts;
+}
+
 std::vector<double> CategoryFrequencies(const Dataset& dataset, int attr) {
   auto counts = CategoryCounts(dataset, attr);
   std::vector<double> freqs(counts.size(), 0.0);
@@ -58,6 +65,38 @@ Result<ContingencyTable> ContingencyTable::Build(const Dataset& dataset,
     table.total_ += 1;
   }
   return table;
+}
+
+void ContingencyTable::AccumulateRange(
+    const Dataset& dataset, const std::vector<int>& attrs, int64_t begin,
+    int64_t end, std::unordered_map<uint64_t, int64_t>* cells) {
+  std::vector<const Dataset::Column*> columns;
+  columns.reserve(attrs.size());
+  for (int attr : attrs) columns.push_back(&dataset.column(attr));
+  for (int64_t r = begin; r < end; ++r) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      key |= (static_cast<uint64_t>(static_cast<uint32_t>(
+                  (*columns[i])[static_cast<size_t>(r)])) &
+              0xFFFFu)
+             << (16 * i);
+    }
+    (*cells)[key] += 1;
+  }
+}
+
+void ContingencyTable::AccumulateRangePacked(
+    const std::vector<const PackedColumn*>& columns, int64_t begin, int64_t end,
+    std::unordered_map<uint64_t, int64_t>* cells) {
+  for (int64_t r = begin; r < end; ++r) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      key |= (static_cast<uint64_t>(static_cast<uint32_t>(columns[i]->Get(r))) &
+              0xFFFFu)
+             << (16 * i);
+    }
+    (*cells)[key] += 1;
+  }
 }
 
 int64_t ContingencyTable::Count(const std::vector<int32_t>& codes) const {

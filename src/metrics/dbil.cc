@@ -4,6 +4,7 @@
 
 #include "metrics/delta.h"
 #include "metrics/distance.h"
+#include "metrics/plane.h"
 
 namespace evocat {
 namespace metrics {
@@ -13,7 +14,10 @@ namespace {
 class BoundDbIl : public BoundMeasure {
  public:
   BoundDbIl(const Dataset& original, const std::vector<int>& attrs)
-      : original_(&original), tables_(original, attrs) {}
+      : original_(&original),
+        tables_(original, attrs),
+        shards_(GetDataPlane().sharded ? ResolveShardCount(GetDataPlane())
+                                       : 1) {}
 
   double Compute(const Dataset& masked) const override {
     const auto& attrs = tables_.attrs();
@@ -29,15 +33,43 @@ class BoundDbIl : public BoundMeasure {
   std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
 
   /// \brief Summed value distance of one bound attribute's column.
+  ///
+  /// Computed from the joint (original, masked) code counts rather than a
+  /// per-row float sum: the integer joint shards-and-merges exactly, and the
+  /// fixed (o, m) fold order makes the total independent of row order — so
+  /// serial and sharded builds, and Compute vs state init, agree bitwise.
   double AttrTotal(const Dataset& masked, size_t i) const {
     int attr = tables_.attrs()[i];
     int64_t n = original_->num_rows();
     const auto& orig_col = original_->column(attr);
     const auto& mask_col = masked.column(attr);
+    auto card = static_cast<size_t>(
+        original_->schema().attribute(attr).cardinality());
+    std::vector<std::vector<int64_t>> partials(
+        static_cast<size_t>(shards_),
+        std::vector<int64_t>(card * card, 0));
+    ForEachShard(n, shards_, [&](int shard, RowRange range) {
+      int64_t* joint = partials[static_cast<size_t>(shard)].data();
+      for (int64_t r = range.begin; r < range.end; ++r) {
+        joint[static_cast<size_t>(orig_col[static_cast<size_t>(r)]) * card +
+              static_cast<size_t>(mask_col[static_cast<size_t>(r)])] += 1;
+      }
+    });
+    std::vector<int64_t>& joint = partials[0];
+    for (int s = 1; s < shards_; ++s) {
+      const auto& partial = partials[static_cast<size_t>(s)];
+      for (size_t c = 0; c < joint.size(); ++c) joint[c] += partial[c];
+    }
     double total = 0.0;
-    for (int64_t r = 0; r < n; ++r) {
-      total += tables_.At(i, orig_col[static_cast<size_t>(r)],
-                          mask_col[static_cast<size_t>(r)]);
+    for (size_t o = 0; o < card; ++o) {
+      for (size_t m = 0; m < card; ++m) {
+        int64_t count = joint[o * card + m];
+        if (count > 0) {
+          total += static_cast<double>(count) *
+                   tables_.At(i, static_cast<int32_t>(o),
+                              static_cast<int32_t>(m));
+        }
+      }
     }
     return total;
   }
@@ -48,6 +80,7 @@ class BoundDbIl : public BoundMeasure {
  private:
   const Dataset* original_;
   DistanceTables tables_;
+  int shards_;
 };
 
 /// DBIL is a sum of independent per-cell distance terms, so a delta just

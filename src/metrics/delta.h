@@ -48,6 +48,22 @@ inline void LinkageAdd(LinkageRowBest* row, double d, bool is_self) {
   }
 }
 
+/// \brief `LinkageAdd` with multiplicity: folds `count` masked records at
+/// the same distance in one step (a pattern group). The self flag is left
+/// untouched — cluster-level folds reconstruct it from the self distance.
+/// Equal to `count` successive LinkageAdd calls whenever distances are
+/// either exact ties or separated by more than the epsilon (the generic
+/// case for table-lookup distances).
+inline void LinkageAddN(LinkageRowBest* row, double d, int64_t count) {
+  if (d < row->best - kLinkageEps) {
+    row->best = d;
+    row->count = static_cast<int32_t>(count);
+    row->self = 0;
+  } else if (d <= row->best + kLinkageEps) {
+    row->count += static_cast<int32_t>(count);
+  }
+}
+
 /// \brief Removes a masked record's previous distance from the support set;
 /// flags `rescan` when the support empties (the row needs a fresh scan).
 inline void LinkageRemove(LinkageRowBest* row, double d, bool is_self,

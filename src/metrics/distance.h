@@ -41,6 +41,19 @@ class DistanceTables {
   double RecordDistance(const Dataset& x, int64_t rx, const Dataset& y,
                         int64_t ry) const;
 
+  /// \brief `RecordDistance` from two flat code tuples (one code per bound
+  /// attribute, in bound order). Same summation order and single divide, so
+  /// the result is bit-identical to the dataset overload for equal codes —
+  /// the kernel of the pattern-clustered linkage states.
+  double RecordDistanceCodes(const int32_t* x_codes,
+                             const int32_t* y_codes) const {
+    double sum = 0.0;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      sum += At(i, x_codes[i], y_codes[i]);
+    }
+    return sum / static_cast<double>(attrs_.size());
+  }
+
   const std::vector<int>& attrs() const { return attrs_; }
 
  private:

@@ -6,6 +6,7 @@
 
 #include "common/math_utils.h"
 #include "metrics/delta.h"
+#include "metrics/plane.h"
 
 namespace evocat {
 namespace metrics {
@@ -35,7 +36,10 @@ double AttrEntropyLoss(const std::vector<double>& joint, int card, int64_t n) {
 class BoundEbIl : public BoundMeasure {
  public:
   BoundEbIl(const Dataset& original, const std::vector<int>& attrs)
-      : original_(&original), attrs_(attrs) {}
+      : original_(&original),
+        attrs_(attrs),
+        shards_(GetDataPlane().sharded ? ResolveShardCount(GetDataPlane())
+                                       : 1) {}
 
   double Compute(const Dataset& masked) const override {
     double sum_attr_loss = 0.0;
@@ -52,16 +56,33 @@ class BoundEbIl : public BoundMeasure {
   std::unique_ptr<MeasureState> BindState(const Dataset& masked) const override;
 
   /// \brief Joint counts J[m][o] of (masked, original) category pairs.
+  ///
+  /// Row-sharded into int64 partials merged index-wise; counts stay below
+  /// 2^53, so the final copy to double is exact and identical to the serial
+  /// += 1.0 accumulation for any shard count.
   std::vector<double> BuildJoint(const Dataset& masked, int attr) const {
-    int card = Cardinality(attr);
-    std::vector<double> joint(static_cast<size_t>(card) * card, 0.0);
+    auto card = static_cast<size_t>(Cardinality(attr));
     const auto& orig_col = original_->column(attr);
     const auto& mask_col = masked.column(attr);
     int64_t n = original_->num_rows();
-    for (int64_t r = 0; r < n; ++r) {
-      auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
-      auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
-      joint[m * static_cast<size_t>(card) + o] += 1.0;
+    std::vector<std::vector<int64_t>> partials(
+        static_cast<size_t>(shards_), std::vector<int64_t>(card * card, 0));
+    ForEachShard(n, shards_, [&](int shard, RowRange range) {
+      int64_t* counts = partials[static_cast<size_t>(shard)].data();
+      for (int64_t r = range.begin; r < range.end; ++r) {
+        auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
+        auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
+        counts[m * card + o] += 1;
+      }
+    });
+    std::vector<int64_t>& counts = partials[0];
+    for (int s = 1; s < shards_; ++s) {
+      const auto& partial = partials[static_cast<size_t>(s)];
+      for (size_t c = 0; c < counts.size(); ++c) counts[c] += partial[c];
+    }
+    std::vector<double> joint(card * card, 0.0);
+    for (size_t c = 0; c < counts.size(); ++c) {
+      joint[c] = static_cast<double>(counts[c]);
     }
     return joint;
   }
@@ -76,6 +97,7 @@ class BoundEbIl : public BoundMeasure {
  private:
   const Dataset* original_;
   std::vector<int> attrs_;
+  int shards_;
 };
 
 /// EBIL depends on the masked file only through per-attribute joint count

@@ -6,6 +6,7 @@
 
 #include "data/stats.h"
 #include "metrics/delta.h"
+#include "metrics/plane.h"
 
 namespace evocat {
 namespace metrics {
@@ -71,7 +72,9 @@ class IntervalDisclosureState : public MeasureState {
                           const Dataset& masked)
       : MeasureState(/*default_rebuild_fraction=*/1.0),
         bound_(bound),
-        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
+        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())),
+        shards_(GetDataPlane().sharded ? ResolveShardCount(GetDataPlane())
+                                       : 1) {
     InitFrom(masked);
     backup_ = core_;
   }
@@ -114,24 +117,45 @@ class IntervalDisclosureState : public MeasureState {
     double score = 0.0;
   };
 
+  /// Row-sharded marginal + paircount build: per-shard int64 partials merged
+  /// index-wise, identical to the serial scan for any shard count.
   void InitFrom(const Dataset& masked) {
     const auto& attrs = bound_->attrs();
     int64_t n = bound_->original().num_rows();
+    int shards = shards_;
     core_.counts.resize(attrs.size());
     core_.paircounts.resize(attrs.size());
     core_.disclosed.assign(attrs.size(), 0);
     for (size_t i = 0; i < attrs.size(); ++i) {
       int attr = attrs[i];
-      core_.counts[i] = CategoryCounts(masked, attr);
-      size_t card = core_.counts[i].size();
-      core_.paircounts[i].assign(card * card, 0);
+      auto card = static_cast<size_t>(
+          bound_->original().schema().attribute(attr).cardinality());
       const auto& orig_col = bound_->original().column(attr);
       const auto& mask_col = masked.column(attr);
-      for (int64_t r = 0; r < n; ++r) {
-        auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
-        auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
-        core_.paircounts[i][o * card + m] += 1;
+      std::vector<std::vector<int64_t>> count_partials(
+          static_cast<size_t>(shards), std::vector<int64_t>(card, 0));
+      std::vector<std::vector<int64_t>> pair_partials(
+          static_cast<size_t>(shards), std::vector<int64_t>(card * card, 0));
+      ForEachShard(n, shards, [&](int shard, RowRange range) {
+        int64_t* counts = count_partials[static_cast<size_t>(shard)].data();
+        int64_t* pairs = pair_partials[static_cast<size_t>(shard)].data();
+        for (int64_t r = range.begin; r < range.end; ++r) {
+          auto o = static_cast<size_t>(orig_col[static_cast<size_t>(r)]);
+          auto m = static_cast<size_t>(mask_col[static_cast<size_t>(r)]);
+          counts[m] += 1;
+          pairs[o * card + m] += 1;
+        }
+      });
+      for (int s = 1; s < shards; ++s) {
+        const auto& counts = count_partials[static_cast<size_t>(s)];
+        const auto& pairs = pair_partials[static_cast<size_t>(s)];
+        for (size_t c = 0; c < card; ++c) count_partials[0][c] += counts[c];
+        for (size_t c = 0; c < card * card; ++c) {
+          pair_partials[0][c] += pairs[c];
+        }
       }
+      core_.counts[i] = std::move(count_partials[0]);
+      core_.paircounts[i] = std::move(pair_partials[0]);
       RefreshAttr(i);
     }
     RefreshScore();
@@ -165,6 +189,7 @@ class IntervalDisclosureState : public MeasureState {
 
   const BoundIntervalDisclosure* bound_;
   std::vector<int> attr_pos_;
+  int shards_;
   Core core_;
   Core backup_;
 };

@@ -7,37 +7,64 @@ namespace metrics {
 
 SegmentDelta SegmentDelta::FromCells(const std::vector<CellDelta>& cells) {
   SegmentDelta segment;
-  segment.cells_ = cells;
   // Operator batches arrive row-sorted (flat gene order), so the common case
-  // is an append to the last group; the map covers arbitrary batches.
+  // is an append to the last group; the map covers arbitrary batches. First
+  // pass establishes group order and sizes, second scatters the cells so each
+  // group is contiguous in the flat array.
   std::unordered_map<int64_t, size_t> index;
   for (const CellDelta& delta : cells) {
-    size_t slot;
-    if (!segment.rows_.empty() && segment.rows_.back().row == delta.row) {
-      slot = segment.rows_.size() - 1;
-    } else {
-      auto it = index.find(delta.row);
-      if (it == index.end()) {
-        slot = segment.rows_.size();
-        index.emplace(delta.row, slot);
-        segment.rows_.push_back(RowDelta{delta.row, {}});
-      } else {
-        slot = it->second;
-      }
+    if (!segment.groups_.empty() && segment.groups_.back().row == delta.row) {
+      ++segment.groups_.back().count;
+      continue;
     }
-    segment.rows_[slot].cells.push_back(
-        RowDelta::Cell{delta.attr, delta.old_code, delta.new_code});
+    auto it = index.find(delta.row);
+    if (it == index.end()) {
+      index.emplace(delta.row, segment.groups_.size());
+      segment.groups_.push_back(Group{delta.row, 0, 1});
+    } else {
+      ++segment.groups_[it->second].count;
+    }
   }
+  int64_t offset = 0;
+  std::vector<int64_t> cursor(segment.groups_.size(), 0);
+  for (size_t s = 0; s < segment.groups_.size(); ++s) {
+    segment.groups_[s].begin = offset;
+    cursor[s] = offset;
+    offset += segment.groups_[s].count;
+  }
+  segment.cells_.resize(cells.size());
+  for (const CellDelta& delta : cells) {
+    size_t slot = index[delta.row];
+    segment.cells_[static_cast<size_t>(cursor[slot]++)] = delta;
+  }
+  segment.rows_dirty_ = true;
   return segment;
 }
 
 void SegmentDelta::Append(int64_t row, int attr, int32_t old_code,
                           int32_t new_code) {
   cells_.push_back(CellDelta{row, attr, old_code, new_code});
-  if (rows_.empty() || rows_.back().row != row) {
-    rows_.push_back(RowDelta{row, {}});
+  if (groups_.empty() || groups_.back().row != row) {
+    groups_.push_back(Group{row, static_cast<int64_t>(cells_.size()) - 1, 1});
+  } else {
+    ++groups_.back().count;
   }
-  rows_.back().cells.push_back(RowDelta::Cell{attr, old_code, new_code});
+  rows_dirty_ = true;
+}
+
+const std::vector<RowDelta>& SegmentDelta::rows() const {
+  if (rows_dirty_) {
+    rows_.clear();
+    rows_.reserve(groups_.size());
+    const CellDelta* base = cells_.data();
+    for (const Group& group : groups_) {
+      rows_.push_back(RowDelta{
+          group.row,
+          CellSpan{base + group.begin, static_cast<size_t>(group.count)}});
+    }
+    rows_dirty_ = false;
+  }
+  return rows_;
 }
 
 namespace {

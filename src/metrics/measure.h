@@ -45,27 +45,40 @@ struct CellDelta {
   int32_t new_code = 0;
 };
 
+/// \brief Lightweight view over one row's slice of a segment's flat cell
+/// array (contiguous, owned by the `SegmentDelta`). Iterates `CellDelta`s,
+/// whose `.row` simply repeats the group's row.
+struct CellSpan {
+  const CellDelta* data = nullptr;
+  size_t count = 0;
+
+  const CellDelta* begin() const { return data; }
+  const CellDelta* end() const { return data + count; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  const CellDelta& operator[](size_t i) const { return data[i]; }
+};
+
 /// \brief All changed cells of one masked record.
 ///
 /// The measures reason about deltas per *masked record*: a crossover segment
 /// that swaps several attributes of the same row must be treated as one row
 /// transition (old row image -> new row image), otherwise contingency keys
 /// and record distances would be computed against half-updated rows.
+///
+/// A `RowDelta` is a non-owning view into its `SegmentDelta`'s flat cell
+/// storage; it stays valid while the segment does and no more cells are
+/// appended.
 struct RowDelta {
   int64_t row = 0;
 
-  struct Cell {
-    int attr = 0;  ///< schema attribute index
-    int32_t old_code = 0;
-    int32_t new_code = 0;
-  };
   /// Changed cells of this row (a handful at most: one per protected attr).
-  std::vector<Cell> cells;
+  CellSpan cells;
 
   /// \brief The pre-batch code of (row, attr): the recorded old value for a
   /// changed cell, the current value otherwise.
   int32_t OldCode(const Dataset& masked_after, int attr) const {
-    for (const Cell& cell : cells) {
+    for (const CellDelta& cell : cells) {
       if (cell.attr == attr) return cell.old_code;
     }
     return masked_after.Code(row, attr);
@@ -73,7 +86,7 @@ struct RowDelta {
 
   /// \brief Whether `attr` changed in this row.
   bool Touches(int attr) const {
-    for (const Cell& cell : cells) {
+    for (const CellDelta& cell : cells) {
       if (cell.attr == attr) return true;
     }
     return false;
@@ -88,20 +101,35 @@ struct RowDelta {
 /// `Append` extends the current row group in O(1); `FromCells` covers
 /// arbitrary batches. Invariants: at most one cell per (row, attr); every
 /// cell appears in exactly one row group; `old_code` is the pre-batch value.
+///
+/// Storage is a single flat `CellDelta` array plus {row, begin, count} group
+/// records; the `rows()` view is materialized lazily because appends can
+/// reallocate the flat array (one allocation per view rebuild instead of one
+/// vector per row — the arena piece of the segment path).
 class SegmentDelta {
  public:
   SegmentDelta() = default;
 
-  /// \brief Groups an arbitrary batch by row (first-appearance order).
+  /// \brief Groups an arbitrary batch by row (first-appearance order). Cells
+  /// of one row end up contiguous in `cells()` regardless of input order.
   static SegmentDelta FromCells(const std::vector<CellDelta>& cells);
 
   /// \brief Appends one cell. Cells of the same row must arrive
   /// consecutively (flat gene order) — a row seen earlier must not reappear.
   void Append(int64_t row, int attr, int32_t old_code, int32_t new_code);
 
+  /// \brief Pre-sizes the flat storage (operators know their segment size).
+  void Reserve(size_t num_cells, size_t num_rows) {
+    cells_.reserve(num_cells);
+    groups_.reserve(num_rows);
+    rows_.reserve(num_rows);
+  }
+
   void clear() {
     cells_.clear();
+    groups_.clear();
     rows_.clear();
+    rows_dirty_ = false;
   }
 
   bool empty() const { return cells_.empty(); }
@@ -109,12 +137,23 @@ class SegmentDelta {
 
   /// \brief Flat per-cell view (cell-scoped measures: DBIL, EBIL, ID).
   const std::vector<CellDelta>& cells() const { return cells_; }
+
   /// \brief Row-transition view (record-scoped measures: CTBIL, linkage).
-  const std::vector<RowDelta>& rows() const { return rows_; }
+  /// Materialized on first use after an append; the returned RowDeltas point
+  /// into this segment's flat storage.
+  const std::vector<RowDelta>& rows() const;
 
  private:
+  struct Group {
+    int64_t row = 0;
+    int64_t begin = 0;
+    int64_t count = 0;
+  };
+
   std::vector<CellDelta> cells_;
-  std::vector<RowDelta> rows_;
+  std::vector<Group> groups_;
+  mutable std::vector<RowDelta> rows_;
+  mutable bool rows_dirty_ = false;
 };
 
 /// \brief Incremental evaluation state for one masked file under one measure.

@@ -10,6 +10,7 @@
 #include "common/math_utils.h"
 #include "common/parallel.h"
 #include "metrics/delta.h"
+#include "metrics/plane.h"
 
 namespace evocat {
 namespace metrics {
@@ -107,7 +108,13 @@ class BoundPrl : public BoundMeasure {
  public:
   BoundPrl(const Dataset& original, const std::vector<int>& attrs,
            int em_iterations)
-      : original_(&original), attrs_(attrs), em_iterations_(em_iterations) {}
+      : original_(&original), attrs_(attrs), em_iterations_(em_iterations) {
+    // Pattern clustering of the original rows: agreement patterns depend
+    // only on the code tuples, so state builds fold per (cluster, masked
+    // group) pair instead of per row pair.
+    clusters_ = PatternIndex::Build(original, attrs,
+                                    ResolveShardCount(GetDataPlane()));
+  }
 
   double Compute(const Dataset& masked) const override {
     int64_t n = original_->num_rows();
@@ -185,14 +192,27 @@ class BoundPrl : public BoundMeasure {
     return pattern;
   }
 
+  /// \brief Agreement pattern from two flat code tuples (bound order) —
+  /// the same bit layout as `PatternOf` for equal codes.
+  uint32_t PatternOfCodes(const int32_t* orig_codes,
+                          const int32_t* masked_codes) const {
+    uint32_t pattern = 0;
+    for (size_t k = 0; k < attrs_.size(); ++k) {
+      if (orig_codes[k] == masked_codes[k]) pattern |= (1u << k);
+    }
+    return pattern;
+  }
+
   const Dataset& original() const { return *original_; }
   const std::vector<int>& attrs() const { return attrs_; }
   int em_iterations() const { return em_iterations_; }
+  const PatternIndex& clusters() const { return clusters_; }
 
  private:
   const Dataset* original_;
   std::vector<int> attrs_;
   int em_iterations_;
+  PatternIndex clusters_;
 };
 
 /// PRL's sufficient statistic is, per original record, the histogram of
@@ -212,7 +232,10 @@ class BoundPrl : public BoundMeasure {
 class PrlState : public MeasureState {
  public:
   PrlState(const BoundPrl* bound, const Dataset& masked)
-      : MeasureState(/*default_rebuild_fraction=*/0.2), bound_(bound) {
+      : MeasureState(/*default_rebuild_fraction=*/0.2),
+        bound_(bound),
+        shards_(GetDataPlane().sharded ? ResolveShardCount(GetDataPlane())
+                                       : 1) {
     InitFrom(masked);
     undo_.counts = core_.counts;
     undo_.score = core_.score;
@@ -349,41 +372,69 @@ class PrlState : public MeasureState {
     }
   }
 
+  /// Pattern-clustered build: rows sharing an original code tuple share the
+  /// whole histogram, so one O(G) fold per *cluster* (over the masked
+  /// pattern groups) replaces n O(n) row scans, then fans out per row. The
+  /// bucket counts are integer sums of group sizes — identical to the former
+  /// per-row, per-record counting for any shard count.
   void InitFrom(const Dataset& masked) {
     const auto& attrs = bound_->attrs();
     int64_t n = bound_->original().num_rows();
     size_t num_attrs = attrs.size();
-    core_.hist.assign(static_cast<size_t>(n), {});
-    // Narrow pattern spaces count into a dense per-record scratch; wide ones
-    // (where 2^attrs outgrows the row count) sort the row's n patterns and
-    // run-length encode. Both produce the same sorted nonzero buckets.
+    const PatternIndex& clusters = bound_->clusters();
+    MaskedGroups groups = MaskedGroups::Build(masked, attrs, shards_);
+    int64_t num_clusters = clusters.num_clusters();
+    int64_t num_groups = groups.num_groups();
+    // Narrow pattern spaces count into a dense per-cluster scratch; wide
+    // ones sort the cluster's (pattern, group size) pairs and merge. Both
+    // produce the same sorted nonzero buckets.
     const bool dense_scratch =
-        num_attrs <= 12;  // 2^12 * 4 bytes of scratch per record
-    ParallelFor(0, n, [&](int64_t i) {
-      auto& hist = core_.hist[static_cast<size_t>(i)];
+        num_attrs <= 12;  // 2^12 * 8 bytes of scratch per cluster
+    std::vector<std::vector<PatternCount>> cluster_hist(
+        static_cast<size_t>(num_clusters));
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      auto& hist = cluster_hist[static_cast<size_t>(c)];
+      const int32_t* cluster_codes = clusters.codes(c);
       if (dense_scratch) {
-        std::vector<int32_t> scratch(static_cast<size_t>(1) << num_attrs, 0);
-        for (int64_t j = 0; j < n; ++j) {
-          ++scratch[bound_->PatternOf(i, masked, j)];
+        std::vector<int64_t> scratch(static_cast<size_t>(1) << num_attrs, 0);
+        for (int64_t g = 0; g < num_groups; ++g) {
+          int64_t size = groups.group_size(g);
+          if (size <= 0) continue;
+          scratch[bound_->PatternOfCodes(cluster_codes, groups.codes(g))] +=
+              size;
         }
         for (size_t p = 0; p < scratch.size(); ++p) {
           if (scratch[p] != 0) {
-            hist.emplace_back(static_cast<uint32_t>(p), scratch[p]);
+            hist.emplace_back(static_cast<uint32_t>(p),
+                              static_cast<int32_t>(scratch[p]));
           }
         }
       } else {
-        std::vector<uint32_t> patterns(static_cast<size_t>(n));
-        for (int64_t j = 0; j < n; ++j) {
-          patterns[static_cast<size_t>(j)] = bound_->PatternOf(i, masked, j);
+        std::vector<std::pair<uint32_t, int64_t>> pairs;
+        pairs.reserve(static_cast<size_t>(num_groups));
+        for (int64_t g = 0; g < num_groups; ++g) {
+          int64_t size = groups.group_size(g);
+          if (size <= 0) continue;
+          pairs.emplace_back(
+              bound_->PatternOfCodes(cluster_codes, groups.codes(g)), size);
         }
-        std::sort(patterns.begin(), patterns.end());
-        for (size_t j = 0; j < patterns.size();) {
+        std::sort(pairs.begin(), pairs.end());
+        for (size_t j = 0; j < pairs.size();) {
           size_t run = j;
-          while (run < patterns.size() && patterns[run] == patterns[j]) ++run;
-          hist.emplace_back(patterns[j], static_cast<int32_t>(run - j));
+          int64_t count = 0;
+          while (run < pairs.size() && pairs[run].first == pairs[j].first) {
+            count += pairs[run].second;
+            ++run;
+          }
+          hist.emplace_back(pairs[j].first, static_cast<int32_t>(count));
           j = run;
         }
       }
+    });
+    core_.hist.assign(static_cast<size_t>(n), {});
+    ParallelFor(0, n, [&](int64_t i) {
+      core_.hist[static_cast<size_t>(i)] =
+          cluster_hist[static_cast<size_t>(clusters.cluster_of(i))];
     });
     RefreshCounts();
     RefreshScore(masked);
@@ -490,6 +541,7 @@ class PrlState : public MeasureState {
   }
 
   const BoundPrl* bound_;
+  int shards_;
   Core core_;
   Undo undo_;
   /// Reused dense (p_old, p_new) scratch for one changed row's parallel
@@ -499,11 +551,357 @@ class PrlState : public MeasureState {
   std::unordered_map<uint32_t, int64_t> count_shifts_;
 };
 
+/// Cluster-level PRL state (the sharded data plane): one compressed
+/// histogram per *original cluster* instead of per row, scaled by cluster
+/// size into the global counts. A changed masked row shifts one unit in
+/// each cluster's histogram — O(C * |attrs|) per changed row instead of
+/// O(n * |attrs|) — and each row keeps only its own self pattern. All
+/// arithmetic (bucket counts, global counts, EM fit, per-cluster argmax,
+/// serial row-order credit) reproduces the row-oriented state bit for bit.
+class ClusteredPrlState : public MeasureState {
+ public:
+  ClusteredPrlState(const BoundPrl* bound, const Dataset& masked)
+      : MeasureState(/*default_rebuild_fraction=*/0.2),
+        bound_(bound),
+        shards_(ResolveShardCount(GetDataPlane())) {
+    InitFrom(masked);
+    undo_.counts = counts_;
+    undo_.score = score_;
+  }
+
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
+    undo_.counts = counts_;
+    undo_.score = score_;
+    undo_.shifts.clear();
+    undo_.p_self.clear();
+    undo_.rebuilt = false;
+    if (segment.num_cells() >= full_rebuild_threshold()) {
+      undo_.rebuilt = true;
+      undo_.hist_backup = cluster_hist_;
+      undo_.p_self_backup = p_self_;
+      InitFrom(masked_after);
+      return;
+    }
+    const auto& row_deltas = segment.rows();
+    if (row_deltas.empty()) return;
+
+    const auto& attrs = bound_->attrs();
+    const PatternIndex& clusters = bound_->clusters();
+    size_t num_attrs = attrs.size();
+    int64_t num_clusters = clusters.num_clusters();
+    scratch_.resize(static_cast<size_t>(num_clusters));
+
+    for (const RowDelta& rd : row_deltas) {
+      bool relevant = false;
+      for (const auto& cell : rd.cells) {
+        for (int attr : attrs) relevant = relevant || cell.attr == attr;
+      }
+      if (!relevant) continue;
+      rd_codes_.assign(2 * num_attrs, 0);
+      int32_t* old_codes = rd_codes_.data();
+      int32_t* new_codes = old_codes + num_attrs;
+      for (size_t k = 0; k < num_attrs; ++k) {
+        old_codes[k] = rd.OldCode(masked_after, attrs[k]);
+        new_codes[k] = masked_after.Code(rd.row, attrs[k]);
+      }
+      // Per original cluster: shift one histogram unit from the changed
+      // row's old pattern to its new one (every member row sees the same
+      // transition).
+      ParallelFor(0, num_clusters, [&](int64_t c) {
+        const int32_t* cluster_codes = clusters.codes(c);
+        uint32_t p_old = bound_->PatternOfCodes(cluster_codes, old_codes);
+        uint32_t p_new = bound_->PatternOfCodes(cluster_codes, new_codes);
+        scratch_[static_cast<size_t>(c)] =
+            (static_cast<uint64_t>(p_old) << 32) | p_new;
+        if (p_old != p_new) {
+          auto& hist = cluster_hist_[static_cast<size_t>(c)];
+          Shift(&hist, p_old, -1);
+          Shift(&hist, p_new, +1);
+        }
+      });
+      for (int64_t c = 0; c < num_clusters; ++c) {
+        auto p_old =
+            static_cast<uint32_t>(scratch_[static_cast<size_t>(c)] >> 32);
+        auto p_new = static_cast<uint32_t>(scratch_[static_cast<size_t>(c)] &
+                                           0xFFFFFFFFu);
+        if (p_old != p_new) {
+          undo_.shifts.push_back(Undo::Shift{c, p_old, p_new});
+          int64_t size = clusters.cluster_size(c);
+          count_shifts_[p_old] -= size;
+          count_shifts_[p_new] += size;
+        }
+      }
+      // The changed row's own self pattern.
+      int32_t self_cluster = clusters.cluster_of(rd.row);
+      undo_.p_self.push_back(
+          PselfUndo{rd.row, p_self_[static_cast<size_t>(rd.row)]});
+      p_self_[static_cast<size_t>(rd.row)] =
+          bound_->PatternOfCodes(clusters.codes(self_cluster), new_codes);
+    }
+    MergeCountShifts();
+    RefreshScore();
+  }
+
+  void RevertSegment() override {
+    if (undo_.rebuilt) {
+      cluster_hist_ = undo_.hist_backup;
+      p_self_ = undo_.p_self_backup;
+    } else {
+      for (auto it = undo_.shifts.rbegin(); it != undo_.shifts.rend(); ++it) {
+        auto& hist = cluster_hist_[static_cast<size_t>(it->cluster)];
+        Shift(&hist, it->p_new, -1);
+        Shift(&hist, it->p_old, +1);
+      }
+      for (auto it = undo_.p_self.rbegin(); it != undo_.p_self.rend(); ++it) {
+        p_self_[static_cast<size_t>(it->row)] = it->old_pattern;
+      }
+    }
+    counts_ = undo_.counts;
+    score_ = undo_.score;
+    undo_.shifts.clear();
+    undo_.p_self.clear();
+  }
+
+  double Score() const override { return score_; }
+
+ private:
+  using PatternCount = std::pair<uint32_t, int32_t>;
+
+  struct PselfUndo {
+    int64_t row;
+    uint32_t old_pattern;
+  };
+
+  struct Undo {
+    struct Shift {
+      int64_t cluster;
+      uint32_t p_old;
+      uint32_t p_new;
+    };
+    std::vector<std::pair<uint32_t, double>> counts;
+    double score = 0.0;
+    std::vector<Shift> shifts;
+    std::vector<PselfUndo> p_self;
+    bool rebuilt = false;
+    std::vector<std::vector<PatternCount>> hist_backup;
+    std::vector<uint32_t> p_self_backup;
+  };
+
+  static void Shift(std::vector<PatternCount>* hist, uint32_t pattern,
+                    int32_t delta) {
+    auto it = std::lower_bound(
+        hist->begin(), hist->end(), pattern,
+        [](const PatternCount& entry, uint32_t p) { return entry.first < p; });
+    if (it != hist->end() && it->first == pattern) {
+      it->second += delta;
+      if (it->second == 0) hist->erase(it);
+    } else {
+      hist->insert(it, PatternCount{pattern, delta});
+    }
+  }
+
+  void InitFrom(const Dataset& masked) {
+    const auto& attrs = bound_->attrs();
+    int64_t n = bound_->original().num_rows();
+    size_t num_attrs = attrs.size();
+    const PatternIndex& clusters = bound_->clusters();
+    MaskedGroups groups = MaskedGroups::Build(masked, attrs, shards_);
+    int64_t num_clusters = clusters.num_clusters();
+    int64_t num_groups = groups.num_groups();
+    const bool dense_scratch = num_attrs <= 12;
+    cluster_hist_.assign(static_cast<size_t>(num_clusters), {});
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      auto& hist = cluster_hist_[static_cast<size_t>(c)];
+      const int32_t* cluster_codes = clusters.codes(c);
+      if (dense_scratch) {
+        std::vector<int64_t> scratch(static_cast<size_t>(1) << num_attrs, 0);
+        for (int64_t g = 0; g < num_groups; ++g) {
+          int64_t size = groups.group_size(g);
+          if (size <= 0) continue;
+          scratch[bound_->PatternOfCodes(cluster_codes, groups.codes(g))] +=
+              size;
+        }
+        for (size_t p = 0; p < scratch.size(); ++p) {
+          if (scratch[p] != 0) {
+            hist.emplace_back(static_cast<uint32_t>(p),
+                              static_cast<int32_t>(scratch[p]));
+          }
+        }
+      } else {
+        std::vector<std::pair<uint32_t, int64_t>> pairs;
+        pairs.reserve(static_cast<size_t>(num_groups));
+        for (int64_t g = 0; g < num_groups; ++g) {
+          int64_t size = groups.group_size(g);
+          if (size <= 0) continue;
+          pairs.emplace_back(
+              bound_->PatternOfCodes(cluster_codes, groups.codes(g)), size);
+        }
+        std::sort(pairs.begin(), pairs.end());
+        for (size_t j = 0; j < pairs.size();) {
+          size_t run = j;
+          int64_t count = 0;
+          while (run < pairs.size() && pairs[run].first == pairs[j].first) {
+            count += pairs[run].second;
+            ++run;
+          }
+          hist.emplace_back(pairs[j].first, static_cast<int32_t>(count));
+          j = run;
+        }
+      }
+    });
+    p_self_.assign(static_cast<size_t>(n), 0);
+    ParallelFor(0, n, [&](int64_t i) {
+      p_self_[static_cast<size_t>(i)] = bound_->PatternOfCodes(
+          clusters.codes(clusters.cluster_of(i)),
+          groups.codes(groups.group_of(i)));
+    });
+    RefreshCounts();
+    RefreshScore();
+  }
+
+  /// Global counts are the cluster histograms' column sums scaled by
+  /// cluster size — the same integer totals as summing per-row histograms.
+  void RefreshCounts() {
+    const PatternIndex& clusters = bound_->clusters();
+    std::unordered_map<uint32_t, int64_t> totals;
+    for (int64_t c = 0; c < clusters.num_clusters(); ++c) {
+      int64_t size = clusters.cluster_size(c);
+      for (const auto& [pattern, count] : cluster_hist_[static_cast<size_t>(c)]) {
+        totals[pattern] += size * count;
+      }
+    }
+    counts_.clear();
+    counts_.reserve(totals.size());
+    for (const auto& [pattern, count] : totals) {
+      if (count != 0) {
+        counts_.emplace_back(pattern, static_cast<double>(count));
+      }
+    }
+    std::sort(counts_.begin(), counts_.end());
+  }
+
+  void MergeCountShifts() {
+    if (count_shifts_.empty()) return;
+    std::vector<std::pair<uint32_t, double>> shifts;
+    shifts.reserve(count_shifts_.size());
+    for (const auto& [pattern, delta] : count_shifts_) {
+      if (delta != 0) shifts.emplace_back(pattern, static_cast<double>(delta));
+    }
+    count_shifts_.clear();
+    if (shifts.empty()) return;
+    std::sort(shifts.begin(), shifts.end());
+    std::vector<std::pair<uint32_t, double>> merged;
+    merged.reserve(counts_.size() + shifts.size());
+    size_t a = 0, b = 0;
+    while (a < counts_.size() || b < shifts.size()) {
+      if (b >= shifts.size() ||
+          (a < counts_.size() && counts_[a].first < shifts[b].first)) {
+        merged.push_back(counts_[a++]);
+      } else if (a >= counts_.size() || shifts[b].first < counts_[a].first) {
+        merged.push_back(shifts[b++]);
+      } else {
+        double value = counts_[a].second + shifts[b].second;
+        if (value != 0.0) merged.emplace_back(counts_[a].first, value);
+        ++a;
+        ++b;
+      }
+    }
+    counts_ = std::move(merged);
+  }
+
+  void RefreshScore() {
+    const auto& attrs = bound_->attrs();
+    const PatternIndex& clusters = bound_->clusters();
+    int64_t n = bound_->original().num_rows();
+    int64_t num_clusters = clusters.num_clusters();
+    size_t num_attrs = attrs.size();
+    FellegiSunterModel model = FitFellegiSunter(
+        counts_, static_cast<int>(num_attrs), bound_->em_iterations());
+    std::vector<double> weights(counts_.size());
+    for (size_t idx = 0; idx < counts_.size(); ++idx) {
+      weights[idx] = model.PatternWeight(counts_[idx].first);
+    }
+    auto weight_of = [&](uint32_t pattern) {
+      auto it = std::lower_bound(
+          counts_.begin(), counts_.end(), pattern,
+          [](const std::pair<uint32_t, double>& entry, uint32_t p) {
+            return entry.first < p;
+          });
+      if (it != counts_.end() && it->first == pattern) {
+        return weights[static_cast<size_t>(it - counts_.begin())];
+      }
+      return model.PatternWeight(pattern);
+    };
+    // Per-cluster best weight and support (identical bucket scan to the
+    // row-oriented state — a cluster's histogram is each member's).
+    cluster_best_.assign(static_cast<size_t>(num_clusters), 0.0);
+    cluster_best_count_.assign(static_cast<size_t>(num_clusters), 0);
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      const auto& hist = cluster_hist_[static_cast<size_t>(c)];
+      double best = -1e100;
+      for (const auto& [pattern, count] : hist) {
+        if (count > 0) {
+          double w = weight_of(pattern);
+          if (w > best) best = w;
+        }
+      }
+      int64_t best_count = 0;
+      for (const auto& [pattern, count] : hist) {
+        if (count > 0 && weight_of(pattern) >= best - kEps) {
+          best_count += count;
+        }
+      }
+      cluster_best_[static_cast<size_t>(c)] = best;
+      cluster_best_count_[static_cast<size_t>(c)] = best_count;
+    });
+    // Dense self-pattern weight cache (narrow spaces): same values as
+    // weight_of, one array read per row in the serial credit loop.
+    std::vector<double>* dense = nullptr;
+    if (num_attrs <= 12) {
+      size_t num_patterns = static_cast<size_t>(1) << num_attrs;
+      dense_weights_.resize(num_patterns);
+      for (size_t p = 0; p < num_patterns; ++p) {
+        dense_weights_[p] = weight_of(static_cast<uint32_t>(p));
+      }
+      dense = &dense_weights_;
+    }
+    double credit = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      auto c = static_cast<size_t>(clusters.cluster_of(i));
+      uint32_t p_self = p_self_[static_cast<size_t>(i)];
+      double w_self = dense ? (*dense)[p_self] : weight_of(p_self);
+      if (w_self >= cluster_best_[c] - kEps && cluster_best_count_[c] > 0) {
+        credit += 1.0 / static_cast<double>(cluster_best_count_[c]);
+      }
+    }
+    score_ = n > 0 ? 100.0 * credit / static_cast<double>(n) : 0.0;
+  }
+
+  const BoundPrl* bound_;
+  int shards_;
+  std::vector<std::vector<PatternCount>> cluster_hist_;
+  std::vector<std::pair<uint32_t, double>> counts_;
+  std::vector<uint32_t> p_self_;
+  double score_ = 0.0;
+  Undo undo_;
+  // Per-apply scratch, reused across generations.
+  std::vector<uint64_t> scratch_;
+  std::vector<int32_t> rd_codes_;
+  std::vector<double> cluster_best_;
+  std::vector<int64_t> cluster_best_count_;
+  std::vector<double> dense_weights_;
+  std::unordered_map<uint32_t, int64_t> count_shifts_;
+};
+
 std::unique_ptr<MeasureState> BoundPrl::BindState(const Dataset& masked) const {
   // The compressed histograms hold at most one bucket per distinct pattern a
   // record actually meets (<= n each), so the state serves any attribute
   // count the measure accepts — no dense-layout attribute cap, no memory
   // cliff.
+  if (GetDataPlane().sharded) {
+    return std::make_unique<ClusteredPrlState>(this, masked);
+  }
   return std::make_unique<PrlState>(this, masked);
 }
 

@@ -9,6 +9,7 @@
 #include "data/stats.h"
 #include "metrics/delta.h"
 #include "metrics/distance.h"
+#include "metrics/plane.h"
 
 namespace evocat {
 namespace metrics {
@@ -25,6 +26,8 @@ class BoundRsrl : public BoundMeasure {
     for (int attr : attrs_) {
       original_midranks_.push_back(CategoryMidranks(original, attr));
     }
+    clusters_ = PatternIndex::Build(original, attrs,
+                                    ResolveShardCount(GetDataPlane()));
   }
 
   double Compute(const Dataset& masked) const override {
@@ -73,6 +76,7 @@ class BoundRsrl : public BoundMeasure {
     return original_midranks_[k];
   }
   double window() const { return window_; }
+  const PatternIndex& clusters() const { return clusters_; }
 
  private:
   const Dataset* original_;
@@ -80,6 +84,7 @@ class BoundRsrl : public BoundMeasure {
   DistanceTables tables_;
   std::vector<std::vector<double>> original_midranks_;
   double window_ = 0.0;
+  PatternIndex clusters_;
 };
 
 /// RSRL's attack state has two masked-side dependencies: record distances
@@ -99,7 +104,8 @@ class RsrlState : public MeasureState {
   RsrlState(const BoundRsrl* bound, const Dataset& masked)
       : MeasureState(/*default_rebuild_fraction=*/0.12),
         bound_(bound),
-        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())) {
+        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())),
+        shards_(ResolveShardCount(GetDataPlane())) {
     const auto& attrs = bound_->attrs();
     const Dataset& original = bound_->original();
     orig_rows_by_code_.resize(attrs.size());
@@ -369,9 +375,49 @@ class RsrlState : public MeasureState {
         core_.rows_by_code[k][code].push_back(r);
       }
     }
+    // Clustered best-match build: rows sharing an original code tuple get
+    // one candidate-filtered scan over the masked pattern groups (O(C*G*A)
+    // instead of the per-row O(n^2*A) scans); the per-row fanout then
+    // reconstructs the self flag from the record's own distance. Same
+    // support sets as ScanRow whenever distinct distances are separated by
+    // more than kLinkageEps (the generic case for table-lookup distances).
+    MaskedGroups groups = MaskedGroups::Build(masked, attrs, shards_);
+    const PatternIndex& clusters = bound_->clusters();
+    int64_t num_clusters = clusters.num_clusters();
+    int64_t num_groups = groups.num_groups();
+    std::vector<LinkageRowBest> cluster_best(static_cast<size_t>(num_clusters));
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      const int32_t* orig_codes = clusters.codes(c);
+      LinkageRowBest best;
+      for (int64_t g = 0; g < num_groups; ++g) {
+        int64_t size = groups.group_size(g);
+        if (size <= 0) continue;
+        const int32_t* mask_codes = groups.codes(g);
+        bool candidate = true;
+        for (size_t k = 0; k < attrs.size(); ++k) {
+          auto card = static_cast<size_t>(Cardinality(k));
+          if (!core_.cand[k][static_cast<size_t>(orig_codes[k]) * card +
+                             static_cast<size_t>(mask_codes[k])]) {
+            candidate = false;
+            break;
+          }
+        }
+        if (!candidate) continue;
+        double d = bound_->tables().RecordDistanceCodes(orig_codes, mask_codes);
+        LinkageAddN(&best, d, size);
+      }
+      cluster_best[static_cast<size_t>(c)] = best;
+    });
     core_.rows.assign(static_cast<size_t>(n), LinkageRowBest{});
     ParallelFor(0, n, [&](int64_t i) {
-      core_.rows[static_cast<size_t>(i)] = ScanRow(masked, i);
+      auto c = static_cast<int64_t>(clusters.cluster_of(i));
+      LinkageRowBest row = cluster_best[static_cast<size_t>(c)];
+      if (row.count > 0 && AllCand(core_.cand, i, i, masked)) {
+        double d_self = bound_->tables().RecordDistanceCodes(
+            clusters.codes(c), groups.codes(groups.group_of(i)));
+        row.self = d_self <= row.best + kLinkageEps;
+      }
+      core_.rows[static_cast<size_t>(i)] = row;
     });
     core_.score = LinkageCreditScore(core_.rows);
   }
@@ -431,6 +477,7 @@ class RsrlState : public MeasureState {
 
   const BoundRsrl* bound_;
   std::vector<int> attr_pos_;
+  int shards_;
   std::vector<std::vector<std::vector<int64_t>>> orig_rows_by_code_;
   Core core_;
   Undo undo_;

@@ -10,6 +10,58 @@
 namespace evocat {
 namespace protection {
 
+namespace {
+
+/// Fenwick order-statistics set over positions [1, n]: membership count over
+/// a range and k-th member selection in O(log n). Tracks the not-yet-swapped
+/// positions so partner selection needs no O(window) candidate scan — the
+/// uniform draw over "unswapped positions in (i, i+window]" consumes the
+/// same RNG stream and picks the same partner as the materialized list did,
+/// so masked outputs are bit-identical at any window size.
+class UnswappedSet {
+ public:
+  explicit UnswappedSet(int64_t n) : n_(n), tree_(static_cast<size_t>(n) + 1, 0) {
+    for (int64_t i = 1; i <= n_; ++i) {
+      tree_[static_cast<size_t>(i)] += 1;
+      int64_t parent = i + (i & -i);
+      if (parent <= n_) tree_[static_cast<size_t>(parent)] += tree_[static_cast<size_t>(i)];
+    }
+    log_floor_ = 1;
+    while ((log_floor_ << 1) <= n_) log_floor_ <<= 1;
+  }
+
+  /// Number of members in [1, pos].
+  int64_t PrefixCount(int64_t pos) const {
+    int64_t sum = 0;
+    for (; pos > 0; pos -= pos & -pos) sum += tree_[static_cast<size_t>(pos)];
+    return sum;
+  }
+
+  void Remove(int64_t pos) {
+    for (; pos <= n_; pos += pos & -pos) tree_[static_cast<size_t>(pos)] -= 1;
+  }
+
+  /// Position of the k-th member (1-based rank over the whole set).
+  int64_t SelectKth(int64_t k) const {
+    int64_t pos = 0;
+    for (int64_t step = log_floor_; step > 0; step >>= 1) {
+      int64_t next = pos + step;
+      if (next <= n_ && tree_[static_cast<size_t>(next)] < k) {
+        pos = next;
+        k -= tree_[static_cast<size_t>(next)];
+      }
+    }
+    return pos + 1;
+  }
+
+ private:
+  int64_t n_;
+  int64_t log_floor_ = 1;
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace
+
 std::string RankSwapping::Params() const {
   return StrFormat("p=%.1f%%", p_percent_);
 }
@@ -44,19 +96,21 @@ Result<Dataset> RankSwapping::Protect(const Dataset& original,
     });
 
     std::vector<bool> swapped(static_cast<size_t>(n), false);
+    UnswappedSet unswapped(n);  // 1-based: sorted position i lives at i + 1
     for (int64_t i = 0; i < n; ++i) {
       if (swapped[static_cast<size_t>(i)]) continue;
       int64_t hi = std::min(n - 1, i + window);
-      // Collect unswapped partners in (i, hi].
-      std::vector<int64_t> candidates;
-      for (int64_t j = i + 1; j <= hi; ++j) {
-        if (!swapped[static_cast<size_t>(j)]) candidates.push_back(j);
-      }
-      if (candidates.empty()) {
+      // Unswapped partners in (i, hi] — count and uniform pick in O(log n).
+      int64_t below = unswapped.PrefixCount(i + 1);
+      int64_t count = unswapped.PrefixCount(hi + 1) - below;
+      if (count == 0) {
         swapped[static_cast<size_t>(i)] = true;  // no partner: value stays
+        unswapped.Remove(i + 1);
         continue;
       }
-      int64_t j = candidates[rng->UniformIndex(candidates.size())];
+      auto k = static_cast<int64_t>(
+          rng->UniformIndex(static_cast<size_t>(count)));
+      int64_t j = unswapped.SelectKth(below + k + 1) - 1;
       int64_t rec_i = order[static_cast<size_t>(i)];
       int64_t rec_j = order[static_cast<size_t>(j)];
       int32_t vi = masked.Code(rec_i, attr);
@@ -64,6 +118,8 @@ Result<Dataset> RankSwapping::Protect(const Dataset& original,
       masked.SetCode(rec_j, attr, vi);
       swapped[static_cast<size_t>(i)] = true;
       swapped[static_cast<size_t>(j)] = true;
+      unswapped.Remove(i + 1);
+      unswapped.Remove(j + 1);
     }
   }
   return masked;

@@ -1,0 +1,142 @@
+// Property tests for the bit-packed columnar storage: exact round-trips at
+// every bit width the dictionary cardinalities can produce, cross-word
+// straddle handling at awkward row counts, single-cell writes, the counting
+// kernel, and copy-on-write semantics mirroring dataset_cow_test.cc.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/rng.h"
+#include "data/packed_column.h"
+
+namespace evocat {
+namespace {
+
+using evocat::testing::BuildDataset;
+using evocat::testing::TestAttr;
+
+std::vector<int32_t> RandomCodes(int64_t rows, int32_t cardinality,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> codes(static_cast<size_t>(rows));
+  for (auto& code : codes) {
+    code = static_cast<int32_t>(rng.UniformIndex(
+        static_cast<size_t>(cardinality)));
+  }
+  return codes;
+}
+
+TEST(PackedColumnTest, BitWidthMatchesCardinality) {
+  EXPECT_EQ(PackedColumn::BitWidthFor(2), 1);
+  EXPECT_EQ(PackedColumn::BitWidthFor(3), 2);
+  EXPECT_EQ(PackedColumn::BitWidthFor(4), 2);
+  EXPECT_EQ(PackedColumn::BitWidthFor(5), 3);
+  EXPECT_EQ(PackedColumn::BitWidthFor(16), 4);
+  EXPECT_EQ(PackedColumn::BitWidthFor(17), 5);
+  EXPECT_EQ(PackedColumn::BitWidthFor(65536), 16);
+}
+
+TEST(PackedColumnTest, RoundTripsEveryWidthUpTo16Bits) {
+  // Widths 1..16 via cardinalities around every power of two (2^k - 1,
+  // 2^k, 2^k + 1): each must round-trip exactly through Get, Unpack and
+  // the running-cursor ForEachRange, including values straddling words.
+  for (int k = 1; k <= 16; ++k) {
+    for (int32_t card : {(1 << k) - 1, 1 << k, (1 << k) + 1}) {
+      if (card < 2) continue;
+      // 131 rows: not a multiple of 64, so the tail word is partial.
+      auto codes = RandomCodes(131, card, 1000 + static_cast<uint64_t>(k));
+      PackedColumn packed = PackedColumn::Pack(codes, card);
+      EXPECT_EQ(packed.size(), 131);
+      EXPECT_EQ(packed.bit_width(), PackedColumn::BitWidthFor(card));
+      EXPECT_EQ(packed.Unpack(), codes);
+      for (size_t i = 0; i < codes.size(); ++i) {
+        ASSERT_EQ(packed.Get(static_cast<int64_t>(i)), codes[i])
+            << "card " << card << " row " << i;
+      }
+      packed.ForEachRange(0, packed.size(), [&](int64_t i, int32_t code) {
+        ASSERT_EQ(code, codes[static_cast<size_t>(i)]);
+      });
+    }
+  }
+}
+
+TEST(PackedColumnTest, OddRowCountsKeepTailExact) {
+  // Row counts around the word boundary (rows % 64 != 0 in particular):
+  // the last value must decode exactly even when its bits end mid-word.
+  for (int64_t rows : {1, 7, 63, 64, 65, 127, 128, 129, 1000}) {
+    auto codes = RandomCodes(rows, 11, static_cast<uint64_t>(rows));
+    PackedColumn packed = PackedColumn::Pack(codes, 11);
+    EXPECT_EQ(packed.Unpack(), codes) << rows << " rows";
+  }
+}
+
+TEST(PackedColumnTest, SetOverwritesAcrossWordBoundaries) {
+  // Width-5 values at 131 rows put cells on every straddle alignment;
+  // rewriting each cell twice (max code, then the original) must leave
+  // every *other* cell untouched.
+  auto codes = RandomCodes(131, 17, 7);
+  PackedColumn packed = PackedColumn::Pack(codes, 17);
+  for (int64_t i = 0; i < packed.size(); ++i) {
+    int32_t old_code = packed.Get(i);
+    packed.Set(i, 16);
+    ASSERT_EQ(packed.Get(i), 16);
+    packed.Set(i, old_code);
+  }
+  EXPECT_EQ(packed.Unpack(), codes);
+}
+
+TEST(PackedColumnTest, AccumulateCountsMatchesSerialCount) {
+  auto codes = RandomCodes(517, 9, 21);
+  PackedColumn packed = PackedColumn::Pack(codes, 9);
+  std::vector<int64_t> expected(9, 0);
+  for (size_t i = 100; i < 400; ++i) {
+    expected[static_cast<size_t>(codes[i])] += 1;
+  }
+  std::vector<int64_t> counts(9, 0);
+  packed.AccumulateCounts(100, 400, counts.data());
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(PackedColumnTest, CopySharesStorageUntilFirstWrite) {
+  // Mirrors dataset_cow_test.cc: a copy aliases the word buffer; the first
+  // Set detaches a private copy and the sibling keeps its codes.
+  auto codes = RandomCodes(100, 6, 33);
+  PackedColumn a = PackedColumn::Pack(codes, 6);
+  PackedColumn b = a;
+  EXPECT_TRUE(a.SharesStorage(b));
+
+  b.Set(50, 5);
+  EXPECT_FALSE(a.SharesStorage(b));
+  EXPECT_EQ(a.Get(50), codes[50]);
+  EXPECT_EQ(b.Get(50), 5);
+
+  // Writing the already-detached column again must not re-share.
+  b.Set(51, 0);
+  EXPECT_EQ(a.Get(51), codes[51]);
+}
+
+TEST(PackedTableTest, MirrorsDatasetColumns) {
+  Dataset dataset = BuildDataset(
+      {{"a", AttrKind::kNominal, 5},
+       {"b", AttrKind::kOrdinal, 17},
+       {"c", AttrKind::kNominal, 3}},
+      {{0, 16, 2}, {4, 0, 1}, {2, 9, 0}, {1, 15, 2}, {3, 3, 1}});
+  PackedTable table = PackedTable::FromDataset(dataset, {0, 2});
+  ASSERT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.attrs(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(table.column(0).bit_width(), 3);
+  EXPECT_EQ(table.column(1).bit_width(), 2);
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    EXPECT_EQ(table.Code(r, 0), dataset.Code(r, 0));
+    EXPECT_EQ(table.Code(r, 1), dataset.Code(r, 2));
+  }
+  table.Set(2, 1, 2);
+  EXPECT_EQ(table.Code(2, 1), 2);
+  EXPECT_EQ(dataset.Code(2, 2), 0);  // the mirror never writes back
+}
+
+}  // namespace
+}  // namespace evocat

@@ -180,6 +180,38 @@ TEST(SteadyStateStrategyTest, DeterministicAcross1And4Workers) {
   ExpectIdenticalResults(serial, parallel);
 }
 
+TEST(SteadyStateStrategyTest, DataPlaneShardCountsAreBitIdentical) {
+  // A full GA run under the packed + sharded data plane at shard counts
+  // {1, 3, 8} must match the legacy row-oriented plane bit-for-bit: same
+  // history, same accepted offspring, same best individual. The run's
+  // crossovers regularly exceed the measures' rebuild thresholds, so the
+  // rebuild-sized path is covered too.
+  core::GaConfig config;
+  config.generations = 25;
+  config.seed = 77;
+  auto strategy = StrategyRegistry::Global()
+                      .Create("steady_state", {{"lambda", "4"}})
+                      .ValueOrDie();
+
+  auto run_with = [&](const metrics::DataPlaneConfig& plane) {
+    evocat::testing::DataPlaneGuard guard(plane);
+    StrategyFixture fixture;  // evaluator + states bind under `plane`
+    return std::move(strategy->Run(fixture.evaluator.get(), config,
+                                   fixture.SeedPopulation(9), nullptr))
+        .ValueOrDie();
+  };
+
+  auto baseline = run_with(metrics::DataPlaneConfig{});
+  for (int shards : {1, 3, 8}) {
+    metrics::DataPlaneConfig plane;
+    plane.sharded = true;
+    plane.packed = true;
+    plane.shards = shards;
+    auto result = run_with(plane);
+    ExpectIdenticalResults(baseline, result);
+  }
+}
+
 TEST(SteadyStateStrategyTest, StepInvariants) {
   StrategyFixture fixture;
   core::GaConfig config;

@@ -6,6 +6,7 @@
 // full-rebuild fallback for oversized batches and the COW dataset plumbing
 // the engine relies on.
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -377,6 +378,132 @@ TEST(DeltaEvalTest, FitnessStateRespectsAblation) {
     FitnessBreakdown full = evaluator->Evaluate(world.masked);
     ASSERT_NEAR(state->breakdown().score, full.score, kTol);
     ASSERT_TRUE(std::isnan(state->breakdown().ctbil));
+  }
+}
+
+TEST(DeltaEvalTest, ShardRowsPartitionIsContiguousAndComplete) {
+  // The shard geometry: contiguous ascending ranges covering [0, rows)
+  // exactly once, with empty ranges (rows < shards) skipped by
+  // ForEachShard so they contribute identity to merges.
+  for (int64_t rows : {0, 1, 5, 7, 8, 64, 100}) {
+    for (int shards : {1, 3, 8}) {
+      int64_t expect_begin = 0;
+      for (int s = 0; s < shards; ++s) {
+        RowRange range = ShardRows(rows, s, shards);
+        EXPECT_EQ(range.begin, expect_begin);
+        EXPECT_LE(range.begin, range.end);
+        expect_begin = range.end;
+      }
+      EXPECT_EQ(expect_begin, rows);
+      std::vector<int64_t> visited(static_cast<size_t>(rows), 0);
+      ForEachShard(rows, shards, [&](int shard, RowRange range) {
+        EXPECT_FALSE(range.empty()) << "empty shard " << shard << " ran";
+        for (int64_t r = range.begin; r < range.end; ++r) {
+          visited[static_cast<size_t>(r)] += 1;
+        }
+      });
+      for (int64_t count : visited) EXPECT_EQ(count, 1);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Measure>> AllMeasuresForShardTests() {
+  std::vector<std::unique_ptr<Measure>> measures;
+  measures.push_back(std::make_unique<CtbIl>(2));
+  measures.push_back(std::make_unique<DbIl>());
+  measures.push_back(std::make_unique<EbIl>());
+  measures.push_back(std::make_unique<IntervalDisclosure>(10.0));
+  measures.push_back(std::make_unique<DistanceBasedRecordLinkage>());
+  measures.push_back(std::make_unique<ProbabilisticRecordLinkage>(10));
+  measures.push_back(std::make_unique<RankSwappingRecordLinkage>(15.0));
+  return measures;
+}
+
+/// A fixed walk (mutation batches, a revert, then a rebuild-sized crossover
+/// segment and its revert) under the given data plane; returns every score
+/// the state reported. Bit-identical traces across planes is the contract.
+std::vector<double> ShardWalk(const Measure& measure, const World& world,
+                              const Dataset& donor,
+                              const DataPlaneConfig& config) {
+  evocat::testing::DataPlaneGuard guard(config);
+  auto bound =
+      std::move(measure.Bind(world.original, world.attrs)).ValueOrDie();
+  Dataset masked = world.masked.Clone();
+  auto state = bound->BindState(masked);
+  std::vector<double> scores{state->Score()};
+  Rng rng(97);
+  for (int step = 0; step < 8; ++step) {
+    auto deltas = RandomBatch(&masked, world.attrs, &rng, 5);
+    state->ApplyDelta(masked, deltas);
+    scores.push_back(state->Score());
+    if (step == 3) {
+      state->Revert();
+      scores.push_back(state->Score());
+      state->ApplyDelta(masked, deltas);
+    }
+  }
+  core::GenomeLayout layout(world.attrs, world.original.num_rows());
+  int64_t genome = layout.Length();
+  int64_t length = std::max<int64_t>(1, genome * 6 / 10);
+  auto segment =
+      core::CrossoverSegmentSwap(layout, donor, &masked, 0, length - 1);
+  state->ApplySegment(masked, segment);
+  scores.push_back(state->Score());
+  state->RevertSegment();
+  scores.push_back(state->Score());
+  return scores;
+}
+
+TEST(DeltaEvalTest, ShardCountsAreBitIdenticalIncludingRebuilds) {
+  // The legacy plane and the packed + sharded plane at shard counts 1, 3
+  // and 8 must produce the same walk bit-for-bit, including the
+  // rebuild-sized crossover leg.
+  World world = MakeWorld(91, /*rows=*/120);
+  Rng donor_rng(92);
+  Dataset donor = protection::Pram(0.4)
+                      .Protect(world.original, world.attrs, &donor_rng)
+                      .ValueOrDie();
+  for (const auto& measure : AllMeasuresForShardTests()) {
+    auto baseline = ShardWalk(*measure, world, donor, DataPlaneConfig{});
+    for (int shards : {1, 3, 8}) {
+      DataPlaneConfig config;
+      config.sharded = true;
+      config.packed = true;
+      config.shards = shards;
+      auto scores = ShardWalk(*measure, world, donor, config);
+      ASSERT_EQ(scores.size(), baseline.size()) << measure->Name();
+      for (size_t i = 0; i < scores.size(); ++i) {
+        ASSERT_EQ(scores[i], baseline[i])
+            << measure->Name() << " with " << shards
+            << " shards diverged at score " << i;
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalTest, RowsFewerThanShardsContributeIdentity) {
+  // Regression for the empty-shard merge: with 5 rows and 8 shards, three
+  // shard ranges are empty; they must contribute identity to every merge
+  // (finite scores, equal to the serial plane) — not NaN partials.
+  World world = MakeWorld(95, /*rows=*/5);
+  Rng donor_rng(96);
+  Dataset donor = protection::Pram(0.4)
+                      .Protect(world.original, world.attrs, &donor_rng)
+                      .ValueOrDie();
+  DataPlaneConfig config;
+  config.sharded = true;
+  config.packed = true;
+  config.shards = 8;
+  for (const auto& measure : AllMeasuresForShardTests()) {
+    auto baseline = ShardWalk(*measure, world, donor, DataPlaneConfig{});
+    auto scores = ShardWalk(*measure, world, donor, config);
+    ASSERT_EQ(scores.size(), baseline.size()) << measure->Name();
+    for (size_t i = 0; i < scores.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(scores[i]))
+          << measure->Name() << " produced a non-finite score at " << i;
+      ASSERT_EQ(scores[i], baseline[i])
+          << measure->Name() << " diverged at score " << i;
+    }
   }
 }
 

@@ -1,0 +1,178 @@
+// Scale-parameterized oracle harness: every measure runs the same seeded
+// (operator-sequence, seed) walk twice — once on the legacy row-oriented
+// plane (the oracle) and once on the packed + sharded plane — at 1k, 10k
+// and (behind the *Scale100k* filter, ctest label `scale`) 100k rows. The
+// two traces must agree bit-for-bit on every intermediate score, through
+// reverts and a rebuild-sized segment, and both paths must finish with the
+// RNG at the same draw count (neither may consume extra randomness). At 1k
+// the oracle trace is additionally cross-checked against from-scratch
+// Compute() calls.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/rng.h"
+#include "metrics/ctbil.h"
+#include "metrics/dbil.h"
+#include "metrics/dbrl.h"
+#include "metrics/ebil.h"
+#include "metrics/interval_disclosure.h"
+#include "metrics/prl.h"
+#include "metrics/rsrl.h"
+
+namespace evocat {
+namespace metrics {
+namespace {
+
+using evocat::testing::DataPlaneGuard;
+using evocat::testing::MakeScaleWorld;
+using evocat::testing::ScaleWorld;
+
+std::vector<std::unique_ptr<Measure>> AllMeasures() {
+  std::vector<std::unique_ptr<Measure>> measures;
+  measures.push_back(std::make_unique<CtbIl>(2));
+  measures.push_back(std::make_unique<DbIl>());
+  measures.push_back(std::make_unique<EbIl>());
+  measures.push_back(std::make_unique<IntervalDisclosure>(10.0));
+  measures.push_back(std::make_unique<DistanceBasedRecordLinkage>());
+  measures.push_back(std::make_unique<ProbabilisticRecordLinkage>(10));
+  measures.push_back(std::make_unique<RankSwappingRecordLinkage>(15.0));
+  return measures;
+}
+
+/// Draws a batch of 1..max_cells distinct-cell changes, applies them to
+/// `masked` and returns the deltas. Identical RNG state in = identical
+/// batch out, which is what lets two planes replay the same walk.
+std::vector<CellDelta> DrawBatch(Dataset* masked,
+                                 const std::vector<int>& attrs, Rng* rng,
+                                 int max_cells) {
+  int cells = static_cast<int>(rng->UniformInt(1, max_cells));
+  std::map<std::pair<int64_t, int>, CellDelta> unique;
+  for (int c = 0; c < cells; ++c) {
+    int64_t row = static_cast<int64_t>(
+        rng->UniformIndex(static_cast<size_t>(masked->num_rows())));
+    int attr = attrs[rng->UniformIndex(attrs.size())];
+    int32_t card = masked->schema().attribute(attr).cardinality();
+    auto new_code = static_cast<int32_t>(rng->UniformInt(0, card - 1));
+    auto key = std::make_pair(row, attr);
+    auto it = unique.find(key);
+    if (it == unique.end()) {
+      unique.emplace(key, CellDelta{row, attr, masked->Code(row, attr),
+                                    new_code});
+    } else {
+      it->second.new_code = new_code;
+    }
+  }
+  std::vector<CellDelta> deltas;
+  for (auto& [key, delta] : unique) {
+    masked->SetCode(delta.row, delta.attr, delta.new_code);
+    deltas.push_back(delta);
+  }
+  return deltas;
+}
+
+/// One full walk of a measure under the given data plane: every score the
+/// state reports (after each apply, each revert, the forced rebuild and its
+/// revert) plus the RNG's next draw at the end.
+struct Trace {
+  std::vector<double> scores;
+  uint64_t final_draw = 0;
+};
+
+Trace RunWalk(const Measure& measure, const ScaleWorld& world, uint64_t seed,
+              int steps, const DataPlaneConfig& config, bool cross_check) {
+  DataPlaneGuard guard(config);
+  auto bound =
+      std::move(measure.Bind(world.original, world.attrs)).ValueOrDie();
+  Dataset masked = world.masked.Clone();
+  auto state = bound->BindState(masked);
+
+  Trace trace;
+  trace.scores.push_back(state->Score());
+  if (cross_check) {
+    EXPECT_NEAR(state->Score(), bound->Compute(masked), 1e-9)
+        << measure.Name() << " initial";
+  }
+
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    auto deltas = DrawBatch(&masked, world.attrs, &rng, 4);
+    state->ApplyDelta(masked, deltas);
+    trace.scores.push_back(state->Score());
+    if (cross_check) {
+      EXPECT_NEAR(state->Score(), bound->Compute(masked), 1e-9)
+          << measure.Name() << " step " << step;
+    }
+    if (step % 3 == 2) {
+      state->Revert();
+      trace.scores.push_back(state->Score());
+      state->ApplyDelta(masked, deltas);
+      trace.scores.push_back(state->Score());
+    }
+  }
+
+  // Rebuild-sized leg: force the fallback threshold down so the next batch
+  // takes the full-rebuild path, then revert it.
+  state->set_full_rebuild_threshold(1);
+  Dataset before = masked.Clone();
+  auto deltas = DrawBatch(&masked, world.attrs, &rng, 4);
+  state->ApplyDelta(masked, deltas);
+  trace.scores.push_back(state->Score());
+  state->Revert();
+  masked = std::move(before);
+  trace.scores.push_back(state->Score());
+
+  trace.final_draw = rng.NextU64();
+  return trace;
+}
+
+void RunScaleOracle(int64_t rows, int steps) {
+  ScaleWorld world = MakeScaleWorld(rows, 7000 + static_cast<uint64_t>(rows));
+  DataPlaneConfig oracle_plane;  // legacy row-oriented path
+  DataPlaneConfig fast_plane;
+  fast_plane.sharded = true;
+  fast_plane.packed = true;
+  fast_plane.shards = 8;
+
+  for (const auto& measure : AllMeasures()) {
+    uint64_t seed = 900 + static_cast<uint64_t>(rows);
+    Trace oracle = RunWalk(*measure, world, seed, steps, oracle_plane,
+                           /*cross_check=*/rows <= 1000);
+    Trace fast = RunWalk(*measure, world, seed, steps, fast_plane,
+                         /*cross_check=*/false);
+    ASSERT_EQ(oracle.scores.size(), fast.scores.size()) << measure->Name();
+    for (size_t i = 0; i < oracle.scores.size(); ++i) {
+      ASSERT_EQ(oracle.scores[i], fast.scores[i])
+          << measure->Name() << " at " << rows << " rows diverged at score "
+          << i << " (abs diff "
+          << std::abs(oracle.scores[i] - fast.scores[i]) << ")";
+    }
+    EXPECT_EQ(oracle.final_draw, fast.final_draw)
+        << measure->Name() << " consumed a different number of RNG draws";
+  }
+}
+
+TEST(ScaleOracleTest, AllMeasuresBitIdentical1k) {
+  RunScaleOracle(1000, /*steps=*/12);
+}
+
+TEST(ScaleOracleTest, AllMeasuresBitIdentical10k) {
+  RunScaleOracle(10000, /*steps=*/9);
+}
+
+// Registered as its own ctest entry (metrics/scale_oracle_100k, label
+// `scale`); the tier-1 entry filters it out.
+TEST(ScaleOracleTest, AllMeasuresBitIdenticalScale100k) {
+  RunScaleOracle(100000, /*steps=*/6);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace evocat

@@ -4,12 +4,18 @@
 #ifndef EVOCAT_TESTS_TEST_UTIL_H_
 #define EVOCAT_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "data/dataset.h"
 #include "data/schema.h"
+#include "datagen/generator.h"
+#include "datagen/profile.h"
+#include "metrics/plane.h"
+#include "protection/pram.h"
 
 namespace evocat {
 namespace testing {
@@ -58,6 +64,46 @@ inline int64_t CountDiffs(const Dataset& x, const Dataset& y,
     }
   }
   return diffs;
+}
+
+/// \brief RAII override of the process-wide data-plane configuration:
+/// installs `config` for the scope, restores the previous plane on exit.
+class DataPlaneGuard {
+ public:
+  explicit DataPlaneGuard(const metrics::DataPlaneConfig& config)
+      : saved_(metrics::GetDataPlane()) {
+    metrics::SetDataPlane(config);
+  }
+  ~DataPlaneGuard() { metrics::SetDataPlane(saved_); }
+  DataPlaneGuard(const DataPlaneGuard&) = delete;
+  DataPlaneGuard& operator=(const DataPlaneGuard&) = delete;
+
+ private:
+  metrics::DataPlaneConfig saved_;
+};
+
+/// \brief An (original, masked, protected-attrs) fixture at any record
+/// count: the Adult-shaped synthetic profile scaled to `rows` and perturbed
+/// by PRAM. The scale-parameterized oracle tests and benches run the same
+/// shape from 10^3 to 10^6 rows.
+struct ScaleWorld {
+  Dataset original;
+  Dataset masked;
+  std::vector<int> attrs;
+};
+
+inline ScaleWorld MakeScaleWorld(int64_t rows, uint64_t seed) {
+  auto profile = datagen::AdultProfile();
+  profile.num_records = rows;
+  ScaleWorld world;
+  world.original = datagen::Generate(profile, seed).ValueOrDie();
+  world.attrs = datagen::ProtectedAttributeIndices(profile, world.original)
+                    .ValueOrDie();
+  Rng rng(seed + 1);
+  world.masked = protection::Pram(0.5)
+                     .Protect(world.original, world.attrs, &rng)
+                     .ValueOrDie();
+  return world;
 }
 
 }  // namespace testing
