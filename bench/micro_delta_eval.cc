@@ -37,6 +37,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "core/operators.h"
 #include "datagen/generator.h"
 #include "metrics/ctbil.h"
@@ -525,6 +526,31 @@ int main(int argc, char** argv) {
       .Add("engine_full", bench::EngineThroughputJson(full_run))
       .Add("engine_incremental", bench::EngineThroughputJson(delta_run))
       .Add("engine_speedup", engine_speedup);
+
+  // Process-wide telemetry counters (fresh process, so totals == this run):
+  // delta traffic plus the per-measure rebuild fallbacks that the cost model
+  // is supposed to keep rare.
+  {
+    const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    bench::JsonObject counters_json;
+    counters_json
+        .Add("delta_applies",
+             registry.CounterValue("evocat_delta_applies_total"))
+        .Add("delta_reverts",
+             registry.CounterValue("evocat_delta_reverts_total"));
+    int64_t fallbacks = 0;
+    bench::JsonObject fallback_json;
+    for (const char* measure :
+         {"ctbil", "dbil", "ebil", "id", "dbrl", "prl", "rsrl"}) {
+      int64_t value = registry.CounterValue("evocat_rebuild_fallbacks_total",
+                                            {{"measure", measure}});
+      fallback_json.Add(measure, value);
+      fallbacks += value;
+    }
+    counters_json.Add("rebuild_fallbacks_total", fallbacks)
+        .Add("rebuild_fallbacks", fallback_json);
+    json.Add("counters", counters_json);
+  }
 
   // Gated 100k- and 1M-row scenarios: the packed + sharded plane against
   // the legacy path, bit-exact scores required.

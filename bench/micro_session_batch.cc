@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "common/task_scheduler.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "datagen/profile.h"
 #include "metrics/plane.h"
 
@@ -283,6 +284,23 @@ int main(int argc, char** argv) {
   summary.Add("skewed_work_stealing_seconds", stealing_seconds);
   summary.Add("skewed_speedup", skew_speedup);
   summary.Add("skewed_stolen_subtasks", steals);
+  // Telemetry-plane counters (fresh process: totals == this bench's runs).
+  {
+    const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    summary.Add("csv_cache_hits",
+                registry.CounterValue("evocat_csv_cache_hits_total"));
+    summary.Add("csv_cache_misses",
+                registry.CounterValue("evocat_csv_cache_misses_total"));
+    int64_t fallbacks = 0;
+    for (const char* measure :
+         {"ctbil", "dbil", "ebil", "id", "dbrl", "prl", "rsrl"}) {
+      fallbacks += registry.CounterValue("evocat_rebuild_fallbacks_total",
+                                         {{"measure", measure}});
+    }
+    summary.Add("rebuild_fallbacks", fallbacks);
+    summary.Add("scheduler_steals",
+                registry.CounterValue("evocat_scheduler_steals_total"));
+  }
   Status status = bench::WriteJsonFile("BENCH_session.json", summary);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Validates Prometheus text exposition format 0.0.4 (what `GET /metrics`
+# and `evocat_evaluate --metrics-dump` emit):
+#
+#   1. every non-comment line parses as `name{labels} value` or `name value`;
+#   2. every sample's family has exactly one `# HELP` and one `# TYPE` line,
+#      with HELP before TYPE before the first sample;
+#   3. TYPE is counter|gauge|histogram|summary|untyped;
+#   4. no series (name + label set) appears twice;
+#   5. histogram families: every series has a `+Inf` bucket, its `_count`
+#      equals the `+Inf` bucket value, `_sum` is present, and cumulative
+#      bucket counts never decrease as `le` grows.
+#
+# Label VALUES are free text (route="/v1/jobs/{id}" is legal), so sample
+# lines are split at the LAST close-brace, not the first.
+#
+# Usage: scripts/check_prom_format.sh [metrics.txt]   (reads stdin if no file)
+# Exits non-zero if any violation was found, listing every offender.
+
+set -u
+
+input=${1:-/dev/stdin}
+[ -r "$input" ] || { echo "cannot read $input"; exit 2; }
+
+awk '
+function fail(msg) { print "FAIL: " msg; failures++ }
+
+# Histogram samples export under <family>_bucket/_sum/_count; resolve the
+# declared family so HELP/TYPE checks look at the right name.
+function family_of(name,   base) {
+  base = name
+  if (sub(/_bucket$/, "", base) && (base in type) && type[base] == "histogram")
+    return base
+  base = name
+  if (sub(/_sum$/, "", base) && (base in type) && type[base] == "histogram")
+    return base
+  base = name
+  if (sub(/_count$/, "", base) && (base in type) && type[base] == "histogram")
+    return base
+  return name
+}
+
+/^# HELP / {
+  fam = $3
+  if (fam in help) fail("duplicate HELP for family " fam " (line " NR ")")
+  help[fam] = NR
+  next
+}
+/^# TYPE / {
+  fam = $3; t = $4
+  if (fam in type) fail("duplicate TYPE for family " fam " (line " NR ")")
+  if (t !~ /^(counter|gauge|histogram|summary|untyped)$/)
+    fail("bad TYPE \"" t "\" for family " fam " (line " NR ")")
+  if (!(fam in help)) fail("TYPE before HELP for family " fam " (line " NR ")")
+  type[fam] = t
+  next
+}
+/^#/ { next }        # other comments are legal
+/^[[:space:]]*$/ { next }
+
+{
+  # --- sample line: name[{labels}] value; labels may contain braces inside
+  # quoted values, so the series/value split is at the LAST "} ".
+  if (index($0, "{") > 0) {
+    if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*\{.*\} [^ ]+$/)) {
+      fail("unparseable sample (line " NR "): " $0)
+      next
+    }
+    pos = 0
+    for (i = length($0); i > 0; --i)
+      if (substr($0, i, 1) == "}") { pos = i; break }
+    series = substr($0, 1, pos)
+    value = substr($0, pos + 2)
+  } else {
+    if (NF != 2 || $1 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+      fail("unparseable sample (line " NR "): " $0)
+      next
+    }
+    series = $1
+    value = $2
+  }
+  if (value !~ /^[+-]?([0-9.]+([eE][+-]?[0-9]+)?|Inf|NaN)$/) {
+    fail("bad sample value \"" value "\" (line " NR ")")
+    next
+  }
+  name = series
+  sub(/\{.*/, "", name)
+
+  if (series in seen)
+    fail("duplicate series " series " (lines " seen[series] " and " NR ")")
+  seen[series] = NR
+
+  fam = family_of(name)
+  if (!(fam in type)) fail("sample " name " has no TYPE (line " NR ")")
+  if (!(fam in help)) fail("sample " name " has no HELP (line " NR ")")
+
+  # --- histogram bookkeeping, keyed by family + labels-without-le ---
+  if ((fam in type) && type[fam] == "histogram") {
+    lbl = series
+    sub(/^[^{]*/, "", lbl)            # the {…} part, or ""
+    if (name == fam "_bucket") {
+      le = lbl
+      if (!sub(/.*le="/, "", le)) {
+        fail("histogram bucket without le label (line " NR "): " series)
+        next
+      }
+      sub(/".*/, "", le)
+      gsub(/le="[^"]*",?/, "", lbl)   # series identity without le
+      sub(/,}$/, "}", lbl)
+      # A le-only label set collapses to "" so the key matches the braceless
+      # _sum/_count samples of an unlabeled histogram.
+      if (lbl == "{}") lbl = ""
+      key = fam "|" lbl
+      if (le == "+Inf") inf_bucket[key] = value + 0
+      if ((key in last_bucket) && value + 0 < last_bucket[key])
+        fail("non-cumulative buckets in " series " (line " NR ")")
+      last_bucket[key] = value + 0
+      bucket_seen[key] = 1
+    } else if (name == fam "_count") {
+      count_val[fam "|" lbl] = value + 0
+    } else if (name == fam "_sum") {
+      sum_seen[fam "|" lbl] = 1
+    }
+  }
+}
+
+END {
+  for (key in bucket_seen) {
+    if (!(key in inf_bucket))
+      fail("histogram series " key " missing +Inf bucket")
+    else if (!(key in count_val))
+      fail("histogram series " key " missing _count")
+    else if (count_val[key] != inf_bucket[key])
+      fail("histogram " key ": _count " count_val[key] " != +Inf bucket " inf_bucket[key])
+    if (!(key in sum_seen)) fail("histogram series " key " missing _sum")
+  }
+  if (failures) { print failures " violation(s)"; exit 1 }
+  print "OK: " length(seen) " series, " length(type) " families"
+}
+' "$input"

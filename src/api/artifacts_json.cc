@@ -92,6 +92,35 @@ JsonValue StatsToJson(const core::EvolutionStats& stats) {
   return json;
 }
 
+JsonValue TelemetryToJson(const TelemetryArtifacts& telemetry) {
+  JsonValue json = JsonValue::MakeObject();
+  JsonValue stages = JsonValue::MakeObject();
+  stages.Set("load_seconds", JsonValue::MakeNumber(telemetry.load_seconds));
+  stages.Set("protect_seconds",
+             JsonValue::MakeNumber(telemetry.protect_seconds));
+  stages.Set("bind_seconds", JsonValue::MakeNumber(telemetry.bind_seconds));
+  stages.Set("evolve_seconds",
+             JsonValue::MakeNumber(telemetry.evolve_seconds));
+  stages.Set("total_seconds", JsonValue::MakeNumber(telemetry.total_seconds));
+  json.Set("stages", std::move(stages));
+  JsonValue generation_seconds = JsonValue::MakeArray();
+  for (double seconds : telemetry.generation_seconds) {
+    generation_seconds.Append(JsonValue::MakeNumber(seconds));
+  }
+  json.Set("generation_seconds", std::move(generation_seconds));
+  JsonValue eval_seconds = JsonValue::MakeArray();
+  for (double seconds : telemetry.generation_eval_seconds) {
+    eval_seconds.Append(JsonValue::MakeNumber(seconds));
+  }
+  json.Set("generation_eval_seconds", std::move(eval_seconds));
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& counter : telemetry.counters) {
+    counters.Set(counter.first, JsonValue::MakeInt(counter.second));
+  }
+  json.Set("counters", std::move(counters));
+  return json;
+}
+
 }  // namespace
 
 JsonValue ArtifactsToJson(const RunArtifacts& artifacts,
@@ -125,6 +154,11 @@ JsonValue ArtifactsToJson(const RunArtifacts& artifacts,
   }
   if (!artifacts.history.empty()) {
     json.Set("history", HistoryToJson(artifacts.history));
+  }
+  // Present iff `outputs.telemetry` was on — the off-vs-on oracle compares
+  // artifacts minus this section.
+  if (artifacts.telemetry.enabled) {
+    json.Set("telemetry", TelemetryToJson(artifacts.telemetry));
   }
 
   if (options.include_best_csv) {

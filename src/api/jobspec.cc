@@ -407,6 +407,7 @@ void ParseOutputs(const JsonValue& json, OutputSpec* outputs, Status* status) {
   f.Bool("initial_population", &outputs->initial_population);
   f.Bool("final_population", &outputs->final_population);
   f.Bool("history", &outputs->history);
+  f.Bool("telemetry", &outputs->telemetry);
   f.String("best_csv_path", &outputs->best_csv_path);
   f.String("original_csv_path", &outputs->original_csv_path);
   f.Finish();
@@ -868,6 +869,7 @@ JsonValue JobSpec::ToJson() const {
   outputs_json.Set("final_population",
                    JsonValue::MakeBool(outputs.final_population));
   outputs_json.Set("history", JsonValue::MakeBool(outputs.history));
+  outputs_json.Set("telemetry", JsonValue::MakeBool(outputs.telemetry));
   if (!outputs.best_csv_path.empty()) {
     outputs_json.Set("best_csv_path",
                      JsonValue::MakeString(outputs.best_csv_path));

@@ -116,6 +116,10 @@ struct OutputSpec {
   bool initial_population = true;
   bool final_population = true;
   bool history = true;
+  /// Carry the telemetry section (stage timings, per-generation timing
+  /// series, counter totals) in the artifacts. Pure observation: the run
+  /// itself is bit-identical either way.
+  bool telemetry = true;
   /// When non-empty, the best protected file is written here as CSV.
   std::string best_csv_path;
   /// When non-empty, the (loaded or generated) original is written here.

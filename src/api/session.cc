@@ -2,21 +2,66 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/math_utils.h"
 #include "common/parallel.h"
 #include "common/params.h"
 #include "common/string_utils.h"
 #include "common/task_scheduler.h"
+#include "common/timer.h"
 #include "data/csv.h"
 #include "datagen/generator.h"
 #include "evolve/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protection/registry.h"
 
 namespace evocat {
 namespace api {
 
 namespace {
+
+/// Stage-latency histograms, one series per pipeline stage.
+obs::Histogram* StageSecondsHistogram(const char* stage) {
+  static obs::Histogram* load = obs::MetricsRegistry::Global().GetHistogram(
+      "evocat_session_stage_seconds",
+      "Wall time of one session pipeline stage.", {{"stage", "load"}});
+  static obs::Histogram* protect = obs::MetricsRegistry::Global().GetHistogram(
+      "evocat_session_stage_seconds",
+      "Wall time of one session pipeline stage.", {{"stage", "protect"}});
+  static obs::Histogram* bind = obs::MetricsRegistry::Global().GetHistogram(
+      "evocat_session_stage_seconds",
+      "Wall time of one session pipeline stage.", {{"stage", "bind"}});
+  static obs::Histogram* evolve = obs::MetricsRegistry::Global().GetHistogram(
+      "evocat_session_stage_seconds",
+      "Wall time of one session pipeline stage.", {{"stage", "evolve"}});
+  if (stage[0] == 'l') return load;
+  if (stage[0] == 'p') return protect;
+  if (stage[0] == 'b') return bind;
+  return evolve;
+}
+
+obs::Counter* CacheHitsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_csv_cache_hits_total",
+      "Source loads served from the session CSV cache.");
+  return counter;
+}
+
+obs::Counter* CacheMissesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_csv_cache_misses_total",
+      "Source loads that had to read and parse the CSV file.");
+  return counter;
+}
+
+obs::Counter* CacheEvictionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_csv_cache_evictions_total",
+      "Cached CSV originals evicted by the LRU bound.");
+  return counter;
+}
 
 MemberSummary Summarize(const core::Individual& individual) {
   MemberSummary summary;
@@ -155,11 +200,13 @@ bool Session::LookupCachedSource(const std::string& key, Dataset* out) {
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
     ++cache_stats_.misses;
+    CacheMissesCounter()->Increment();
     return false;
   }
   cache_entries_.splice(cache_entries_.begin(), cache_entries_, it->second);
   *out = it->second->second.Clone();
   ++cache_stats_.hits;
+  CacheHitsCounter()->Increment();
   return true;
 }
 
@@ -178,6 +225,7 @@ void Session::InsertCachedSource(const std::string& key, Dataset dataset) {
       cache_index_.erase(cache_entries_.back().first);
       cache_entries_.pop_back();
       ++cache_stats_.evictions;
+      CacheEvictionsCounter()->Increment();
     }
   }
 }
@@ -198,8 +246,19 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
   JobSpec spec = input_spec;
   spec.seeds.MakeExplicit();
 
+  // Stage timing is pure observation: relaxed counter bumps and steady-clock
+  // reads, no RNG and no data-dependent branches, so a telemetry-on run is
+  // bit-identical to a telemetry-off one (oracle-tested).
+  Timer run_timer;
+  TelemetryArtifacts telemetry;
+
   // (1) Original dataset + protected attribute indices.
+  auto load_span = std::make_unique<obs::TraceSpan>("session.load");
+  Timer stage_timer;
   EVOCAT_ASSIGN_OR_RETURN(SourceData source, LoadSource(spec));
+  telemetry.load_seconds = stage_timer.ElapsedSeconds();
+  load_span.reset();
+  StageSecondsHistogram("load")->Observe(telemetry.load_seconds);
 
   // (2) Method roster: the spec's, or the paper mix for this source.
   std::vector<MethodGridSpec> roster =
@@ -232,13 +291,21 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
   EVOCAT_RETURN_NOT_OK(canceled_at("after loading the source"));
 
   // (3) Seed protections, one forked RNG stream per method instance.
+  auto protect_span = std::make_unique<obs::TraceSpan>("session.protect");
+  stage_timer.Reset();
   EVOCAT_ASSIGN_OR_RETURN(
       auto protections,
       protection::BuildProtectionsWith(source.original, source.attrs, methods,
                                        spec.seeds.ProtectionSeed()));
+  telemetry.protect_seconds = stage_timer.ElapsedSeconds();
+  protect_span.reset();
+  StageSecondsHistogram("protect")->Observe(telemetry.protect_seconds);
   EVOCAT_RETURN_NOT_OK(canceled_at("after building the seed protections"));
 
-  // (4) Fitness evaluator over the spec's measure configuration.
+  // (4) Fitness evaluator over the spec's measure configuration; binding and
+  // the initial evaluation sweep below are one "bind" telemetry stage.
+  auto bind_span = std::make_unique<obs::TraceSpan>("session.bind");
+  stage_timer.Reset();
   EVOCAT_ASSIGN_OR_RETURN(auto evaluator,
                           metrics::FitnessEvaluator::Create(
                               source.original, source.attrs,
@@ -280,6 +347,9 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
     initial.erase(initial.begin(),
                   initial.begin() + static_cast<std::ptrdiff_t>(removed));
   }
+  telemetry.bind_seconds = stage_timer.ElapsedSeconds();
+  bind_span.reset();
+  StageSecondsHistogram("bind")->Observe(telemetry.bind_seconds);
 
   RunArtifacts artifacts;
   artifacts.job_name = spec.name;
@@ -303,10 +373,33 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
   EVOCAT_ASSIGN_OR_RETURN(auto strategy,
                           evolve::StrategyRegistry::Global().Create(
                               spec.strategy.name, spec.strategy.params));
+  auto evolve_span = std::make_unique<obs::TraceSpan>("session.evolve");
+  stage_timer.Reset();
   EVOCAT_ASSIGN_OR_RETURN(
       core::EvolutionResult evolution,
       strategy->Run(evaluator.get(), config, std::move(initial),
                     control != nullptr ? &control->cancel : nullptr));
+  telemetry.evolve_seconds = stage_timer.ElapsedSeconds();
+  evolve_span.reset();
+  StageSecondsHistogram("evolve")->Observe(telemetry.evolve_seconds);
+
+  // Telemetry section: sample the per-generation series before the history
+  // vector is (conditionally) moved into the artifacts, then snapshot the
+  // registry's counter totals.
+  if (spec.outputs.telemetry) {
+    telemetry.enabled = true;
+    telemetry.total_seconds = run_timer.ElapsedSeconds();
+    telemetry.generation_seconds.reserve(evolution.history.size());
+    telemetry.generation_eval_seconds.reserve(evolution.history.size());
+    for (const auto& record : evolution.history) {
+      telemetry.generation_seconds.push_back(record.total_seconds);
+      telemetry.generation_eval_seconds.push_back(record.eval_seconds);
+    }
+    for (const auto& sample : obs::MetricsRegistry::Global().CounterTotals()) {
+      telemetry.counters.emplace_back(sample.series, sample.value);
+    }
+    artifacts.telemetry = std::move(telemetry);
+  }
 
   if (spec.outputs.history) artifacts.history = std::move(evolution.history);
   artifacts.stats = evolution.stats;

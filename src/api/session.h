@@ -43,6 +43,30 @@ struct MemberSummary {
   metrics::FitnessBreakdown fitness;
 };
 
+/// \brief Per-run telemetry captured when `outputs.telemetry` is on: stage
+/// wall times, the per-generation timing series, and a snapshot of the
+/// process-wide counter totals at run end. Pure observation — the run is
+/// bit-identical with the section on or off (everything else in
+/// `RunArtifacts` is unchanged).
+struct TelemetryArtifacts {
+  bool enabled = false;
+  /// Stage wall seconds: source load, seed protections, fitness bind +
+  /// initial evaluation, evolution, and the whole run.
+  double load_seconds = 0.0;
+  double protect_seconds = 0.0;
+  double bind_seconds = 0.0;
+  double evolve_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Per-generation wall/eval seconds in generation order — carried even
+  /// when `outputs.history` is off, so every finished job ships its profile.
+  std::vector<double> generation_seconds;
+  std::vector<double> generation_eval_seconds;
+  /// Counter totals (`name{labels}` -> value) from the process-wide metrics
+  /// registry at run end. On a daemon running concurrent jobs these
+  /// aggregate across jobs; the series above are this run's alone.
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
 /// \brief Everything a caller can want back from one job.
 struct RunArtifacts {
   std::string job_name;
@@ -72,6 +96,8 @@ struct RunArtifacts {
   Dataset best_data;
   /// Fitness evaluations served over the whole run.
   int64_t evaluations = 0;
+  /// Stage timings + per-generation series (`outputs.telemetry`).
+  TelemetryArtifacts telemetry;
 };
 
 /// \brief Cooperative cancellation handle for a running job.

@@ -3,6 +3,12 @@
 ///
 /// Usage: `EVOCAT_LOG(INFO) << "generation " << g << " best=" << best;`
 /// Experiments default to WARNING to keep bench output machine-readable.
+///
+/// Two output formats share one sink (stderr): the human `[LEVEL file:line]`
+/// text default, and a structured mode (`SetLogFormat(LogFormat::kJson)`,
+/// evocatd `--log-json`) emitting one JSON object per line with `ts`,
+/// `level`, `component`, `msg`, and `job_id` when a `ScopedLogJobId` is
+/// active on the logging thread.
 
 #ifndef EVOCAT_COMMON_LOGGING_H_
 #define EVOCAT_COMMON_LOGGING_H_
@@ -18,7 +24,32 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+enum class LogFormat { kText = 0, kJson = 1 };
+
+/// \brief Selects text (default) or one-JSON-object-per-line output.
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// \brief Tags every log line from the current thread with a job id for the
+/// scope's lifetime (evocatd wraps each job execution in one). Nests: the
+/// previous id is restored on destruction.
+class ScopedLogJobId {
+ public:
+  explicit ScopedLogJobId(std::string job_id);
+  ~ScopedLogJobId();
+
+  ScopedLogJobId(const ScopedLogJobId&) = delete;
+  ScopedLogJobId& operator=(const ScopedLogJobId&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 namespace internal {
+
+/// \brief The job id set by the innermost `ScopedLogJobId` on this thread
+/// (empty when none).
+const std::string& CurrentLogJobId();
 
 /// \brief Accumulates one log line and flushes it on destruction.
 class LogMessage {
@@ -34,6 +65,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -5,10 +5,10 @@
 #define EVOCAT_COMMON_RESULT_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace evocat {
@@ -67,8 +67,8 @@ class Result {
  private:
   void DieIfError() const {
     if (!ok()) {
-      std::cerr << "Fatal: ValueOrDie on error result: "
-                << std::get<Status>(repr_).ToString() << std::endl;
+      EVOCAT_LOG(ERROR) << "Fatal: ValueOrDie on error result: "
+                        << std::get<Status>(repr_).ToString();
       std::abort();
     }
   }

@@ -1,7 +1,10 @@
 #include "common/task_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace evocat {
 
@@ -11,6 +14,39 @@ namespace {
 /// chunk); lets ParallelFor route loops back into the owning scheduler.
 thread_local TaskScheduler* t_scheduler = nullptr;
 thread_local int t_worker_index = -1;
+
+/// Registry handles, resolved once. The gauges aggregate across every
+/// scheduler instance (tests build private ones); the process-wide numbers
+/// are what /healthz and /metrics report.
+obs::Counter* StealsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_scheduler_steals_total",
+      "Chunk subtasks executed by a worker other than their owner.");
+  return counter;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "evocat_scheduler_queue_depth",
+      "Tasks and chunk subtasks currently queued and not yet claimed.");
+  return gauge;
+}
+
+obs::Gauge* WorkersGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "evocat_scheduler_workers",
+      "Worker threads across all live schedulers.");
+  return gauge;
+}
+
+obs::Histogram* TaskSecondsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "evocat_scheduler_task_seconds",
+          "Wall time per claimed task or chunk; the _sum is total busy "
+          "worker-seconds (utilization numerator).");
+  return histogram;
+}
 
 }  // namespace
 
@@ -28,6 +64,7 @@ TaskScheduler::TaskScheduler(int num_threads) {
   for (int i = 0; i < count; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  WorkersGauge()->Add(count);
 }
 
 TaskScheduler::~TaskScheduler() {
@@ -37,6 +74,7 @@ TaskScheduler::~TaskScheduler() {
   }
   wake_.notify_all();
   for (auto& worker : workers_) worker.join();
+  WorkersGauge()->Add(-static_cast<int64_t>(workers_.size()));
 }
 
 TaskScheduler& TaskScheduler::Shared() {
@@ -57,6 +95,7 @@ void TaskScheduler::Submit(Group* group, std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     global_queue_.push_back(Task{group, std::move(fn)});
   }
+  QueueDepthGauge()->Increment();
   wake_.notify_one();
 }
 
@@ -73,11 +112,13 @@ bool TaskScheduler::PopTaskLocked(int thief, Task* task) {
   if (!own.deque.empty()) {
     *task = std::move(own.deque.back());
     own.deque.pop_back();
+    QueueDepthGauge()->Decrement();
     return true;
   }
   if (!global_queue_.empty()) {
     *task = std::move(global_queue_.front());
     global_queue_.pop_front();
+    QueueDepthGauge()->Decrement();
     return true;
   }
   // Steal the oldest chunk of a sibling; oldest-first keeps the victim's
@@ -89,10 +130,25 @@ bool TaskScheduler::PopTaskLocked(int thief, Task* task) {
       *task = std::move(other.deque.front());
       other.deque.pop_front();
       steals_.fetch_add(1, std::memory_order_relaxed);
+      StealsCounter()->Increment();
+      QueueDepthGauge()->Decrement();
       return true;
     }
   }
   return false;
+}
+
+void TaskScheduler::RunTask(Task* task) {
+  if (obs::MetricsEnabled()) {
+    auto start = std::chrono::steady_clock::now();
+    task->fn();
+    TaskSecondsHistogram()->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  } else {
+    task->fn();
+  }
+  FinishTask(*task);
 }
 
 void TaskScheduler::FinishTask(const Task& task) {
@@ -114,8 +170,7 @@ void TaskScheduler::WorkerLoop(int index) {
     Task task;
     if (PopTaskLocked(index, &task)) {
       lock.unlock();
-      task.fn();
-      FinishTask(task);
+      RunTask(&task);
       lock.lock();
       continue;
     }
@@ -143,6 +198,7 @@ void TaskScheduler::ParallelForOnWorker(
       1, count / (static_cast<int64_t>(worker_state_.size()) * 4));
   Group group;
   Worker& own = *worker_state_[static_cast<size_t>(worker)];
+  int64_t chunks = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int64_t start = begin; start < end; start += chunk) {
@@ -151,8 +207,10 @@ void TaskScheduler::ParallelForOnWorker(
       own.deque.push_back(Task{&group, [&fn, start, stop] {
                                  for (int64_t i = start; i < stop; ++i) fn(i);
                                }});
+      ++chunks;
     }
   }
+  QueueDepthGauge()->Add(chunks);
   wake_.notify_all();
 
   // The owner drains its own chunks newest-first; thieves take them
@@ -163,9 +221,9 @@ void TaskScheduler::ParallelForOnWorker(
     if (!own.deque.empty() && own.deque.back().group == &group) {
       Task task = std::move(own.deque.back());
       own.deque.pop_back();
+      QueueDepthGauge()->Decrement();
       lock.unlock();
-      task.fn();
-      FinishTask(task);
+      RunTask(&task);
       lock.lock();
       continue;
     }
@@ -191,6 +249,7 @@ void TaskScheduler::ParallelForShared(
   int64_t chunk = std::max<int64_t>(
       1, count / (static_cast<int64_t>(worker_state_.size()) * 4));
   Group group;
+  int64_t chunks = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int64_t start = begin; start < end; start += chunk) {
@@ -201,8 +260,10 @@ void TaskScheduler::ParallelForShared(
                                        fn(i);
                                      }
                                    }});
+      ++chunks;
     }
   }
+  QueueDepthGauge()->Add(chunks);
   wake_.notify_all();
 
   // The caller participates: it drains its own chunks from the global queue
@@ -216,9 +277,9 @@ void TaskScheduler::ParallelForShared(
     if (it != global_queue_.end()) {
       Task task = std::move(*it);
       global_queue_.erase(it);
+      QueueDepthGauge()->Decrement();
       lock.unlock();
-      task.fn();
-      FinishTask(task);
+      RunTask(&task);
       lock.lock();
       continue;
     }

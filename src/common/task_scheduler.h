@@ -118,6 +118,9 @@ class TaskScheduler {
   /// global queue, then steals the oldest chunk from a sibling. Must be
   /// called with `mutex_` held; `thief` is the calling worker's index.
   bool PopTaskLocked(int thief, Task* task);
+  /// Executes a claimed task (timing it into the telemetry registry when
+  /// metrics are on) and reports completion. Call without `mutex_` held.
+  void RunTask(Task* task);
   void FinishTask(const Task& task);
 
   std::mutex mutex_;

@@ -5,9 +5,54 @@
 
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace evocat {
 namespace core {
+
+namespace {
+
+/// Telemetry handles, resolved once per series. Counter bumps are relaxed
+/// atomics and never branch on data values, so instrumentation cannot
+/// perturb the run (the off-vs-on oracle test holds this to bit-identity).
+obs::Counter* GenerationsCounter(bool mutation) {
+  static obs::Counter* mutation_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "evocat_engine_generations_total",
+          "Engine generations by the operator the alter draw picked.",
+          {{"op", "mutation"}});
+  static obs::Counter* crossover_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "evocat_engine_generations_total",
+          "Engine generations by the operator the alter draw picked.",
+          {{"op", "crossover"}});
+  return mutation ? mutation_counter : crossover_counter;
+}
+
+obs::Counter* AcceptedCounter(bool mutation) {
+  static obs::Counter* mutation_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "evocat_engine_offspring_accepted_total",
+          "Offspring that replaced their parent, by operator.",
+          {{"op", "mutation"}});
+  static obs::Counter* crossover_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "evocat_engine_offspring_accepted_total",
+          "Offspring that replaced their parent, by operator.",
+          {{"op", "crossover"}});
+  return mutation ? mutation_counter : crossover_counter;
+}
+
+obs::Histogram* GenerationSecondsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "evocat_engine_generation_seconds",
+          "Wall time per engine generation (operator + evaluation + sort).");
+  return histogram;
+}
+
+}  // namespace
 
 std::string BaseOrigin(const std::string& origin) {
   struct Prefix {
@@ -118,6 +163,7 @@ GenerationRecord GenerationStepper::Step(int generation) {
   Rng& rng = *rng_;
   const bool incremental = config_.incremental_eval;
 
+  obs::TraceSpan trace_span("engine.generation");
   Timer gen_timer;
   GenerationRecord record;
   record.generation = generation;
@@ -266,6 +312,10 @@ GenerationRecord GenerationStepper::Step(int generation) {
     stats_->crossover_eval_seconds += record.eval_seconds;
     stats_->crossover_total_seconds += record.total_seconds;
   }
+  const bool mutation_op = record.op == OperatorKind::kMutation;
+  GenerationsCounter(mutation_op)->Increment();
+  if (record.accepted) AcceptedCounter(mutation_op)->Increment();
+  GenerationSecondsHistogram()->Observe(record.total_seconds);
   return record;
 }
 

@@ -7,9 +7,49 @@
 #include "common/parallel.h"
 #include "common/string_utils.h"
 #include "metrics/registry.h"
+#include "obs/metrics.h"
 
 namespace evocat {
 namespace metrics {
+
+namespace {
+
+/// Slot order mirrors the fixed ctbil..rsrl member order used everywhere in
+/// this file; the telemetry label is the measure's JobSpec name.
+constexpr const char* kSlotNames[7] = {"ctbil", "dbil",  "ebil", "id",
+                                       "dbrl",  "prl",   "rsrl"};
+
+obs::Counter* DeltaAppliesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_delta_applies_total",
+      "Segment-delta batches folded into fitness states.");
+  return counter;
+}
+
+obs::Counter* DeltaRevertsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_delta_reverts_total",
+      "Rejected offspring whose fitness state was rolled back.");
+  return counter;
+}
+
+obs::Counter* RebuildFallbackCounter(int slot) {
+  static obs::Counter* counters[7] = {nullptr};
+  static const bool initialized = [] {
+    for (int i = 0; i < 7; ++i) {
+      counters[i] = obs::MetricsRegistry::Global().GetCounter(
+          "evocat_rebuild_fallbacks_total",
+          "Segment applies that crossed a measure's full-rebuild threshold "
+          "(the incremental path degenerated to a rebuild).",
+          {{"measure", kSlotNames[i]}});
+    }
+    return true;
+  }();
+  (void)initialized;
+  return counters[slot];
+}
+
+}  // namespace
 
 const char* ScoreAggregationToString(ScoreAggregation aggregation) {
   switch (aggregation) {
@@ -214,10 +254,18 @@ void FitnessState::ApplyDelta(const Dataset& masked_after,
                               const SegmentDelta& segment,
                               const std::atomic<bool>* cancel) {
   prev_breakdown_ = breakdown_;
+  DeltaAppliesCounter()->Increment();
   MeasureState* states[7];
+  int slots[7];
   int count = 0;
+  int slot_index = 0;
   for (auto* slot : {&ctbil_, &dbil_, &ebil_, &id_, &dbrl_, &prl_, &rsrl_}) {
-    if (*slot) states[count++] = slot->get();
+    if (*slot) {
+      states[count] = slot->get();
+      slots[count] = slot_index;
+      ++count;
+    }
+    ++slot_index;
   }
   // Heavy segments evaluate the independent measures concurrently (disjoint
   // states, fixed fold order below ⇒ schedule-independent results); small
@@ -226,6 +274,16 @@ void FitnessState::ApplyDelta(const Dataset& masked_after,
   bool heavy = segment.num_cells() >= parallel_segment_cells_;
   for (int i = 0; i < count && !heavy; ++i) {
     heavy = segment.num_cells() >= states[i]->full_rebuild_threshold();
+  }
+  // Telemetry only: which measures will treat this batch as a full rebuild.
+  // Same comparison the states make inside ApplySegment, so the counters
+  // name the exact cause of a "delta path got slow" regression.
+  if (obs::MetricsEnabled()) {
+    for (int i = 0; i < count; ++i) {
+      if (segment.num_cells() >= states[i]->full_rebuild_threshold()) {
+        RebuildFallbackCounter(slots[i])->Increment();
+      }
+    }
   }
   if (heavy && count > 1) {
     ParallelFor(0, count, [&](int64_t i) {
@@ -250,6 +308,7 @@ void FitnessState::ApplyDelta(const Dataset& masked_after,
 }
 
 void FitnessState::Revert() {
+  DeltaRevertsCounter()->Increment();
   for (auto* slot : {&ctbil_, &dbil_, &ebil_, &id_, &dbrl_, &prl_, &rsrl_}) {
     if (*slot) (*slot)->Revert();
   }

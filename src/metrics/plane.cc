@@ -5,6 +5,8 @@
 
 #include "common/parallel.h"
 #include "common/task_scheduler.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace evocat {
 namespace metrics {
@@ -19,6 +21,28 @@ std::mutex& PlaneMutex() {
 DataPlaneConfig& PlaneConfig() {
   static DataPlaneConfig config;
   return config;
+}
+
+obs::Histogram* ShardScanSecondsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "evocat_plane_shard_scan_seconds",
+          "Wall time of one ForEachShard fan-out (shard scan + merge fence).");
+  return histogram;
+}
+
+obs::Counter* ClusterHitsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_plane_cluster_hits_total",
+      "Masked-group lookups that landed on an existing pattern cluster.");
+  return counter;
+}
+
+obs::Counter* ClusterMissesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_plane_cluster_misses_total",
+      "Masked-group lookups that created a new pattern cluster.");
+  return counter;
 }
 
 }  // namespace
@@ -49,6 +73,8 @@ RowRange ShardRows(int64_t rows, int shard, int shards) {
 void ForEachShard(int64_t rows, int shards,
                   const std::function<void(int, RowRange)>& fn) {
   if (shards < 1) shards = 1;
+  const bool timed = obs::MetricsEnabled();
+  Timer timer;
   ParallelFor(0, shards, [&](int64_t shard) {
     RowRange range = ShardRows(rows, static_cast<int>(shard), shards);
     // A shard with no rows contributes identity to the merge: it is skipped
@@ -56,6 +82,7 @@ void ForEachShard(int64_t rows, int shards,
     if (range.empty()) return;
     fn(static_cast<int>(shard), range);
   });
+  if (timed) ShardScanSecondsHistogram()->Observe(timer.ElapsedSeconds());
 }
 
 uint64_t HashCodes(const int32_t* codes, size_t n) {
@@ -194,6 +221,7 @@ int32_t MaskedGroups::FindOrCreate(const int32_t* codes) {
   for (int32_t cand : bucket) {
     if (std::equal(codes, codes + num_attrs_,
                    codes_.begin() + static_cast<size_t>(cand) * num_attrs_)) {
+      ClusterHitsCounter()->Increment();
       return cand;
     }
   }
@@ -201,6 +229,7 @@ int32_t MaskedGroups::FindOrCreate(const int32_t* codes) {
   codes_.insert(codes_.end(), codes, codes + num_attrs_);
   sizes_.push_back(0);
   bucket.push_back(id);
+  ClusterMissesCounter()->Increment();
   return id;
 }
 

@@ -1,0 +1,387 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace evocat {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Stripe index for the calling thread: cheap thread hash, fixed per thread
+/// so a thread keeps hitting the same cache line.
+int ThreadStripe() {
+  static std::atomic<int> next{0};
+  thread_local int stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (Counter::kStripes - 1);
+  return stripe;
+}
+
+/// Renders `{k="v",k2="v2"}` with Prometheus label-value escaping
+/// (backslash, double quote, newline); empty labels render as "".
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += kv.first;
+    out += "=\"";
+    for (char c : kv.second) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Bucket bound text: trim to the shortest representation that round-trips
+/// the typical 0.0001/0.25/2.5 bounds ("%g" keeps them short and exact).
+std::string FormatBound(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+Labels SortedLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+struct Series {
+  std::string label_text;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Family {
+  MetricType type = MetricType::kCounter;
+  std::string help;
+  // Keyed by rendered label text: registration-order independent, and the
+  // exposition iterates it already sorted.
+  std::map<std::string, std::unique_ptr<Series>> series;
+};
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram
+// ---------------------------------------------------------------------------
+
+void Counter::Add(int64_t delta) {
+  if (!MetricsEnabled()) return;
+  stripes_[ThreadStripe()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Set(int64_t value) {
+  if (!MetricsEnabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(int64_t delta) {
+  if (!MetricsEnabled()) return;
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Gauge::Value() const {
+  return value_.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  // Buckets are few (~16): linear scan beats binary search in practice and
+  // never mispredicts on the common small-latency values.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+const std::vector<double>& DefaultLatencyBuckets() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+  return *buckets;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Family> families;
+  // Type-mismatch guard: metrics handed out for a name already registered as
+  // a different type. Never exported, never freed — misuse stays safe.
+  std::vector<std::unique_ptr<Counter>> detached_counters;
+  std::vector<std::unique_ptr<Gauge>> detached_gauges;
+  std::vector<std::unique_ptr<Histogram>> detached_histograms;
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  // Leaked deliberately: instrumented statics may fire during other statics'
+  // destruction at process exit.
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  Family& family = state->families[name];
+  if (!family.series.empty() && family.type != MetricType::kCounter) {
+    state->detached_counters.emplace_back(new Counter());
+    return state->detached_counters.back().get();
+  }
+  family.type = MetricType::kCounter;
+  if (family.help.empty()) family.help = help;
+  std::unique_ptr<Series>& series = family.series[RenderLabels(SortedLabels(labels))];
+  if (series == nullptr) {
+    series.reset(new Series());
+    series->counter.reset(new Counter());
+  }
+  return series->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  Family& family = state->families[name];
+  if (!family.series.empty() && family.type != MetricType::kGauge) {
+    state->detached_gauges.emplace_back(new Gauge());
+    return state->detached_gauges.back().get();
+  }
+  family.type = MetricType::kGauge;
+  if (family.help.empty()) family.help = help;
+  std::unique_ptr<Series>& series = family.series[RenderLabels(SortedLabels(labels))];
+  if (series == nullptr) {
+    series.reset(new Series());
+    series->gauge.reset(new Gauge());
+  }
+  return series->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const Labels& labels,
+                                         const std::vector<double>& bounds) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  Family& family = state->families[name];
+  if (!family.series.empty() && family.type != MetricType::kHistogram) {
+    state->detached_histograms.emplace_back(
+        new Histogram(bounds.empty() ? DefaultLatencyBuckets() : bounds));
+    return state->detached_histograms.back().get();
+  }
+  family.type = MetricType::kHistogram;
+  if (family.help.empty()) family.help = help;
+  std::unique_ptr<Series>& series = family.series[RenderLabels(SortedLabels(labels))];
+  if (series == nullptr) {
+    series.reset(new Series());
+    series->histogram.reset(
+        new Histogram(bounds.empty() ? DefaultLatencyBuckets() : bounds));
+  }
+  return series->histogram.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      const Labels& labels) const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto family = state->families.find(name);
+  if (family == state->families.end() ||
+      family->second.type != MetricType::kCounter) {
+    return 0;
+  }
+  auto series = family->second.series.find(RenderLabels(SortedLabels(labels)));
+  if (series == family->second.series.end()) return 0;
+  return series->second->counter->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name,
+                                    const Labels& labels) const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto family = state->families.find(name);
+  if (family == state->families.end() ||
+      family->second.type != MetricType::kGauge) {
+    return 0;
+  }
+  auto series = family->second.series.find(RenderLabels(SortedLabels(labels)));
+  if (series == family->second.series.end()) return 0;
+  return series->second->gauge->Value();
+}
+
+std::vector<CounterSample> MetricsRegistry::CounterTotals() const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  std::vector<CounterSample> out;
+  for (const auto& family : state->families) {
+    if (family.second.type != MetricType::kCounter) continue;
+    for (const auto& series : family.second.series) {
+      out.push_back(
+          {family.first + series.first, series.second->counter->Value()});
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  std::string out;
+  for (const auto& entry : state->families) {
+    const std::string& name = entry.first;
+    const Family& family = entry.second;
+    if (family.series.empty()) continue;
+    out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
+    out += "# TYPE " + name + " ";
+    out += TypeName(family.type);
+    out += "\n";
+    for (const auto& series : family.series) {
+      const std::string& label_text = series.first;
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += name + label_text + " " +
+                 std::to_string(series.second->counter->Value()) + "\n";
+          break;
+        case MetricType::kGauge:
+          out += name + label_text + " " +
+                 std::to_string(series.second->gauge->Value()) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& histogram = *series.second->histogram;
+          // The `le` label is appended to the series' own labels; bucket
+          // counts are cumulative per the exposition format.
+          std::string prefix = label_text.empty()
+                                   ? "{le=\""
+                                   : label_text.substr(0, label_text.size() - 1) +
+                                         ",le=\"";
+          std::vector<int64_t> counts = histogram.BucketCounts();
+          int64_t cumulative = 0;
+          for (size_t i = 0; i < histogram.bounds().size(); ++i) {
+            cumulative += counts[i];
+            out += name + "_bucket" + prefix + FormatBound(histogram.bounds()[i]) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += counts.back();
+          out += name + "_bucket" + prefix + "+Inf\"} " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + label_text + " " +
+                 FormatDouble(histogram.Sum()) + "\n";
+          out += name + "_count" + label_text + " " +
+                 std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace evocat

@@ -1,0 +1,168 @@
+/// \file metrics.h
+/// \brief Process-wide metrics registry: counters, gauges, histograms.
+///
+/// Design goals, in order:
+///  1. Telemetry never changes results. No RNG, no allocation on hot paths,
+///     and a process-wide kill switch (`SetMetricsEnabled`) that reduces
+///     every write to one relaxed atomic load. The oracle tests prove runs
+///     are bit-identical with the switch on and off.
+///  2. Writers never block each other. Counters are striped across cache
+///     lines and written with relaxed `fetch_add`; the registry mutex is
+///     taken only on registration and snapshot.
+///  3. Readers never stop writers. `ToPrometheusText` and the snapshot
+///     helpers just sum the stripes — concurrent writers keep going, and a
+///     snapshot taken after a quiescent point sums exactly.
+///
+/// Metrics are registered by family name + label set and live for the
+/// process (pointers returned by `GetCounter` et al. are stable forever), so
+/// hot call sites cache them in function-local statics.
+///
+/// This layer sits *below* `common/` (the TaskScheduler is instrumented), so
+/// it depends on nothing but the standard library.
+
+#ifndef EVOCAT_OBS_METRICS_H_
+#define EVOCAT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evocat {
+namespace obs {
+
+/// \brief Kill switch: when false (default is true) every metric write is a
+/// no-op after one relaxed load. Flipped by the overhead bench and the
+/// off-vs-on oracle tests; registration still works while disabled.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// \brief Label set attached to one series, e.g. {{"op", "mutation"}}.
+/// Order-insensitive: the registry sorts by key before keying the series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonic counter, striped across cache lines so concurrent
+/// writers on different cores do not bounce one line.
+class Counter {
+ public:
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+  /// \brief Sums the stripes; exact once writers are quiescent.
+  int64_t Value() const;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  static constexpr int kStripes = 16;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> value{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// \brief Up/down gauge. A single atomic: gauge writes (connection open,
+/// queue push) are orders of magnitude rarer than counter bumps.
+class Gauge {
+ public:
+  void Set(int64_t value);
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+  int64_t Value() const;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram for latencies in seconds. Buckets are
+/// per-bucket (non-cumulative) atomics internally and cumulative (`le`) in
+/// the Prometheus exposition.
+class Histogram {
+ public:
+  void Observe(double value);
+  int64_t Count() const;
+  double Sum() const;
+  /// \brief Per-bucket counts, one extra slot for +Inf.
+  std::vector<int64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 (+Inf)
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};  // CAS loop; fetch_add(double) is C++20
+};
+
+/// \brief Default latency buckets: 100µs .. 10s, roughly log-spaced —
+/// covers a WAL fsync on one end and a heavy GA generation on the other.
+const std::vector<double>& DefaultLatencyBuckets();
+
+/// \brief One exported counter series: rendered name (`name{k="v"}` or bare
+/// `name`) plus its current value. Used by healthz and the RunArtifacts
+/// telemetry section.
+struct CounterSample {
+  std::string series;
+  int64_t value = 0;
+};
+
+/// \brief Process-wide registry. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// \brief Finds or creates a series; the pointer stays valid for the
+  /// process lifetime. `help` is recorded on first registration of the
+  /// family. A family re-registered as a different metric type returns a
+  /// detached instance that is never exported (internal misuse guard).
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  /// \brief `bounds` empty selects `DefaultLatencyBuckets()`. Bounds are
+  /// fixed at first registration of the series.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const Labels& labels = {},
+                          const std::vector<double>& bounds = {});
+
+  /// \brief Current value of one series, 0 when absent (never registers).
+  int64_t CounterValue(const std::string& name, const Labels& labels = {}) const;
+  int64_t GaugeValue(const std::string& name, const Labels& labels = {}) const;
+
+  /// \brief Every counter series (sorted by rendered name) with its value.
+  std::vector<CounterSample> CounterTotals() const;
+
+  /// \brief Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE`
+  /// per family, series sorted, histograms as cumulative `_bucket`/`_sum`/
+  /// `_count`.
+  std::string ToPrometheusText() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl* impl() const;
+};
+
+}  // namespace obs
+}  // namespace evocat
+
+#endif  // EVOCAT_OBS_METRICS_H_

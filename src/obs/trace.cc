@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+namespace evocat {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Ring storage. A mutex is fine here: spans are coarse (a generation, a
+/// session stage, an HTTP request), so appends are thousands per second at
+/// the very most — nowhere near contention territory. Keeping it simple
+/// keeps it TSan-clean.
+struct Ring {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  size_t capacity = 0;
+  uint64_t total = 0;  // appends ever; total - size = dropped
+};
+
+Ring* GlobalRing() {
+  // Leaked deliberately: spans may fire from static destructors.
+  static Ring* ring = new Ring();
+  return ring;
+}
+
+int ThreadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Append(TraceEvent event) {
+  Ring* ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  if (ring->capacity == 0) return;
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(std::move(event));
+  } else {
+    ring->events[ring->total % ring->capacity] = std::move(event);
+  }
+  ++ring->total;
+}
+
+void AppendJsonEscaped(std::string* out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void EnableTracing(size_t capacity) {
+  Ring* ring = GlobalRing();
+  {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->events.clear();
+    ring->events.reserve(capacity);
+    ring->capacity = capacity;
+    ring->total = 0;
+  }
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<TraceEvent> SnapshotTrace() {
+  Ring* ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  if (ring->total <= ring->events.size()) return ring->events;
+  // Wrapped: unroll oldest-first starting at the overwrite cursor.
+  std::vector<TraceEvent> out;
+  out.reserve(ring->events.size());
+  size_t cursor = ring->total % ring->capacity;
+  for (size_t i = 0; i < ring->events.size(); ++i) {
+    out.push_back(ring->events[(cursor + i) % ring->capacity]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> SnapshotTraceWindow(int64_t begin_ns, int64_t end_ns) {
+  std::vector<TraceEvent> all = SnapshotTrace();
+  std::vector<TraceEvent> out;
+  for (auto& event : all) {
+    if (event.start_ns >= begin_ns && event.start_ns <= end_ns) {
+      out.push_back(std::move(event));
+    }
+  }
+  return out;
+}
+
+int64_t DroppedTraceEvents() {
+  Ring* ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  return static_cast<int64_t>(ring->total - ring->events.size());
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, event.name.c_str());
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(&out, event.category);
+    // Complete events ("ph":"X"); Chrome expects microsecond timestamps.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d}",
+                  static_cast<double>(event.start_ns) / 1000.0,
+                  static_cast<double>(event.duration_ns) / 1000.0, event.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      std::string* error) {
+  std::string json = ChromeTraceJson(events);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : category_(category) {
+  if (!TracingEnabled()) return;
+  name_ = name;
+  start_ns_ = TraceNowNs();
+  active_ = true;
+}
+
+TraceSpan::TraceSpan(std::string name, const char* category)
+    : category_(category) {
+  if (!TracingEnabled()) return;
+  name_ = std::move(name);
+  start_ns_ = TraceNowNs();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !TracingEnabled()) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.duration_ns = TraceNowNs() - start_ns_;
+  event.tid = ThreadId();
+  Append(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace evocat

@@ -1,0 +1,91 @@
+/// \file trace.h
+/// \brief RAII trace spans with a bounded ring buffer and Chrome
+/// `trace_event` JSON export.
+///
+/// Tracing is off by default: a `TraceSpan` constructed while tracing is
+/// disabled costs one relaxed atomic load and records nothing. When enabled
+/// (CLI `--trace-out`, evocatd `--trace-dir`), spans capture name, thread,
+/// start and duration on a steady clock and append to a process-wide ring
+/// buffer; once the ring wraps, the oldest events are overwritten and
+/// counted in `DroppedTraceEvents()`, so memory stays bounded no matter how
+/// long the process runs.
+///
+/// Spans never branch on data values and never touch RNG state — tracing on
+/// vs off is bit-identical by construction and proven by the oracle tests.
+/// The exported JSON loads in any Chrome-trace viewer (chrome://tracing,
+/// https://ui.perfetto.dev).
+
+#ifndef EVOCAT_OBS_TRACE_H_
+#define EVOCAT_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evocat {
+namespace obs {
+
+/// \brief One completed span. Times are steady-clock nanoseconds (same
+/// epoch as `TraceNowNs`), thread ids are small integers assigned in
+/// first-span order.
+struct TraceEvent {
+  std::string name;
+  const char* category = "evocat";
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  int tid = 0;
+};
+
+/// \brief Starts recording into a fresh ring of `capacity` events.
+void EnableTracing(size_t capacity = 1 << 16);
+/// \brief Stops recording; already-captured events stay snapshot-able until
+/// the next `EnableTracing`.
+void DisableTracing();
+bool TracingEnabled();
+
+/// \brief Steady-clock now, comparable with `TraceEvent::start_ns`. Used to
+/// bracket per-job export windows on evocatd.
+int64_t TraceNowNs();
+
+/// \brief Events recorded so far, oldest first.
+std::vector<TraceEvent> SnapshotTrace();
+/// \brief Events whose start falls in `[begin_ns, end_ns]` — the per-job
+/// export window on a daemon running many jobs.
+std::vector<TraceEvent> SnapshotTraceWindow(int64_t begin_ns, int64_t end_ns);
+/// \brief Events overwritten after the ring wrapped (0 when sized right).
+int64_t DroppedTraceEvents();
+
+/// \brief Renders events as Chrome trace JSON
+/// (`{"traceEvents":[{"ph":"X",...}]}`, timestamps in microseconds).
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// \brief Writes `ChromeTraceJson` to `path`. Returns false and fills
+/// `error` (when non-null) on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      std::string* error = nullptr);
+
+/// \brief RAII span: records [construction, destruction) when tracing is
+/// enabled at both ends. The string overload is for per-job names
+/// ("job:<id>"); hot paths should pass a literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "evocat");
+  TraceSpan(std::string name, const char* category);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_ = "evocat";
+  int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace evocat
+
+#endif  // EVOCAT_OBS_TRACE_H_

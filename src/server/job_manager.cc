@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "server/wal.h"
 
 namespace evocat {
@@ -153,7 +154,29 @@ void JobManager::RunNextPending() {
     job->started.Reset();
   }
 
-  Result<api::RunArtifacts> result = session_->Run(job->spec, &job->control);
+  Result<api::RunArtifacts> result = Status::Internal("job did not run");
+  {
+    // Log lines from the job's execution carry its id, and the job's span
+    // window brackets a per-job Chrome trace export below.
+    ScopedLogJobId log_job_id(job->id);
+    const int64_t window_begin = obs::TraceNowNs();
+    {
+      obs::TraceSpan job_span("job:" + job->id, "evocat");
+      result = session_->Run(job->spec, &job->control);
+    }
+    if (!options_.trace_dir.empty() && obs::TracingEnabled()) {
+      const int64_t window_end = obs::TraceNowNs();
+      const std::string path =
+          options_.trace_dir + "/" + job->id + ".trace.json";
+      std::string error;
+      if (!obs::WriteChromeTrace(
+              path, obs::SnapshotTraceWindow(window_begin, window_end),
+              &error)) {
+        EVOCAT_LOG(WARNING) << "trace export for '" << job->id
+                            << "' failed: " << error;
+      }
+    }
+  }
 
   JobState terminal;
   {

@@ -59,6 +59,10 @@ class JobManager {
     /// Must outlive the manager. Recovered jobs are re-queued by the
     /// constructor.
     Wal* wal = nullptr;
+    /// When non-empty (and tracing is enabled), each finished job's trace
+    /// window is exported to `<trace_dir>/<job-id>.trace.json` in Chrome
+    /// trace_event format.
+    std::string trace_dir;
   };
 
   /// \param session executes the jobs (and owns the source cache).

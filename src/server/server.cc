@@ -15,13 +15,91 @@
 #include "api/artifacts_json.h"
 #include "api/jobspec.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "common/version.h"
+#include "obs/metrics.h"
 #include "server/wal.h"
 
 namespace evocat {
 namespace server {
 
 namespace {
+
+/// Route classes for the request metrics: job ids collapse into `{id}` so
+/// the label set stays bounded no matter how many jobs a daemon serves.
+enum class Route {
+  kHealthz = 0,
+  kMetrics,
+  kJobs,
+  kJobById,
+  kJobResult,
+  kJobCancel,
+  kOther,
+  kCount,
+};
+
+Route ClassifyRoute(const std::string& path) {
+  if (path == "/healthz") return Route::kHealthz;
+  if (path == "/metrics") return Route::kMetrics;
+  if (path == "/v1/jobs") return Route::kJobs;
+  if (path.rfind("/v1/jobs/", 0) == 0) {
+    std::string rest = path.substr(std::strlen("/v1/jobs/"));
+    size_t slash = rest.find('/');
+    if (slash == std::string::npos) return Route::kJobById;
+    std::string action = rest.substr(slash + 1);
+    if (action == "result") return Route::kJobResult;
+    if (action == "cancel") return Route::kJobCancel;
+  }
+  return Route::kOther;
+}
+
+const char* RouteLabel(Route route) {
+  switch (route) {
+    case Route::kHealthz: return "/healthz";
+    case Route::kMetrics: return "/metrics";
+    case Route::kJobs: return "/v1/jobs";
+    case Route::kJobById: return "/v1/jobs/{id}";
+    case Route::kJobResult: return "/v1/jobs/{id}/result";
+    case Route::kJobCancel: return "/v1/jobs/{id}/cancel";
+    default: return "other";
+  }
+}
+
+obs::Counter* RequestCounter(Route route) {
+  static obs::Counter* counters[static_cast<int>(Route::kCount)] = {};
+  static const bool init = [] {
+    for (int i = 0; i < static_cast<int>(Route::kCount); ++i) {
+      counters[i] = obs::MetricsRegistry::Global().GetCounter(
+          "evocat_http_requests_total", "HTTP requests served, by route class.",
+          {{"route", RouteLabel(static_cast<Route>(i))}});
+    }
+    return true;
+  }();
+  (void)init;
+  return counters[static_cast<int>(route)];
+}
+
+obs::Histogram* RequestSecondsHistogram(Route route) {
+  static obs::Histogram* histograms[static_cast<int>(Route::kCount)] = {};
+  static const bool init = [] {
+    for (int i = 0; i < static_cast<int>(Route::kCount); ++i) {
+      histograms[i] = obs::MetricsRegistry::Global().GetHistogram(
+          "evocat_http_request_seconds",
+          "Request handling latency (routing + handler), by route class.",
+          {{"route", RouteLabel(static_cast<Route>(i))}});
+    }
+    return true;
+  }();
+  (void)init;
+  return histograms[static_cast<int>(route)];
+}
+
+obs::Gauge* ConnectionsGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "evocat_server_connections",
+      "Accepted connections currently being served (keep-alive included).");
+  return gauge;
+}
 
 /// HTTP status for a façade error (submit validation, lookups).
 int HttpStatusFor(const Status& status) {
@@ -213,6 +291,11 @@ void Server::IoLoop() {
 }
 
 void Server::ServeConnection(int conn) {
+  ConnectionsGauge()->Increment();
+  struct ConnectionDone {
+    ~ConnectionDone() { ConnectionsGauge()->Decrement(); }
+  } connection_done;
+
   // A silent peer must not pin this I/O thread on writes either.
   timeval write_deadline{};
   write_deadline.tv_sec = 10;
@@ -245,7 +328,11 @@ void Server::ServeConnection(int conn) {
     bool keep = WantsKeepAlive(request.ValueOrDie()) &&
                 served < options_.max_requests_per_connection &&
                 !stop_.load(std::memory_order_relaxed);
+    const Route route = ClassifyRoute(request.ValueOrDie().Path());
+    Timer handle_timer;
     HttpResponse response = Handle(request.ValueOrDie());
+    RequestCounter(route)->Increment();
+    RequestSecondsHistogram(route)->Observe(handle_timer.ElapsedSeconds());
     response.keep_alive = keep;
     Status written = WriteHttpResponse(conn, response);
     if (!written.ok()) {
@@ -275,6 +362,19 @@ HttpResponse Server::Handle(const HttpRequest& request) {
     }
     // Exempt from auth: load balancers and probes need it unauthenticated.
     return HandleHealth();
+  }
+
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, Status::Invalid("use GET ", path));
+    }
+    // Exempt from auth like /healthz: Prometheus scrapers are typically
+    // configured without credentials, and the exposition carries no job data.
+    HttpResponse response;
+    response.status = 200;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = obs::MetricsRegistry::Global().ToPrometheusText();
+    return response;
   }
 
   if (!Authorized(request)) {
@@ -426,6 +526,20 @@ HttpResponse Server::HandleHealth() {
   json.Set("version", api::JsonValue::MakeString(kVersion));
   json.Set("uptime_seconds", api::JsonValue::MakeNumber(uptime_.ElapsedSeconds()));
   json.Set("workers", api::JsonValue::MakeInt(jobs_->workers()));
+
+  // Scheduler load, sourced from the metrics registry (the same series
+  // /metrics exports) so probes see the numbers without a Prometheus stack.
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  api::JsonValue scheduler = api::JsonValue::MakeObject();
+  scheduler.Set("workers", api::JsonValue::MakeInt(
+                               registry.GaugeValue("evocat_scheduler_workers")));
+  scheduler.Set("steals",
+                api::JsonValue::MakeInt(
+                    registry.CounterValue("evocat_scheduler_steals_total")));
+  scheduler.Set("queue_depth",
+                api::JsonValue::MakeInt(
+                    registry.GaugeValue("evocat_scheduler_queue_depth")));
+  json.Set("scheduler", std::move(scheduler));
 
   JobManager::Counts counts = jobs_->counts();
   api::JsonValue jobs = api::JsonValue::MakeObject();

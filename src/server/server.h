@@ -11,12 +11,13 @@
 ///   GET  /v1/jobs/{id}/result  RunArtifacts JSON (?best_csv=0 to omit CSV)
 ///   POST /v1/jobs/{id}/cancel  cooperative cancel
 ///   GET  /healthz              liveness + degradation + job/cache counters
+///   GET  /metrics              Prometheus text exposition (version 0.0.4)
 ///
 /// Connections are HTTP/1.1 keep-alive with idle/header/body deadlines and
 /// request-line+header byte bounds (431), so slow or hostile clients cannot
 /// pin the I/O threads. With `Options::auth_token` set, every route except
-/// `/healthz` requires `Authorization: Bearer <token>` (constant-time
-/// compare; 401 otherwise). Requests are validated with the façade's
+/// `/healthz` and `/metrics` requires `Authorization: Bearer <token>`
+/// (constant-time compare; 401 otherwise). Requests are validated with the façade's
 /// field-naming JSON errors; execution is asynchronous on the work-stealing
 /// scheduler via JobManager. `Handle` is a pure request->response function,
 /// so every route is testable without sockets; `Start` adds the socket
@@ -66,7 +67,7 @@ class Server {
     /// `Retry-After` seconds advertised on 429 responses.
     int retry_after_seconds = 2;
     /// When non-empty, require `Authorization: Bearer <token>` on every
-    /// route except /healthz (compared in constant time).
+    /// route except /healthz and /metrics (compared in constant time).
     std::string auth_token;
     /// Accept+handle I/O threads. Endpoint handlers never block on job
     /// execution, so a few threads absorb a deep submit/poll stream.

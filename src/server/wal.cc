@@ -12,11 +12,27 @@
 #include "common/logging.h"
 #include "common/params.h"
 #include "common/string_utils.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace evocat {
 namespace server {
 
 namespace {
+
+obs::Histogram* AppendSecondsHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "evocat_wal_append_seconds",
+      "WAL record append latency: serialize + write, excluding fsync.");
+  return histogram;
+}
+
+obs::Histogram* FsyncSecondsHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "evocat_wal_fsync_seconds",
+      "WAL fsync latency on durable appends (Options::sync on).");
+  return histogram;
+}
 
 constexpr char kFileHeader[] = "evocat-wal-v1\n";
 constexpr char kTypeSubmit[] = "submit";
@@ -294,14 +310,21 @@ Status Wal::AppendRecordLocked(const std::string& type, const std::string& id,
                                const std::string& state,
                                const std::string& payload) {
   if (fd_ < 0) return Status::IOError("WAL '", path_, "' is not open");
+  const bool timed = obs::MetricsEnabled();
+  Timer append_timer;
   std::string record = "R " + type + ' ' + id + ' ' + state + ' ' +
                        std::to_string(payload.size()) + ' ' +
                        CrcHex(Crc32(CrcInput(type, id, state, payload))) +
                        '\n' + payload + '\n';
   EVOCAT_RETURN_NOT_OK(WriteAll(fd_, record));
-  if (options_.sync && ::fsync(fd_) != 0) {
-    return Status::IOError("fsync '", path_, "' failed: ",
-                           std::strerror(errno));
+  if (timed) AppendSecondsHistogram()->Observe(append_timer.ElapsedSeconds());
+  if (options_.sync) {
+    Timer fsync_timer;
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync '", path_, "' failed: ",
+                             std::strerror(errno));
+    }
+    if (timed) FsyncSecondsHistogram()->Observe(fsync_timer.ElapsedSeconds());
   }
   file_bytes_ += record.size();
   ++file_records_;

@@ -54,5 +54,81 @@ TEST_F(LoggingTest, ErrorAlwaysEmitsAtErrorLevel) {
   EXPECT_NE(captured.find("boom"), std::string::npos);
 }
 
+// Restores format as well as level.
+class LoggingJsonTest : public LoggingTest {
+ protected:
+  void TearDown() override {
+    SetLogFormat(LogFormat::kText);
+    LoggingTest::TearDown();
+  }
+};
+
+TEST_F(LoggingJsonTest, JsonModeEmitsOneObjectPerLine) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kJson);
+  ::testing::internal::CaptureStderr();
+  EVOCAT_LOG(WARNING) << "json \"quoted\" value=" << 7;
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  // One line, one object.
+  ASSERT_FALSE(captured.empty());
+  EXPECT_EQ(captured.back(), '\n');
+  EXPECT_EQ(captured.find('\n'), captured.size() - 1);
+  EXPECT_EQ(captured.front(), '{');
+  EXPECT_NE(captured.find("\"level\":\"WARN\""), std::string::npos) << captured;
+  EXPECT_NE(captured.find("\"component\":\"logging_test.cc:"),
+            std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("\"msg\":\"json \\\"quoted\\\" value=7\""),
+            std::string::npos)
+      << captured;
+  // RFC3339 UTC timestamp.
+  EXPECT_NE(captured.find("\"ts\":\""), std::string::npos) << captured;
+  EXPECT_NE(captured.find("Z\""), std::string::npos) << captured;
+  // No job scope active, so no job_id field.
+  EXPECT_EQ(captured.find("job_id"), std::string::npos) << captured;
+}
+
+TEST_F(LoggingJsonTest, ScopedJobIdTagsAndRestores) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kJson);
+  {
+    ScopedLogJobId outer("job-000001");
+    ::testing::internal::CaptureStderr();
+    EVOCAT_LOG(INFO) << "outer";
+    std::string captured = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("\"job_id\":\"job-000001\""), std::string::npos)
+        << captured;
+    {
+      ScopedLogJobId inner("job-000002");
+      ::testing::internal::CaptureStderr();
+      EVOCAT_LOG(INFO) << "inner";
+      captured = ::testing::internal::GetCapturedStderr();
+      EXPECT_NE(captured.find("\"job_id\":\"job-000002\""), std::string::npos)
+          << captured;
+    }
+    // Nested scope ended: the outer id is back.
+    ::testing::internal::CaptureStderr();
+    EVOCAT_LOG(INFO) << "outer again";
+    captured = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("\"job_id\":\"job-000001\""), std::string::npos)
+        << captured;
+  }
+  ::testing::internal::CaptureStderr();
+  EVOCAT_LOG(INFO) << "no scope";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("job_id"), std::string::npos) << captured;
+}
+
+TEST_F(LoggingJsonTest, TextModeAnnotatesJobIdToo) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kText);
+  ScopedLogJobId scope("job-000009");
+  ::testing::internal::CaptureStderr();
+  EVOCAT_LOG(INFO) << "working";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("job-000009"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("working"), std::string::npos) << captured;
+}
+
 }  // namespace
 }  // namespace evocat

@@ -1,0 +1,53 @@
+#include "common/timer.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace {
+
+TEST(TimerTest, StartsAtZeroAndNeverRunsBackwards) {
+  Timer timer;
+  double previous = timer.ElapsedSeconds();
+  EXPECT_GE(previous, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, previous) << "monotonic clock went backwards at i=" << i;
+    previous = now;
+  }
+}
+
+TEST(TimerTest, ElapsedCoversASleepInterval) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  double elapsed = timer.ElapsedSeconds();
+  // A sleep can overshoot arbitrarily under load but never undershoots, so
+  // only the lower bound is exact; the upper bound is a loose sanity check.
+  EXPECT_GE(elapsed, 0.049);
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(TimerTest, ResetRestartsTheStopwatch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double before = timer.ElapsedSeconds();
+  EXPECT_GE(before, 0.019);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), before);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  // Two reads of a running clock: millis was taken after seconds.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_GE(millis, 9.9);
+}
+
+}  // namespace
+}  // namespace evocat

@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace evocat {
+namespace obs {
+namespace {
+
+// The registry is process-wide, so every test uses its own family names.
+
+TEST(CounterTest, SingleThreadedSumIsExact) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "test_counter_single_total", "test counter");
+  int64_t before = counter->Value();
+  for (int i = 0; i < 1000; ++i) counter->Increment();
+  counter->Add(500);
+  EXPECT_EQ(counter->Value() - before, 1500);
+}
+
+TEST(CounterTest, ConcurrentWritersSumExactlyLikeTheSerialOracle) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "test_counter_concurrent_total", "test counter");
+  const int kThreads = 8;
+  const int kIncrements = 50000;
+  int64_t before = counter->Value();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Serial oracle: kThreads * kIncrements increments must sum exactly —
+  // striping must never lose a count.
+  EXPECT_EQ(counter->Value() - before,
+            static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, SetAddAndDecrement) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge("test_gauge", "test gauge");
+  gauge->Set(10);
+  EXPECT_EQ(gauge->Value(), 10);
+  gauge->Add(5);
+  gauge->Decrement();
+  EXPECT_EQ(gauge->Value(), 14);
+  gauge->Set(0);
+}
+
+TEST(GaugeTest, ConcurrentBalancedUpdatesReturnToZero) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      "test_gauge_balanced", "test gauge");
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < 10000; ++i) {
+        gauge->Increment();
+        gauge->Decrement();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_buckets", "test histogram", {},
+      {0.1, 1.0, 10.0});
+  histogram->Observe(0.05);   // bucket 0 (le 0.1)
+  histogram->Observe(0.5);    // bucket 1 (le 1.0)
+  histogram->Observe(5.0);    // bucket 2 (le 10.0)
+  histogram->Observe(50.0);   // +Inf bucket
+  histogram->Observe(0.1);    // boundary: le is inclusive -> bucket 0
+
+  std::vector<int64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(histogram->Count(), 5);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 0.05 + 0.5 + 5.0 + 50.0 + 0.1);
+}
+
+TEST(HistogramTest, ConcurrentObservationsCountExactly) {
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_concurrent", "test histogram");
+  const int kThreads = 8;
+  const int kObservations = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        histogram->Observe(0.001 * (t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(histogram->Count(),
+            static_cast<int64_t>(kThreads) * kObservations);
+  // The CAS-looped sum is exact too: every thread's contribution is an
+  // integer multiple of 0.001*(t+1) observed kObservations times.
+  double expected = 0.0;
+  for (int t = 0; t < kThreads; ++t) expected += 0.001 * (t + 1) * kObservations;
+  EXPECT_NEAR(histogram->Sum(), expected, expected * 1e-9);
+  int64_t bucket_total = 0;
+  for (int64_t c : histogram->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, histogram->Count());
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnTheSameSeries) {
+  Counter* a = MetricsRegistry::Global().GetCounter(
+      "test_registry_identity_total", "help", {{"k", "v"}});
+  Counter* b = MetricsRegistry::Global().GetCounter(
+      "test_registry_identity_total", "other help ignored", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  Counter* other = MetricsRegistry::Global().GetCounter(
+      "test_registry_identity_total", "help", {{"k", "w"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotSplitSeries) {
+  Counter* a = MetricsRegistry::Global().GetCounter(
+      "test_registry_label_order_total", "help",
+      {{"a", "1"}, {"b", "2"}});
+  Counter* b = MetricsRegistry::Global().GetCounter(
+      "test_registry_label_order_total", "help",
+      {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, CounterValueReadsWithoutRegistering) {
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test_registry_absent"), 0);
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "test_registry_lookup_total", "help", {{"op", "x"}});
+  counter->Add(7);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test_registry_lookup_total",
+                                                   {{"op", "x"}}),
+            7);
+  // Still absent: asking never registered it.
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test_registry_absent"), 0);
+}
+
+TEST(RegistryTest, CounterTotalsCarryRenderedSeriesNames) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "test_registry_totals_total", "help", {{"op", "mutation"}});
+  counter->Add(3);
+  bool found = false;
+  for (const CounterSample& sample :
+       MetricsRegistry::Global().CounterTotals()) {
+    if (sample.series == "test_registry_totals_total{op=\"mutation\"}") {
+      found = true;
+      EXPECT_GE(sample.value, 3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsDetachedInstance) {
+  MetricsRegistry::Global().GetCounter("test_registry_clash", "as counter");
+  // Re-registering the family as a gauge must not crash or corrupt; the
+  // detached instance is writable but never exported.
+  Gauge* gauge =
+      MetricsRegistry::Global().GetGauge("test_registry_clash", "as gauge");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(5);
+  EXPECT_EQ(gauge->Value(), 5);
+}
+
+TEST(ExpositionTest, PrometheusTextHasHelpTypeAndSeries) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "test_expo_counter_total", "Counts test \\ things\n exactly.",
+      {{"op", "a\"b"}});
+  counter->Add(2);
+  MetricsRegistry::Global().GetGauge("test_expo_gauge", "A gauge.")->Set(4);
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      "test_expo_hist", "A histogram.", {}, {0.5, 1.0});
+  histogram->Observe(0.4);
+  histogram->Observe(2.0);
+
+  std::string text = MetricsRegistry::Global().ToPrometheusText();
+  EXPECT_NE(text.find("# HELP test_expo_counter_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_counter_total counter"),
+            std::string::npos);
+  // Label values escape backslash and quote.
+  EXPECT_NE(text.find("test_expo_counter_total{op=\"a\\\"b\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE test_expo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_gauge 4"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf equals _count.
+  EXPECT_NE(text.find("# TYPE test_expo_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_hist_bucket{le=\"0.5\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_expo_hist_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_expo_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_expo_hist_count 2"), std::string::npos) << text;
+  // Help text escapes backslash and newline.
+  EXPECT_NE(text.find("Counts test \\\\ things\\n exactly."),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExpositionTest, NoDuplicateHelpOrTypeLines) {
+  MetricsRegistry::Global().GetCounter("test_expo_dup_total", "help",
+                                       {{"k", "1"}});
+  MetricsRegistry::Global().GetCounter("test_expo_dup_total", "help",
+                                       {{"k", "2"}});
+  std::string text = MetricsRegistry::Global().ToPrometheusText();
+  size_t first = text.find("# TYPE test_expo_dup_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_expo_dup_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(KillSwitchTest, DisabledWritesAreNoOps) {
+  Counter* counter = MetricsRegistry::Global().GetCounter(
+      "test_killswitch_total", "help");
+  Gauge* gauge =
+      MetricsRegistry::Global().GetGauge("test_killswitch_gauge", "help");
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      "test_killswitch_hist", "help");
+
+  ASSERT_TRUE(MetricsEnabled());
+  counter->Increment();
+  SetMetricsEnabled(false);
+  counter->Add(100);
+  gauge->Set(42);
+  histogram->Observe(1.0);
+  SetMetricsEnabled(true);
+
+  EXPECT_EQ(counter->Value(), 1);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace evocat

@@ -1,0 +1,186 @@
+// Off-vs-on oracle for the telemetry plane: the same JobSpec run with
+// metrics + tracing fully enabled and fully disabled must produce
+// bit-identical artifacts (scores, per-generation history, best protected
+// file) — telemetry observes the run, never steers it. Also proves the
+// RunArtifacts telemetry section survives a JSON round trip.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/artifacts_json.h"
+#include "api/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace evocat {
+namespace {
+
+std::string TinyJobJson(uint64_t master_seed, bool telemetry) {
+  return R"({
+    "name": "telemetry-oracle",
+    "source": {
+      "kind": "synthetic",
+      "profile": {
+        "name": "tiny",
+        "num_records": 60,
+        "attributes": [
+          {"name": "a0", "kind": "ordinal", "cardinality": 7},
+          {"name": "a1", "kind": "nominal", "cardinality": 5},
+          {"name": "a2", "kind": "nominal", "cardinality": 9}
+        ],
+        "protected_attributes": ["a0", "a1", "a2"]
+      }
+    },
+    "methods": [
+      {"name": "microaggregation", "grid": {"k": [3, 6]}},
+      {"name": "pram", "grid": {"retain": [0.7]}},
+      {"name": "rankswapping", "grid": {"p_percent": [10]}}
+    ],
+    "measures": {"aggregation": "mean", "prl_em_iterations": 10},
+    "ga": {"generations": 10},
+    "outputs": {"telemetry": )" +
+         std::string(telemetry ? "true" : "false") + R"(},
+    "seeds": {"master": )" + std::to_string(master_seed) + R"(}
+  })";
+}
+
+api::RunArtifacts RunTiny(uint64_t seed, bool telemetry) {
+  api::JobSpec spec =
+      api::JobSpec::FromJsonText(TinyJobJson(seed, telemetry)).ValueOrDie();
+  api::Session session;
+  return session.Run(spec).ValueOrDie();
+}
+
+void ExpectBreakdownIdentical(const metrics::FitnessBreakdown& a,
+                              const metrics::FitnessBreakdown& b) {
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.il, b.il);
+  EXPECT_EQ(a.dr, b.dr);
+}
+
+/// Everything outside the telemetry section must match bit for bit.
+void ExpectArtifactsIdentical(const api::RunArtifacts& a,
+                              const api::RunArtifacts& b) {
+  EXPECT_EQ(a.num_rows, b.num_rows);
+  EXPECT_EQ(a.population_size, b.population_size);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.initial_scores.min, b.initial_scores.min);
+  EXPECT_EQ(a.initial_scores.mean, b.initial_scores.mean);
+  EXPECT_EQ(a.initial_scores.max, b.initial_scores.max);
+  EXPECT_EQ(a.final_scores.min, b.final_scores.min);
+  EXPECT_EQ(a.final_scores.mean, b.final_scores.mean);
+  EXPECT_EQ(a.final_scores.max, b.final_scores.max);
+  ExpectBreakdownIdentical(a.best.fitness, b.best.fitness);
+  EXPECT_EQ(a.best.origin, b.best.origin);
+
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].min_score, b.history[i].min_score) << "gen " << i;
+    EXPECT_EQ(a.history[i].mean_score, b.history[i].mean_score) << "gen " << i;
+    EXPECT_EQ(a.history[i].max_score, b.history[i].max_score) << "gen " << i;
+    EXPECT_EQ(a.history[i].accepted, b.history[i].accepted) << "gen " << i;
+    EXPECT_EQ(a.history[i].evaluations, b.history[i].evaluations)
+        << "gen " << i;
+  }
+
+  // The best protected file itself: cell-exact.
+  ASSERT_EQ(a.best_data.num_rows(), b.best_data.num_rows());
+  ASSERT_EQ(a.best_data.num_attributes(), b.best_data.num_attributes());
+  for (int64_t r = 0; r < a.best_data.num_rows(); ++r) {
+    for (int c = 0; c < a.best_data.num_attributes(); ++c) {
+      ASSERT_EQ(a.best_data.Code(r, c), b.best_data.Code(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(TelemetryOracleTest, EnabledVsDisabledRunsAreBitIdentical) {
+  // Baseline: telemetry machinery fully off.
+  obs::SetMetricsEnabled(false);
+  api::RunArtifacts off = RunTiny(123, /*telemetry=*/false);
+  EXPECT_FALSE(off.telemetry.enabled);
+
+  // Everything on: metrics writes, trace spans, telemetry artifacts.
+  obs::SetMetricsEnabled(true);
+  obs::EnableTracing();
+  api::RunArtifacts on = RunTiny(123, /*telemetry=*/true);
+  obs::DisableTracing();
+
+  EXPECT_TRUE(on.telemetry.enabled);
+  ExpectArtifactsIdentical(off, on);
+}
+
+TEST(TelemetryOracleTest, TelemetrySectionCarriesTheRunProfile) {
+  obs::SetMetricsEnabled(true);
+  api::RunArtifacts artifacts = RunTiny(7, /*telemetry=*/true);
+  const api::TelemetryArtifacts& telemetry = artifacts.telemetry;
+  ASSERT_TRUE(telemetry.enabled);
+  EXPECT_GT(telemetry.total_seconds, 0.0);
+  EXPECT_GE(telemetry.load_seconds, 0.0);
+  EXPECT_GE(telemetry.protect_seconds, 0.0);
+  EXPECT_GE(telemetry.bind_seconds, 0.0);
+  EXPECT_GE(telemetry.evolve_seconds, 0.0);
+  // One timing sample per generation, even though history output is on by
+  // default here; the series never depends on outputs.history.
+  EXPECT_EQ(telemetry.generation_seconds.size(), 10u);
+  EXPECT_EQ(telemetry.generation_eval_seconds.size(), 10u);
+  // With metrics enabled the engine counters must have registered.
+  bool saw_generations = false;
+  for (const auto& counter : telemetry.counters) {
+    if (counter.first.rfind("evocat_engine_generations_total", 0) == 0 &&
+        counter.second > 0) {
+      saw_generations = true;
+    }
+  }
+  EXPECT_TRUE(saw_generations);
+}
+
+TEST(TelemetryOracleTest, TelemetryJsonRoundTrips) {
+  obs::SetMetricsEnabled(true);
+  api::RunArtifacts artifacts = RunTiny(9, /*telemetry=*/true);
+  api::ArtifactsJsonOptions options;
+  options.include_best_csv = false;
+  std::string dumped = ArtifactsToJson(artifacts, options).Dump(2);
+
+  Result<api::JsonValue> parsed = api::JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const api::JsonValue* telemetry = parsed.ValueOrDie().Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+
+  const api::JsonValue* stages = telemetry->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* key : {"load_seconds", "protect_seconds", "bind_seconds",
+                          "evolve_seconds", "total_seconds"}) {
+    const api::JsonValue* value = stages->Find(key);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_TRUE(value->is_number()) << key;
+  }
+
+  const api::JsonValue* generations = telemetry->Find("generation_seconds");
+  ASSERT_NE(generations, nullptr);
+  EXPECT_EQ(generations->size(),
+            artifacts.telemetry.generation_seconds.size());
+  const api::JsonValue* counters = telemetry->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  EXPECT_EQ(counters->members().size(), artifacts.telemetry.counters.size());
+  for (const auto& counter : artifacts.telemetry.counters) {
+    const api::JsonValue* value = counters->Find(counter.first);
+    ASSERT_NE(value, nullptr) << counter.first;
+    EXPECT_EQ(value->int_value(), counter.second) << counter.first;
+  }
+
+  // Telemetry off: the top-level section is omitted entirely. (The spec
+  // echo still carries `outputs.telemetry: false`, so parse rather than
+  // substring-search.)
+  api::RunArtifacts off = RunTiny(9, /*telemetry=*/false);
+  std::string off_dump = ArtifactsToJson(off, options).Dump(2);
+  Result<api::JsonValue> off_parsed = api::JsonValue::Parse(off_dump);
+  ASSERT_TRUE(off_parsed.ok()) << off_parsed.status().ToString();
+  EXPECT_EQ(off_parsed.ValueOrDie().Find("telemetry"), nullptr);
+}
+
+}  // namespace
+}  // namespace evocat

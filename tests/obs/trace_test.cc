@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/json.h"
+
+namespace evocat {
+namespace obs {
+namespace {
+
+// Tracing state is process-wide; every test starts its own fresh ring.
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  EnableTracing();
+  DisableTracing();
+  // The ring stays snapshot-able after DisableTracing, but new spans are
+  // no-ops.
+  { TraceSpan span("ignored"); }
+  EXPECT_TRUE(SnapshotTrace().empty());
+}
+
+TEST(TraceTest, SpansCaptureNameCategoryAndDuration) {
+  EnableTracing();
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner");
+  }
+  DisableTracing();
+
+  std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it lands first in the ring.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_STREQ(events[0].category, "evocat");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_STREQ(events[1].category, "test");
+  EXPECT_GE(events[0].duration_ns, 0);
+  EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+}
+
+TEST(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  EnableTracing(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(std::string("span-") + std::to_string(i), "evocat");
+  }
+  DisableTracing();
+
+  std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(DroppedTraceEvents(), 6);
+  // Oldest first: the surviving events are the last four, in order.
+  EXPECT_EQ(events[0].name, "span-6");
+  EXPECT_EQ(events[3].name, "span-9");
+}
+
+TEST(TraceTest, EnableTracingClearsThePreviousRing) {
+  EnableTracing(4);
+  { TraceSpan span("old"); }
+  EnableTracing(4);
+  { TraceSpan span("new"); }
+  DisableTracing();
+  std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "new");
+  EXPECT_EQ(DroppedTraceEvents(), 0);
+}
+
+TEST(TraceTest, WindowSnapshotFiltersByStartTime) {
+  EnableTracing();
+  { TraceSpan span("before"); }
+  int64_t begin = TraceNowNs();
+  { TraceSpan span("inside"); }
+  int64_t end = TraceNowNs();
+  { TraceSpan span("after"); }
+  DisableTracing();
+
+  std::vector<TraceEvent> events = SnapshotTraceWindow(begin, end);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "inside");
+}
+
+TEST(TraceTest, ChromeJsonIsValidAndCarriesTheSpans) {
+  EnableTracing();
+  { TraceSpan span("alpha \"quoted\"", "cat"); }
+  { TraceSpan span("beta"); }
+  DisableTracing();
+
+  std::string json_text = ChromeTraceJson(SnapshotTrace());
+  Result<api::JsonValue> parsed = api::JsonValue::Parse(json_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json_text;
+  const api::JsonValue& root = parsed.ValueOrDie();
+  const api::JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2u);
+  const api::JsonValue& first = events->at(0);
+  ASSERT_NE(first.Find("name"), nullptr);
+  EXPECT_EQ(first.Find("name")->string_value(), "alpha \"quoted\"");
+  EXPECT_EQ(first.Find("cat")->string_value(), "cat");
+  EXPECT_EQ(first.Find("ph")->string_value(), "X");
+  EXPECT_NE(first.Find("ts"), nullptr);
+  EXPECT_NE(first.Find("dur"), nullptr);
+  EXPECT_NE(first.Find("tid"), nullptr);
+}
+
+TEST(TraceTest, WriteChromeTraceRoundTripsThroughAFile) {
+  EnableTracing();
+  { TraceSpan span("filed"); }
+  DisableTracing();
+
+  std::string path =
+      ::testing::TempDir() + "/trace_test_" + std::to_string(::getpid()) +
+      ".trace.json";
+  std::string error;
+  ASSERT_TRUE(WriteChromeTrace(path, SnapshotTrace(), &error)) << error;
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  Result<api::JsonValue> parsed = api::JsonValue::Parse(contents.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::remove(path.c_str());
+
+  // Unwritable path: reports the error instead of aborting.
+  error.clear();
+  EXPECT_FALSE(
+      WriteChromeTrace("/nonexistent-dir/trace.json", SnapshotTrace(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace evocat

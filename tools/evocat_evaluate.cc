@@ -24,6 +24,8 @@
 #include "api/session.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spec_flags.h"
 #include "data/csv.h"
 
@@ -32,7 +34,7 @@ using namespace evocat;
 namespace {
 
 int Fail(const Status& status) {
-  std::cerr << "error: " << status.ToString() << "\n";
+  EVOCAT_LOG(ERROR) << status.ToString();
   return 1;
 }
 
@@ -67,6 +69,16 @@ int main(int argc, char** argv) {
                  "register masked values missing from the original's "
                  "dictionaries as new categories instead of failing",
                  &allow_new_categories);
+  bool metrics_dump = false;
+  parser.AddBool("metrics-dump",
+                 "print the process metrics registry (Prometheus text "
+                 "exposition) after the report",
+                 &metrics_dump);
+  std::string trace_out;
+  parser.AddString("trace-out",
+                   "record trace spans and write Chrome trace_event JSON "
+                   "here on exit",
+                   &trace_out);
 
   Status parse_status = parser.Parse(argc, argv);
   if (!parse_status.ok()) return Fail(parse_status);
@@ -74,6 +86,7 @@ int main(int argc, char** argv) {
     std::cout << parser.Usage();
     return 0;
   }
+  if (!trace_out.empty()) obs::EnableTracing();
   if (protected_path.empty()) {
     return Fail(Status::Invalid("--protected is required\n", parser.Usage()));
   }
@@ -164,6 +177,17 @@ int main(int argc, char** argv) {
     std::printf("note: '-' marks measures disabled in the spec (%s); they are "
                 "excluded from the IL/DR averages\n",
                 Join(disabled, ',').c_str());
+  }
+
+  if (metrics_dump) {
+    std::printf("\n%s",
+                obs::MetricsRegistry::Global().ToPrometheusText().c_str());
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::WriteChromeTrace(trace_out, obs::SnapshotTrace(), &error)) {
+      return Fail(Status::IOError("trace export failed: ", error));
+    }
   }
   return 0;
 }

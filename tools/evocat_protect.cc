@@ -20,6 +20,7 @@
 #include "api/session.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "spec_flags.h"
 
 using namespace evocat;
@@ -27,7 +28,7 @@ using namespace evocat;
 namespace {
 
 int Fail(const Status& status) {
-  std::cerr << "error: " << status.ToString() << "\n";
+  EVOCAT_LOG(ERROR) << status.ToString();
   return 1;
 }
 
@@ -80,6 +81,11 @@ int main(int argc, char** argv) {
                    "instead of running",
                    &dump_job);
   parser.AddBool("report", "print the per-generation evolution CSV", &report);
+  std::string trace_out;
+  parser.AddString("trace-out",
+                   "record trace spans and write Chrome trace_event JSON "
+                   "here on exit",
+                   &trace_out);
 
   Status parse_status = parser.Parse(argc, argv);
   if (!parse_status.ok()) return Fail(parse_status);
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
     std::cout << parser.Usage();
     return 0;
   }
+  if (!trace_out.empty()) obs::EnableTracing();
   // Numeric flags use -1 as the "unset" sentinel; any other negative is a
   // user error, not an absent flag.
   if (generations < -1) {
@@ -206,6 +213,13 @@ int main(int argc, char** argv) {
   }
   if (!artifacts.spec.outputs.best_csv_path.empty()) {
     std::printf("wrote %s\n", artifacts.spec.outputs.best_csv_path.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::WriteChromeTrace(trace_out, obs::SnapshotTrace(), &error)) {
+      return Fail(Status::IOError("trace export failed: ", error));
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
   }
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "common/logging.h"
 #include "common/string_utils.h"
 #include "common/version.h"
+#include "obs/trace.h"
 #include "server/server.h"
 #include "server/wal.h"
 
@@ -79,6 +80,8 @@ int main(int argc, char** argv) {
   int64_t retry_after_seconds = 2;
   bool no_wal_sync = false;
   bool verbose = false;
+  bool log_json = false;
+  std::string trace_dir;
 
   FlagParser parser("evocatd",
                     "long-running JobSpec server (protocol: docs/server.md)");
@@ -132,20 +135,30 @@ int main(int argc, char** argv) {
                 "Retry-After advertised on 429 responses",
                 &retry_after_seconds);
   parser.AddBool("verbose", "log at INFO instead of WARNING", &verbose);
+  parser.AddBool("log-json",
+                 "emit one JSON object per log line (ts, level, component, "
+                 "msg, job_id) instead of text",
+                 &log_json);
+  parser.AddString("trace-dir",
+                   "enable trace spans and export each finished job's trace "
+                   "to <dir>/<job-id>.trace.json (Chrome trace_event format)",
+                   &trace_dir);
 
   Status parsed = parser.Parse(argc, argv);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+    EVOCAT_LOG(ERROR) << parsed.ToString();
     return 2;
   }
   if (parser.help_requested()) return 0;
   SetLogLevel(verbose ? LogLevel::kInfo : LogLevel::kWarning);
+  if (log_json) SetLogFormat(LogFormat::kJson);
+  if (!trace_dir.empty()) obs::EnableTracing();
 
   std::string auth_token;
   if (!auth_token_file.empty()) {
     Result<std::string> token = ReadTokenFile(auth_token_file);
     if (!token.ok()) {
-      std::fprintf(stderr, "error: %s\n", token.status().ToString().c_str());
+      EVOCAT_LOG(ERROR) << token.status().ToString();
       return 2;
     }
     auth_token = std::move(token).ValueOrDie();
@@ -158,7 +171,7 @@ int main(int argc, char** argv) {
     Result<std::unique_ptr<server::Wal>> opened =
         server::Wal::Open(wal_path, wal_options);
     if (!opened.ok()) {
-      std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+      EVOCAT_LOG(ERROR) << opened.status().ToString();
       return 1;
     }
     wal = std::move(opened).ValueOrDie();
@@ -192,6 +205,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(max_retained_mb < 0 ? 0 : max_retained_mb) * 1024 *
       1024;
   job_options.wal = wal.get();
+  job_options.trace_dir = trace_dir;
   server::JobManager jobs(&session, &scheduler, job_options);
 
   server::Server::Options server_options;
@@ -211,7 +225,7 @@ int main(int argc, char** argv) {
 
   Status started = server.Start();
   if (!started.ok()) {
-    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    EVOCAT_LOG(ERROR) << started.ToString();
     return 1;
   }
   if (socket_path.empty()) {
