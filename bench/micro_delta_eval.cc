@@ -26,10 +26,12 @@
 //   sharded vs legacy path, bit-exact scores, >= 3x at 1M).
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,6 +39,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "data/packed_column.h"
+#include "data/stats.h"
 #include "obs/metrics.h"
 #include "core/operators.h"
 #include "datagen/generator.h"
@@ -156,10 +160,11 @@ ScaleMeasures() {
 
 struct ScaleResult {
   bench::JsonObject json;
-  /// Aggregate old/new speedup over the measures with clustered delta paths
-  /// (RSRL keeps its row-oriented delta path by design, so it is reported
-  /// per-measure but excluded from the gated aggregate).
+  /// Aggregate old/new speedup over all seven measures — every measure now
+  /// carries a clustered delta path on the sharded plane (RSRL's landed
+  /// last, so it additionally gets its own gate).
   double speedup = 0.0;
+  double rsrl_speedup = 0.0;
   double max_abs_diff = 0.0;
 };
 
@@ -221,11 +226,10 @@ ScaleResult RunScaleScenario(int64_t rows, int num_steps) {
       diff = std::max(diff, std::fabs(old_scores[i] - new_scores[i]));
     }
     result.max_abs_diff = std::max(result.max_abs_diff, diff);
-    if (name != "RSRL") {
-      old_total += old_s;
-      new_total += new_s;
-    }
+    old_total += old_s;
+    new_total += new_s;
     double speedup = new_s > 0 ? old_s / new_s : 0.0;
+    if (name == "RSRL") result.rsrl_speedup = speedup;
     std::printf("%s,%.4f,%.4f,%.1fx,%.3g\n", name.c_str(), old_s * 1e3,
                 new_s * 1e3, speedup, diff);
     bench::JsonObject one;
@@ -468,6 +472,61 @@ int main(int argc, char** argv) {
       static_cast<long long>(prl_rows), prl_full_s * 1e3, prl_rebuild_s * 1e3,
       prl_delta_s * 1e3, prl_vs_full, prl_vs_rebuild, prl_diff);
 
+  // Word-walk contingency kernel: AccumulateRangePacked (block word decode +
+  // dense mixed-radix accumulation) against the per-value scalar decode +
+  // hash-map insert it replaced, on a CTBIL-shaped attribute pair. Counts
+  // are integers, so the two cell maps must be identical.
+  double kernel_scalar_s = 1e100, kernel_walk_s = 1e100;
+  bool kernel_cells_equal = true;
+  int64_t kernel_rows = quick ? 200000 : 2000000;
+  {
+    Rng kernel_rng(0xB17);
+    std::vector<int32_t> cards{16, 14};
+    std::vector<PackedColumn> packed;
+    for (int32_t card : cards) {
+      std::vector<int32_t> codes;
+      codes.reserve(static_cast<size_t>(kernel_rows));
+      for (int64_t r = 0; r < kernel_rows; ++r) {
+        codes.push_back(static_cast<int32_t>(kernel_rng.UniformInt(0, card - 1)));
+      }
+      packed.push_back(PackedColumn::Pack(codes, card));
+    }
+    std::vector<const PackedColumn*> cols{&packed[0], &packed[1]};
+    std::unordered_map<uint64_t, int64_t> walk_cells, scalar_cells;
+    const int kKernelReps = 3;
+    for (int rep = 0; rep < kKernelReps; ++rep) {
+      std::unordered_map<uint64_t, int64_t> cells;
+      Timer timer;
+      ContingencyTable::AccumulateRangePacked(cols, 0, kernel_rows, &cells);
+      kernel_walk_s = std::min(kernel_walk_s, timer.ElapsedSeconds());
+      walk_cells = std::move(cells);
+    }
+    for (int rep = 0; rep < kKernelReps; ++rep) {
+      std::unordered_map<uint64_t, int64_t> cells;
+      Timer timer;
+      for (int64_t r = 0; r < kernel_rows; ++r) {
+        uint64_t key =
+            static_cast<uint64_t>(static_cast<uint32_t>(packed[0].Get(r))) &
+            0xFFFFu;
+        key |= (static_cast<uint64_t>(static_cast<uint32_t>(packed[1].Get(r))) &
+                0xFFFFu)
+               << 16;
+        ++cells[key];
+      }
+      kernel_scalar_s = std::min(kernel_scalar_s, timer.ElapsedSeconds());
+      scalar_cells = std::move(cells);
+    }
+    kernel_cells_equal = walk_cells == scalar_cells;
+  }
+  double kernel_speedup =
+      kernel_walk_s > 0 ? kernel_scalar_s / kernel_walk_s : 0.0;
+  std::printf(
+      "ctbil_kernel,rows=%lld,scalar_ms=%.3f,word_walk_ms=%.3f,"
+      "speedup=%.2fx,simd=%d,cells_equal=%d\n",
+      static_cast<long long>(kernel_rows), kernel_scalar_s * 1e3,
+      kernel_walk_s * 1e3, kernel_speedup,
+      PackedColumn::SimdEnabled() ? 1 : 0, kernel_cells_equal ? 1 : 0);
+
   // Engine before/after: identical seeds and generation budget, incremental
   // evaluation off vs on.
   auto dataset_case = experiments::AdultCase();
@@ -519,10 +578,18 @@ int main(int argc, char** argv) {
       .Add("speedup_vs_full", prl_vs_full)
       .Add("speedup_vs_rebuild", prl_vs_rebuild)
       .Add("max_abs_diff", prl_diff);
+  bench::JsonObject kernel_json;
+  kernel_json.Add("rows", kernel_rows)
+      .Add("scalar_seconds", kernel_scalar_s)
+      .Add("word_walk_seconds", kernel_walk_s)
+      .Add("speedup", kernel_speedup)
+      .Add("simd", static_cast<int64_t>(PackedColumn::SimdEnabled() ? 1 : 0))
+      .Add("cells_equal", static_cast<int64_t>(kernel_cells_equal ? 1 : 0));
   json.Add("measures", measures_json)
       .Add("fitness", fitness_json)
       .Add("crossover_segment", segment_json)
       .Add("prl_wide", prl_wide_json)
+      .Add("ctbil_kernel", kernel_json)
       .Add("engine_full", bench::EngineThroughputJson(full_run))
       .Add("engine_incremental", bench::EngineThroughputJson(delta_run))
       .Add("engine_speedup", engine_speedup);
@@ -549,6 +616,21 @@ int main(int argc, char** argv) {
     }
     counters_json.Add("rebuild_fallbacks_total", fallbacks)
         .Add("rebuild_fallbacks", fallback_json);
+    // Delta-plane kernel telemetry: word traffic of the packed bulk kernels,
+    // which decode path served them, and the PRL EM warm-start hit rate.
+    counters_json
+        .Add("delta_plane_words_scanned",
+             registry.CounterValue("evocat_delta_plane_words_scanned_total"))
+        .Add("delta_plane_kernel_calls_simd",
+             registry.CounterValue("evocat_delta_plane_kernel_calls_total",
+                                   {{"path", "simd"}}))
+        .Add("delta_plane_kernel_calls_scalar",
+             registry.CounterValue("evocat_delta_plane_kernel_calls_total",
+                                   {{"path", "scalar"}}))
+        .Add("em_warm_hits",
+             registry.CounterValue("evocat_delta_plane_em_warm_hits_total"))
+        .Add("em_cold_starts",
+             registry.CounterValue("evocat_delta_plane_em_cold_starts_total"));
     json.Add("counters", counters_json);
   }
 
@@ -573,6 +655,19 @@ int main(int argc, char** argv) {
   if (!all_within_tolerance || fitness_diff > 1e-9 || seg_diff > 1e-9 ||
       prl_diff > 1e-9) {
     std::fprintf(stderr, "FAIL: delta/full disagreement above 1e-9\n");
+    return 1;
+  }
+  if (!kernel_cells_equal) {
+    std::fprintf(stderr,
+                 "FAIL: word-walk contingency kernel disagrees with the "
+                 "scalar decode\n");
+    return 1;
+  }
+  if (!quick && kernel_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: word-walk contingency kernel %.2fx below the 3x "
+                 "target vs scalar decode\n",
+                 kernel_speedup);
     return 1;
   }
   if (!quick && rows >= 1000) {
@@ -609,6 +704,13 @@ int main(int argc, char** argv) {
                    "FAIL: 1M-row packed+sharded delta eval %.2fx below the "
                    "3x target\n",
                    scale_1m.speedup);
+      return 1;
+    }
+    if (!quick && scale_1m.rsrl_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: 1M-row clustered RSRL delta eval %.2fx below the "
+                   "2x target\n",
+                   scale_1m.rsrl_speedup);
       return 1;
     }
   }

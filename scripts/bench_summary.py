@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Merge BENCH_*.json bench artifacts into one BENCH_summary.json.
+
+Walks every BENCH_*.json in a directory (the bench binaries each write one),
+collects the speedup and max_abs_diff fields of every scenario under a
+dotted "file:path" key, and writes a single flat summary. With --baseline
+pointing at a previous run's BENCH_summary.json it additionally reports the
+per-scenario delta (after / before), so a perf regression shows up as a
+ratio < 1 in one place instead of being buried across files.
+
+Stdlib only — runs on a bare CI runner.
+
+Usage: bench_summary.py [--dir DIR] [--out FILE] [--baseline FILE]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Scenario fields worth tracking across runs: anything named like a speedup,
+# plus the exactness fields the gates pin at zero.
+TRACKED_SUFFIXES = ("speedup", "max_abs_diff")
+
+
+def tracked_fields(node, path=""):
+    """Yields (dotted_path, value) for every tracked numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                yield from tracked_fields(value, child)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                leaf = key.rsplit(".", 1)[-1]
+                if any(
+                    leaf == s or leaf.endswith("_" + s) or leaf.startswith(s + "_")
+                    for s in TRACKED_SUFFIXES
+                ):
+                    yield child, value
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from tracked_fields(value, f"{path}[{i}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    parser.add_argument("--out", default="BENCH_summary.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous BENCH_summary.json to compute per-scenario deltas against",
+    )
+    args = parser.parse_args()
+
+    out_name = os.path.basename(args.out)
+    sources = {}
+    scenarios = {}
+    for bench_path in sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json"))):
+        name = os.path.basename(bench_path)
+        if name == out_name:
+            continue
+        try:
+            with open(bench_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"bench_summary: skipping {name}: {error}", file=sys.stderr)
+            continue
+        fields = dict(tracked_fields(data))
+        sources[name] = fields
+        for path, value in fields.items():
+            scenarios[f"{name}:{path}"] = value
+
+    if not sources:
+        print(f"bench_summary: no BENCH_*.json found in {args.dir}", file=sys.stderr)
+        return 1
+
+    summary = {"sources": sources, "scenarios": scenarios}
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            before = json.load(handle).get("scenarios", {})
+        deltas = {}
+        for key, after in scenarios.items():
+            if key in before and "speedup" in key:
+                prev = before[key]
+                deltas[key] = {
+                    "before": prev,
+                    "after": after,
+                    "ratio": after / prev if prev else None,
+                }
+        summary["deltas_vs_baseline"] = deltas
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench_summary: wrote {args.out} ({len(scenarios)} tracked fields "
+          f"from {len(sources)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -330,6 +330,7 @@ void ParseFitness(const JsonValue& json, FitnessSpec* fitness,
                   Status* status) {
   Fields f("fitness", json, status);
   f.Double("delta_rebuild_fraction", &fitness->delta_rebuild_fraction);
+  f.Bool("probe_rebuild_fractions", &fitness->probe_rebuild_fractions);
   if (const JsonValue* fractions = f.Get("rebuild_fractions")) {
     if (!fractions->is_object()) {
       f.Fail("rebuild_fractions",
@@ -707,6 +708,7 @@ metrics::FitnessEvaluator::Options JobSpec::FitnessOptions() const {
   options.prl_em_iterations = measures.prl_em_iterations;
   options.delta_rebuild_fraction = fitness.delta_rebuild_fraction;
   options.measure_rebuild_fractions = fitness.rebuild_fractions;
+  options.probe_rebuild_fractions = fitness.probe_rebuild_fractions;
   if (!measures.enabled.empty()) {
     options.use_ctbil = options.use_dbil = options.use_ebil = false;
     options.use_id = options.use_dbrl = options.use_prl = options.use_rsrl =
@@ -822,6 +824,10 @@ JsonValue JobSpec::ToJson() const {
       fractions.Set(name, JsonValue::MakeNumber(fraction));
     }
     fitness_json.Set("rebuild_fractions", std::move(fractions));
+  }
+  // Serialized only when set so paper-default dumps stay byte-stable.
+  if (fitness.probe_rebuild_fractions) {
+    fitness_json.Set("probe_rebuild_fractions", JsonValue::MakeBool(true));
   }
   json.Set("fitness", std::move(fitness_json));
 

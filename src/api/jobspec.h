@@ -81,6 +81,12 @@ struct FitnessSpec {
   /// Per-measure overrides by registry name; beat the global override.
   /// Serialized as the `rebuild_fractions` object.
   std::vector<std::pair<std::string, double>> rebuild_fractions;
+  /// Bind-time probe: measure each unpinned measure's rebuild-vs-incremental
+  /// crossover on the first state bind and use the measured fractions
+  /// instead of the hand-calibrated defaults. Trades cross-run
+  /// bit-reproducibility (the probe is wall-clock based) for tuned rebuild
+  /// scheduling; pin fractions above to keep a measure bit-exact.
+  bool probe_rebuild_fractions = false;
 };
 
 /// \brief Which evolution strategy schedules the GA step, plus its

@@ -398,6 +398,16 @@ Result<RunArtifacts> Session::Run(const JobSpec& input_spec,
     for (const auto& sample : obs::MetricsRegistry::Global().CounterTotals()) {
       telemetry.counters.emplace_back(sample.series, sample.value);
     }
+    // Probed rebuild fractions (bind-time probe, when enabled) persist into
+    // the run artifacts so a probed run stays explainable after the fact.
+    // Gauges don't flow through CounterTotals, so append them here, in ppm
+    // to fit the integer counter rows.
+    for (const auto& [measure, fraction] :
+         evaluator->probed_rebuild_fractions()) {
+      telemetry.counters.emplace_back(
+          "evocat_delta_plane_probe_fraction_ppm{measure=\"" + measure + "\"}",
+          static_cast<int64_t>(std::llround(fraction * 1e6)));
+    }
     artifacts.telemetry = std::move(telemetry);
   }
 

@@ -14,6 +14,15 @@
 /// column (or a `PackedTable`) shares the word buffer, and the first `Set`
 /// detaches a private copy. Reads decode with a running bit cursor
 /// (`ForEachRange`) so sequential scans touch each word once.
+///
+/// Bulk reads go through the word-parallel kernels (`DecodeRange`,
+/// `AccumulateCounts`): each 64-bit word is loaded once and every code it
+/// holds is extracted by shift+mask before the next word is touched. On x86
+/// an SSE2/AVX2 fast path (compile-time detected, disable with
+/// `-DEVOCAT_SIMD=0`) widens the byte-aligned widths; the portable
+/// `uint64_t` core covers everything else and is bit-identical to the
+/// per-value decode by construction (integer extraction, no reordering of
+/// observable effects).
 
 #ifndef EVOCAT_DATA_PACKED_COLUMN_H_
 #define EVOCAT_DATA_PACKED_COLUMN_H_
@@ -73,10 +82,21 @@ class PackedColumn {
     }
   }
 
+  /// \brief Decodes the codes of [begin, end) into `out` (length
+  /// `end - begin`) by walking whole 64-bit words: one load per word, all
+  /// resident codes extracted by shift+mask, straddles patched with a single
+  /// next-word load. Byte-aligned widths (4/8/16 bits) take the SIMD fast
+  /// path when `EVOCAT_SIMD` is on. Exactly equivalent to `Get` per index.
+  void DecodeRange(int64_t begin, int64_t end, int32_t* out) const;
+
   /// \brief Adds this column's per-category counts over [begin, end) into
   /// `counts` (sized to the cardinality) — the word-parallel counting kernel
   /// behind the sharded contingency builds.
   void AccumulateCounts(int64_t begin, int64_t end, int64_t* counts) const;
+
+  /// \brief True when this build's bulk kernels use the vectorized
+  /// (SSE2/AVX2) byte-aligned fast path; false on the portable core.
+  static bool SimdEnabled();
 
   /// \brief True when this column shares its word buffer with `other`
   /// (COW introspection, mirrors `Dataset::SharesColumnStorage`).

@@ -75,6 +75,19 @@ inline void LinkageRemove(LinkageRowBest* row, double d, bool is_self,
   }
 }
 
+/// \brief `LinkageRemove` with multiplicity: removes `count` masked records
+/// at the same distance in one step (a pattern group leaving the candidate
+/// set). Like `LinkageAddN` the self flag is left untouched — cluster-level
+/// callers reconstruct it from the self distance. Flags `rescan` when the
+/// support empties.
+inline void LinkageRemoveN(LinkageRowBest* row, double d, int64_t count,
+                           uint8_t* rescan) {
+  if (d <= row->best + kLinkageEps && d >= row->best - kLinkageEps) {
+    row->count -= static_cast<int32_t>(count);
+    if (row->count <= 0) *rescan = 1;
+  }
+}
+
 /// \brief The linkage measures' credit score: each correctly self-linked
 /// record contributes 1/|tie set|, scaled to 0..100.
 double LinkageCreditScore(const std::vector<LinkageRowBest>& rows);

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "common/string_utils.h"
+#include "common/timer.h"
 #include "metrics/registry.h"
 #include "obs/metrics.h"
 
@@ -47,6 +48,39 @@ obs::Counter* RebuildFallbackCounter(int slot) {
   }();
   (void)initialized;
   return counters[slot];
+}
+
+obs::Gauge* ProbeFractionGauge(int slot) {
+  static obs::Gauge* gauges[7] = {nullptr};
+  static const bool initialized = [] {
+    for (int i = 0; i < 7; ++i) {
+      gauges[i] = obs::MetricsRegistry::Global().GetGauge(
+          "evocat_delta_plane_probe_fraction_ppm",
+          "Rebuild fraction the bind-time probe chose, in parts per million "
+          "of the protected cells.",
+          {{"measure", kSlotNames[i]}});
+    }
+    return true;
+  }();
+  (void)initialized;
+  return gauges[slot];
+}
+
+/// A no-op segment: `rows` distinct rows, one cell each, old == new (the
+/// current code), so applying it exercises the real per-row incremental
+/// machinery without changing any state observably — apply + revert leaves
+/// the score bitwise where it was.
+SegmentDelta NoOpSegment(const Dataset& masked, const std::vector<int>& attrs,
+                         int rows) {
+  SegmentDelta segment;
+  int64_t n = masked.num_rows();
+  int64_t stride = std::max<int64_t>(1, n / rows);
+  int attr = attrs.front();
+  for (int64_t row = 0; row < n && segment.num_cells() < rows; row += stride) {
+    int32_t code = masked.Code(row, attr);
+    segment.Append(row, attr, code, code);
+  }
+  return segment;
 }
 
 }  // namespace
@@ -237,6 +271,9 @@ std::unique_ptr<FitnessState> FitnessEvaluator::BindState(
   bind(dbrl_, "DBRL", &state->dbrl_);
   bind(prl_, "PRL", &state->prl_);
   bind(rsrl_, "RSRL", &state->rsrl_);
+  if (options_.probe_rebuild_fractions) {
+    ProbeAndApplyFractions(masked, state.get(), total_cells);
+  }
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   auto value = [](const std::unique_ptr<MeasureState>& s) {
     return s ? s->Score() : kNaN;
@@ -248,6 +285,89 @@ std::unique_ptr<FitnessState> FitnessEvaluator::BindState(
   state->prev_breakdown_ = state->breakdown_;
   num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   return state;
+}
+
+void FitnessEvaluator::ProbeAndApplyFractions(const Dataset& masked,
+                                              FitnessState* state,
+                                              int64_t total_cells) const {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  auto pinned = [&](const char* name) {
+    if (options_.delta_rebuild_fraction > 0.0) return true;
+    for (const auto& [measure, value] : options_.measure_rebuild_fractions) {
+      (void)value;
+      if (ToLower(measure) == ToLower(name)) return true;
+    }
+    return false;
+  };
+  std::unique_ptr<MeasureState>* slots[7] = {
+      &state->ctbil_, &state->dbil_, &state->ebil_, &state->id_,
+      &state->dbrl_,  &state->prl_,  &state->rsrl_};
+  if (!probed_) {
+    // Time the two cost-model legs per measure with no-op segments: a spread
+    // batch forced down the incremental path (threshold pinned to infinity)
+    // gives the per-cell apply cost, a single cell with threshold 1 gives
+    // the full-rebuild cost. Apply + revert pairs leave each state bitwise
+    // untouched, and ApplySegment is called directly so the probe never
+    // shows up in the delta/revert counters or num_evaluations.
+    constexpr int kProbeRows = 48;
+    constexpr int kReps = 2;
+    SegmentDelta spread = NoOpSegment(masked, attrs_, kProbeRows);
+    SegmentDelta single = NoOpSegment(masked, attrs_, 1);
+    for (int i = 0; i < 7; ++i) {
+      if (!*slots[i] || pinned(kSlotNames[i])) continue;
+      MeasureState* s = slots[i]->get();
+      double t_inc = std::numeric_limits<double>::infinity();
+      s->set_full_rebuild_threshold(std::numeric_limits<int64_t>::max());
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        s->ApplySegment(masked, spread);
+        s->Revert();
+        t_inc = std::min(t_inc, timer.ElapsedSeconds());
+      }
+      double t_rebuild = std::numeric_limits<double>::infinity();
+      s->set_full_rebuild_threshold(1);
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        s->ApplySegment(masked, single);
+        s->Revert();
+        t_rebuild = std::min(t_rebuild, timer.ElapsedSeconds());
+      }
+      s->set_full_rebuild_threshold(0);
+      // Crossover point: the batch size (as a fraction of the protected
+      // cells) where per-cell incremental work equals one rebuild. Timer
+      // underflow (either leg below clock resolution) degrades to 1.0 —
+      // "rebuilds are free here", the cell-scoped measures' default.
+      double per_cell =
+          t_inc / static_cast<double>(std::max<int64_t>(1, spread.num_cells()));
+      double denom = per_cell * static_cast<double>(total_cells);
+      double fraction =
+          denom > 0.0 && std::isfinite(t_rebuild) ? t_rebuild / denom : 1.0;
+      fraction = std::min(1.0, std::max(0.01, fraction));
+      probed_fraction_[i] = fraction;
+      ProbeFractionGauge(i)->Set(
+          static_cast<int64_t>(std::llround(fraction * 1e6)));
+    }
+    probed_ = true;
+  }
+  // Every bind (including the first) adopts the cached probe verdicts;
+  // pinned or disabled slots keep whatever BindState already set.
+  for (int i = 0; i < 7; ++i) {
+    if (*slots[i] && probed_fraction_[i] > 0.0) {
+      (*slots[i])->set_rebuild_fraction(probed_fraction_[i]);
+    }
+  }
+}
+
+std::vector<std::pair<std::string, double>>
+FitnessEvaluator::probed_rebuild_fractions() const {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  if (!probed_) return out;
+  for (int i = 0; i < 7; ++i) {
+    if (probed_fraction_[i] > 0.0) out.emplace_back(kSlotNames[i],
+                                                    probed_fraction_[i]);
+  }
+  return out;
 }
 
 void FitnessState::ApplyDelta(const Dataset& masked_after,

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -162,6 +163,18 @@ class FitnessEvaluator {
     /// override. Values must be in (0, 1]; unknown names are rejected by
     /// `Create`.
     std::vector<std::pair<std::string, double>> measure_rebuild_fractions;
+    /// Bind-time rebuild-fraction probe. When true, the first `BindState`
+    /// times one full rebuild against a calibrated batch of no-op segment
+    /// applies per measure (apply + revert pairs, so the probed state is
+    /// left untouched) and replaces each measure's hand-calibrated rebuild
+    /// fraction with the measured crossover point. Measures pinned through
+    /// `measure_rebuild_fractions` or a positive `delta_rebuild_fraction`
+    /// are never probed. The probe only moves *when* a state rebuilds, never
+    /// what it computes, so every score still matches a from-scratch
+    /// Compute; but wall-clock timing is machine-dependent, so cross-run
+    /// bit-reproducibility is traded away — leave it off (the default) or
+    /// pin the fractions when runs must replay exactly.
+    bool probe_rebuild_fractions = false;
   };
 
   /// \brief Binds all enabled measures to `original` over `attrs`.
@@ -203,6 +216,13 @@ class FitnessEvaluator {
   /// \brief Number of `Evaluate` calls served (for the timing tables).
   int64_t num_evaluations() const { return num_evaluations_.load(); }
 
+  /// \brief The rebuild fractions the bind-time probe chose, as (registry
+  /// slot name, fraction) pairs — empty until the probe has run (it runs on
+  /// the first `BindState` when `Options::probe_rebuild_fractions` is on).
+  /// Persisted into the RunArtifacts telemetry section so probed runs stay
+  /// explainable.
+  std::vector<std::pair<std::string, double>> probed_rebuild_fractions() const;
+
  private:
   friend class FitnessState;
 
@@ -222,7 +242,16 @@ class FitnessEvaluator {
   std::unique_ptr<BoundMeasure> prl_;
   std::unique_ptr<BoundMeasure> rsrl_;
 
+  /// \brief Runs the bind-time probe once (first caller wins; later binds
+  /// reuse the cached fractions) and applies the chosen fractions to
+  /// `state`'s unpinned measure slots.
+  void ProbeAndApplyFractions(const Dataset& masked, FitnessState* state,
+                              int64_t total_cells) const;
+
   mutable std::atomic<int64_t> num_evaluations_{0};
+  mutable std::mutex probe_mutex_;
+  mutable bool probed_ = false;
+  mutable double probed_fraction_[7] = {0, 0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace metrics

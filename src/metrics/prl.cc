@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "metrics/delta.h"
 #include "metrics/plane.h"
+#include "obs/metrics.h"
 
 namespace evocat {
 namespace metrics {
@@ -21,6 +22,94 @@ constexpr double kProbCeil = 1.0 - 1e-6;
 // Weight-tie epsilon; shared with the distance-tie epsilon of the other
 // linkage attacks so the tie semantics stay uniform.
 constexpr double kEps = kLinkageEps;
+/// Sweep budget of a warm-started refit before falling back to the cold
+/// trajectory. EM contracts by roughly 7x per sweep near the solution, but
+/// the exit criterion is a *bitwise* fixed point, so closing the last few
+/// ulps dominates: small deltas land in ~15 sweeps (measured), well under
+/// the cold budget, and the margin here keeps borderline refits warm.
+constexpr int kWarmStartSweeps = 24;
+/// Warm starts assume the cold budget itself is past convergence (so the
+/// warm fixed point is the one the cold trajectory lands on); tiny budgets
+/// keep the exact cold arithmetic instead.
+constexpr int kMinIterationsForWarmStart = 10;
+/// Segment size (cells) above which a delta refit skips the warm attempt
+/// and goes straight to the cold fit: a heavy segment (crossover legs)
+/// shifts the pattern counts far enough that the warm trajectory rarely
+/// freezes within its budget, and a missed attempt costs kWarmStartSweeps
+/// wasted sweeps on top of the full cold fit it falls back to. GA mutation
+/// legs (1-4 cells) stay warm. The gate depends only on the segment, so
+/// both data planes decide identically.
+constexpr int64_t kMaxWarmSegmentCells = 8;
+
+obs::Counter* EmWarmHitsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_delta_plane_em_warm_hits_total",
+      "PRL EM refits warm-started from the previous model that reached an "
+      "exact fixed point within the warm sweep budget.");
+  return counter;
+}
+
+obs::Counter* EmColdStartsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "evocat_delta_plane_em_cold_starts_total",
+      "PRL EM fits that ran the cold trajectory: first fits, rebuilds, and "
+      "warm-start fallbacks on large deltas.");
+  return counter;
+}
+
+/// One EM sweep (E-step over the nonzero pattern counts, clamped M-step)
+/// applied in place. Returns true when the sweep left the model bitwise
+/// unchanged — an exact fixed point: any further sweep recomputes the
+/// identical E- and M-steps from identical inputs, so iteration can stop
+/// with provably no effect on the final model.
+bool EmSweep(const std::vector<std::pair<uint32_t, double>>& pattern_counts,
+             int num_attrs, double total, FellegiSunterModel* model) {
+  const FellegiSunterModel before = *model;
+  double sum_g = 0.0, sum_1mg = 0.0;
+  std::vector<double> m_num(static_cast<size_t>(num_attrs), 0.0);
+  std::vector<double> u_num(static_cast<size_t>(num_attrs), 0.0);
+  for (const auto& [p, count] : pattern_counts) {
+    if (count <= 0.0) continue;
+    // E-step: posterior match probability of this pattern.
+    double like_m = model->match_prevalence;
+    double like_u = 1.0 - model->match_prevalence;
+    for (int k = 0; k < num_attrs; ++k) {
+      bool agree = (p >> k) & 1u;
+      like_m *= agree ? model->m[static_cast<size_t>(k)]
+                      : 1.0 - model->m[static_cast<size_t>(k)];
+      like_u *= agree ? model->u[static_cast<size_t>(k)]
+                      : 1.0 - model->u[static_cast<size_t>(k)];
+    }
+    double denom = like_m + like_u;
+    double g = denom > 0 ? like_m / denom : 0.5;
+    sum_g += g * count;
+    sum_1mg += (1.0 - g) * count;
+    for (int k = 0; k < num_attrs; ++k) {
+      if ((p >> k) & 1u) {
+        m_num[static_cast<size_t>(k)] += g * count;
+        u_num[static_cast<size_t>(k)] += (1.0 - g) * count;
+      }
+    }
+  }
+  // M-step with clamping to keep the weights finite.
+  if (sum_g > 0) {
+    for (int k = 0; k < num_attrs; ++k) {
+      model->m[static_cast<size_t>(k)] =
+          Clamp(m_num[static_cast<size_t>(k)] / sum_g, kProbFloor, kProbCeil);
+    }
+  }
+  if (sum_1mg > 0) {
+    for (int k = 0; k < num_attrs; ++k) {
+      model->u[static_cast<size_t>(k)] =
+          Clamp(u_num[static_cast<size_t>(k)] / sum_1mg, kProbFloor, kProbCeil);
+    }
+  }
+  if (total > 0) {
+    model->match_prevalence = Clamp(sum_g / total, kProbFloor, kProbCeil);
+  }
+  return model->m == before.m && model->u == before.u &&
+         model->match_prevalence == before.match_prevalence;
+}
 }  // namespace
 
 double FellegiSunterModel::PatternWeight(uint32_t pattern) const {
@@ -45,50 +134,31 @@ FellegiSunterModel FitFellegiSunter(
   model.match_prevalence = total > 0 ? 1.0 / std::sqrt(total) : 0.5;
 
   for (int iter = 0; iter < em_iterations; ++iter) {
-    double sum_g = 0.0, sum_1mg = 0.0;
-    std::vector<double> m_num(static_cast<size_t>(num_attrs), 0.0);
-    std::vector<double> u_num(static_cast<size_t>(num_attrs), 0.0);
-    for (const auto& [p, count] : pattern_counts) {
-      if (count <= 0.0) continue;
-      // E-step: posterior match probability of this pattern.
-      double like_m = model.match_prevalence;
-      double like_u = 1.0 - model.match_prevalence;
-      for (int k = 0; k < num_attrs; ++k) {
-        bool agree = (p >> k) & 1u;
-        like_m *= agree ? model.m[static_cast<size_t>(k)]
-                        : 1.0 - model.m[static_cast<size_t>(k)];
-        like_u *= agree ? model.u[static_cast<size_t>(k)]
-                        : 1.0 - model.u[static_cast<size_t>(k)];
-      }
-      double denom = like_m + like_u;
-      double g = denom > 0 ? like_m / denom : 0.5;
-      sum_g += g * count;
-      sum_1mg += (1.0 - g) * count;
-      for (int k = 0; k < num_attrs; ++k) {
-        if ((p >> k) & 1u) {
-          m_num[static_cast<size_t>(k)] += g * count;
-          u_num[static_cast<size_t>(k)] += (1.0 - g) * count;
-        }
-      }
-    }
-    // M-step with clamping to keep the weights finite.
-    if (sum_g > 0) {
-      for (int k = 0; k < num_attrs; ++k) {
-        model.m[static_cast<size_t>(k)] =
-            Clamp(m_num[static_cast<size_t>(k)] / sum_g, kProbFloor, kProbCeil);
-      }
-    }
-    if (sum_1mg > 0) {
-      for (int k = 0; k < num_attrs; ++k) {
-        model.u[static_cast<size_t>(k)] =
-            Clamp(u_num[static_cast<size_t>(k)] / sum_1mg, kProbFloor, kProbCeil);
-      }
-    }
-    if (total > 0) {
-      model.match_prevalence = Clamp(sum_g / total, kProbFloor, kProbCeil);
-    }
+    // A bitwise fixed point makes the remaining sweeps no-ops — stop.
+    if (EmSweep(pattern_counts, num_attrs, total, &model)) break;
   }
   return model;
+}
+
+FellegiSunterModel FitFellegiSunterWarm(
+    const std::vector<std::pair<uint32_t, double>>& pattern_counts,
+    int num_attrs, int em_iterations, const FellegiSunterModel& warm_start,
+    bool* warm_hit) {
+  *warm_hit = false;
+  if (em_iterations >= kMinIterationsForWarmStart &&
+      static_cast<int>(warm_start.m.size()) == num_attrs &&
+      static_cast<int>(warm_start.u.size()) == num_attrs) {
+    double total = 0.0;
+    for (const auto& [pattern, count] : pattern_counts) total += count;
+    FellegiSunterModel model = warm_start;
+    for (int iter = 0; iter < kWarmStartSweeps; ++iter) {
+      if (EmSweep(pattern_counts, num_attrs, total, &model)) {
+        *warm_hit = true;
+        return model;
+      }
+    }
+  }
+  return FitFellegiSunter(pattern_counts, num_attrs, em_iterations);
 }
 
 FellegiSunterModel FitFellegiSunter(const std::vector<double>& pattern_counts,
@@ -245,8 +315,11 @@ class PrlState : public MeasureState {
                     const SegmentDelta& segment) override {
     undo_.counts = core_.counts;
     undo_.score = core_.score;
+    undo_.em_model = em_model_;
+    undo_.warm_em = warm_em_;
     undo_.shifts.clear();
     undo_.rebuilt = false;
+    warm_small_delta_ = segment.num_cells() <= kMaxWarmSegmentCells;
     if (segment.num_cells() >= full_rebuild_threshold()) {
       undo_.rebuilt = true;
       undo_.hist_backup = core_.hist;
@@ -322,6 +395,8 @@ class PrlState : public MeasureState {
     }
     core_.counts = undo_.counts;
     core_.score = undo_.score;
+    em_model_ = undo_.em_model;
+    warm_em_ = undo_.warm_em;
     undo_.shifts.clear();
   }
 
@@ -355,6 +430,10 @@ class PrlState : public MeasureState {
     std::vector<Shift> shifts;
     bool rebuilt = false;
     std::vector<std::vector<PatternCount>> hist_backup;
+    /// Carried EM model snapshot so a reverted apply also rewinds the next
+    /// refit's warm-start point (keeps replayed walks bit-reproducible).
+    FellegiSunterModel em_model;
+    bool warm_em = false;
   };
 
   /// Moves `delta` units of count into `pattern`'s bucket, keeping the
@@ -437,6 +516,8 @@ class PrlState : public MeasureState {
           cluster_hist[static_cast<size_t>(clusters.cluster_of(i))];
     });
     RefreshCounts();
+    // Full builds define the oracle semantics: always refit cold.
+    warm_em_ = false;
     RefreshScore(masked);
   }
 
@@ -492,8 +573,24 @@ class PrlState : public MeasureState {
   void RefreshScore(const Dataset& masked) {
     const auto& attrs = bound_->attrs();
     int64_t n = bound_->original().num_rows();
-    FellegiSunterModel model = FitFellegiSunter(
-        core_.counts, static_cast<int>(attrs.size()), bound_->em_iterations());
+    // Delta refits warm-start EM from the previous model (a small count
+    // shift leaves the fixed point at or next to the old one — 1–3 sweeps
+    // instead of the full budget); first fits, rebuilds and heavy segments
+    // (see kMaxWarmSegmentCells) run cold.
+    FellegiSunterModel model;
+    if (warm_em_ && warm_small_delta_) {
+      bool hit = false;
+      model =
+          FitFellegiSunterWarm(core_.counts, static_cast<int>(attrs.size()),
+                               bound_->em_iterations(), em_model_, &hit);
+      (hit ? EmWarmHitsCounter() : EmColdStartsCounter())->Increment();
+    } else {
+      model = FitFellegiSunter(core_.counts, static_cast<int>(attrs.size()),
+                               bound_->em_iterations());
+      EmColdStartsCounter()->Increment();
+    }
+    em_model_ = model;
+    warm_em_ = true;
     // Weights for exactly the patterns alive somewhere in the file; every
     // record's buckets (and its self pattern) are a subset of these.
     std::vector<double> weights(core_.counts.size());
@@ -544,6 +641,12 @@ class PrlState : public MeasureState {
   int shards_;
   Core core_;
   Undo undo_;
+  /// Previous refit's EM model — the next delta refit's warm-start point.
+  FellegiSunterModel em_model_;
+  bool warm_em_ = false;
+  /// True when the segment being applied is small enough for a warm refit
+  /// (see kMaxWarmSegmentCells); set at the top of every ApplySegment.
+  bool warm_small_delta_ = false;
   /// Reused dense (p_old, p_new) scratch for one changed row's parallel
   /// pattern pass (one allocation per state, not per row).
   std::vector<uint64_t> scratch_;
@@ -573,9 +676,12 @@ class ClusteredPrlState : public MeasureState {
                     const SegmentDelta& segment) override {
     undo_.counts = counts_;
     undo_.score = score_;
+    undo_.em_model = em_model_;
+    undo_.warm_em = warm_em_;
     undo_.shifts.clear();
     undo_.p_self.clear();
     undo_.rebuilt = false;
+    warm_small_delta_ = segment.num_cells() <= kMaxWarmSegmentCells;
     if (segment.num_cells() >= full_rebuild_threshold()) {
       undo_.rebuilt = true;
       undo_.hist_backup = cluster_hist_;
@@ -659,6 +765,8 @@ class ClusteredPrlState : public MeasureState {
     }
     counts_ = undo_.counts;
     score_ = undo_.score;
+    em_model_ = undo_.em_model;
+    warm_em_ = undo_.warm_em;
     undo_.shifts.clear();
     undo_.p_self.clear();
   }
@@ -686,6 +794,9 @@ class ClusteredPrlState : public MeasureState {
     bool rebuilt = false;
     std::vector<std::vector<PatternCount>> hist_backup;
     std::vector<uint32_t> p_self_backup;
+    /// Carried EM model snapshot — see PrlState::Undo.
+    FellegiSunterModel em_model;
+    bool warm_em = false;
   };
 
   static void Shift(std::vector<PatternCount>* hist, uint32_t pattern,
@@ -757,6 +868,8 @@ class ClusteredPrlState : public MeasureState {
           groups.codes(groups.group_of(i)));
     });
     RefreshCounts();
+    // Full builds define the oracle semantics: always refit cold.
+    warm_em_ = false;
     RefreshScore();
   }
 
@@ -816,8 +929,23 @@ class ClusteredPrlState : public MeasureState {
     int64_t n = bound_->original().num_rows();
     int64_t num_clusters = clusters.num_clusters();
     size_t num_attrs = attrs.size();
-    FellegiSunterModel model = FitFellegiSunter(
-        counts_, static_cast<int>(num_attrs), bound_->em_iterations());
+    // Warm-start delta refits exactly as in PrlState — identical counts,
+    // identical carried models and the same segment-size gate on both planes
+    // keep the refit arithmetic (and thus the cross-plane bitwise equality)
+    // intact.
+    FellegiSunterModel model;
+    if (warm_em_ && warm_small_delta_) {
+      bool hit = false;
+      model = FitFellegiSunterWarm(counts_, static_cast<int>(num_attrs),
+                                   bound_->em_iterations(), em_model_, &hit);
+      (hit ? EmWarmHitsCounter() : EmColdStartsCounter())->Increment();
+    } else {
+      model = FitFellegiSunter(counts_, static_cast<int>(num_attrs),
+                               bound_->em_iterations());
+      EmColdStartsCounter()->Increment();
+    }
+    em_model_ = model;
+    warm_em_ = true;
     std::vector<double> weights(counts_.size());
     for (size_t idx = 0; idx < counts_.size(); ++idx) {
       weights[idx] = model.PatternWeight(counts_[idx].first);
@@ -885,6 +1013,11 @@ class ClusteredPrlState : public MeasureState {
   std::vector<uint32_t> p_self_;
   double score_ = 0.0;
   Undo undo_;
+  /// Previous refit's EM model — the next delta refit's warm-start point.
+  FellegiSunterModel em_model_;
+  bool warm_em_ = false;
+  /// Mirrors PrlState::warm_small_delta_ — same segment, same gate.
+  bool warm_small_delta_ = false;
   // Per-apply scratch, reused across generations.
   std::vector<uint64_t> scratch_;
   std::vector<int32_t> rd_codes_;

@@ -483,7 +483,456 @@ class RsrlState : public MeasureState {
   Undo undo_;
 };
 
+/// Cluster-level RSRL state (the sharded data plane): like ClusteredDbrlState
+/// it keeps one `LinkageRowBest` per *original pattern cluster* plus each
+/// row's self distance, but adds RSRL's candidate-window maintenance. Both
+/// masked-side dependencies collapse to pattern granularity: the changed-row
+/// fold removes/adds whole tuples per cluster under the old/new candidate
+/// matrices, and a mid-rank flip block (o, m) at attribute k toggles whole
+/// masked groups against whole original clusters — folded with multiplicity
+/// (group size minus the changed rows already handled row-wise). Per delta
+/// the work is O(C·changed + flips·C_o·G_m + n) instead of O(n·changed +
+/// flips·n_o·n_m + n·A); the n²/8 pair-coverage guard and the rebuild
+/// fraction match the row state, so both planes take the same paths.
+class ClusteredRsrlState : public MeasureState {
+ public:
+  ClusteredRsrlState(const BoundRsrl* bound, const Dataset& masked)
+      : MeasureState(/*default_rebuild_fraction=*/0.12),
+        bound_(bound),
+        attr_pos_(AttrPositions(bound->attrs(), masked.num_attributes())),
+        shards_(ResolveShardCount(GetDataPlane())) {
+    const auto& attrs = bound_->attrs();
+    const PatternIndex& clusters = bound_->clusters();
+    orig_counts_.resize(attrs.size());
+    clusters_by_code_.resize(attrs.size());
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      orig_counts_[k] = CategoryCounts(bound_->original(), attrs[k]);
+      clusters_by_code_[k].resize(static_cast<size_t>(Cardinality(k)));
+    }
+    for (int64_t c = 0; c < clusters.num_clusters(); ++c) {
+      const int32_t* codes = clusters.codes(c);
+      for (size_t k = 0; k < attrs.size(); ++k) {
+        clusters_by_code_[k][static_cast<size_t>(codes[k])].push_back(
+            static_cast<int32_t>(c));
+      }
+    }
+    InitFrom(masked);
+    undo_.counts = core_.counts;
+    undo_.midranks = core_.midranks;
+    undo_.cand = core_.cand;
+    undo_.cluster_best = core_.cluster_best;
+    undo_.score = core_.score;
+    undo_.self_ok = self_ok_;
+  }
+
+  void ApplySegment(const Dataset& masked_after,
+                    const SegmentDelta& segment) override {
+    undo_.counts = core_.counts;
+    undo_.midranks = core_.midranks;
+    undo_.cand = core_.cand;
+    undo_.cluster_best = core_.cluster_best;
+    undo_.score = core_.score;
+    undo_.self_ok = self_ok_;
+    undo_.moves.clear();
+    undo_.d_self.clear();
+    undo_.rebuilt = false;
+    if (segment.num_cells() >= full_rebuild_threshold()) {
+      RebuildWithUndo(masked_after);
+      return;
+    }
+    const auto& row_deltas = segment.rows();
+    if (row_deltas.empty()) return;
+
+    const auto& attrs = bound_->attrs();
+    size_t num_attrs = attrs.size();
+    int64_t n = bound_->original().num_rows();
+
+    // 1. Fold the deltas into the masked marginals. The group moves happen
+    //    below, after the pair-coverage guard has committed to the
+    //    incremental path (so a guard rebuild backs up untouched groups).
+    std::vector<uint8_t> attr_changed(num_attrs, 0);
+    for (const RowDelta& rd : row_deltas) {
+      for (const auto& cell : rd.cells) {
+        int pos = attr_pos_[static_cast<size_t>(cell.attr)];
+        if (pos < 0 || cell.old_code == cell.new_code) continue;
+        auto k = static_cast<size_t>(pos);
+        core_.counts[k][static_cast<size_t>(cell.old_code)] -= 1;
+        core_.counts[k][static_cast<size_t>(cell.new_code)] += 1;
+        attr_changed[k] = 1;
+      }
+    }
+
+    // 2. Re-derive mid-ranks and candidate matrices for the touched
+    //    attributes, recording flips. The pair estimate reads the marginals
+    //    directly (the same numbers the row state keeps as list sizes), so
+    //    both planes make the identical rebuild decision.
+    std::vector<std::vector<uint8_t>> flipped(num_attrs);
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> flips(num_attrs);
+    int64_t affected_pairs = 0;
+    for (size_t k = 0; k < num_attrs; ++k) {
+      if (!attr_changed[k]) continue;
+      core_.midranks[k] = MidranksFromCounts(core_.counts[k]);
+      auto card = static_cast<size_t>(Cardinality(k));
+      flipped[k].assign(card * card, 0);
+      const auto& orig_ranks = bound_->original_midranks(k);
+      double window = bound_->window();
+      for (size_t o = 0; o < card; ++o) {
+        for (size_t m = 0; m < card; ++m) {
+          uint8_t now =
+              std::fabs(orig_ranks[o] - core_.midranks[k][m]) <= window;
+          if (now != core_.cand[k][o * card + m]) {
+            flipped[k][o * card + m] = 1;
+            flips[k].emplace_back(static_cast<int32_t>(o),
+                                  static_cast<int32_t>(m));
+            affected_pairs += orig_counts_[k][o] *
+                              core_.counts[k][static_cast<size_t>(m)];
+            core_.cand[k][o * card + m] = now;
+          }
+        }
+      }
+    }
+    int64_t touched_estimate =
+        affected_pairs + n * static_cast<int64_t>(row_deltas.size());
+    if (touched_estimate > n * n / 8) {
+      RebuildWithUndo(masked_after);
+      return;
+    }
+
+    // 3. Move changed rows between pattern groups, refresh self distances.
+    const PatternIndex& clusters = bound_->clusters();
+    const DistanceTables& tables = bound_->tables();
+    size_t num_rds = row_deltas.size();
+    rd_codes_.assign(2 * num_rds * num_attrs, 0);
+    for (size_t r = 0; r < num_rds; ++r) {
+      const RowDelta& rd = row_deltas[r];
+      int32_t* old_codes = rd_codes_.data() + 2 * r * num_attrs;
+      int32_t* new_codes = old_codes + num_attrs;
+      for (size_t k = 0; k < num_attrs; ++k) {
+        old_codes[k] = rd.OldCode(masked_after, attrs[k]);
+        new_codes[k] = masked_after.Code(rd.row, attrs[k]);
+      }
+      int64_t groups_before = groups_.num_groups();
+      groups_.ApplyRow(rd.row, new_codes, &undo_.moves);
+      AppendNewGroups(groups_before);
+      undo_.d_self.push_back(
+          DselfUndo{rd.row, d_self_[static_cast<size_t>(rd.row)]});
+      d_self_[static_cast<size_t>(rd.row)] = tables.RecordDistanceCodes(
+          clusters.codes(clusters.cluster_of(rd.row)), new_codes);
+    }
+
+    // 4. Changed rows, folded per cluster: remove the old tuple under the
+    //    old candidate matrices, add the new tuple under the new ones.
+    int64_t num_clusters = clusters.num_clusters();
+    rescan_.assign(static_cast<size_t>(num_clusters), 0);
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      LinkageRowBest& row = core_.cluster_best[static_cast<size_t>(c)];
+      uint8_t* needs_rescan = &rescan_[static_cast<size_t>(c)];
+      const int32_t* ccodes = clusters.codes(c);
+      for (size_t r = 0; r < num_rds; ++r) {
+        if (*needs_rescan) break;
+        const int32_t* old_codes = rd_codes_.data() + 2 * r * num_attrs;
+        const int32_t* new_codes = old_codes + num_attrs;
+        bool cand_old = AllCandCodes(undo_.cand, ccodes, old_codes);
+        bool cand_new = AllCandCodes(core_.cand, ccodes, new_codes);
+        double sum_old = 0.0, sum_new = 0.0;
+        for (size_t k = 0; k < num_attrs; ++k) {
+          sum_old += tables.At(k, ccodes[k], old_codes[k]);
+          sum_new += tables.At(k, ccodes[k], new_codes[k]);
+        }
+        double denom = static_cast<double>(num_attrs);
+        if (cand_old) {
+          LinkageRemove(&row, sum_old / denom, false, needs_rescan);
+        }
+        if (!*needs_rescan && cand_new) {
+          LinkageAdd(&row, sum_new / denom, false);
+        }
+      }
+    });
+
+    // 5. Flip blocks: (cluster, group) pairs whose candidacy toggled through
+    //    a mid-rank shift alone. Each group's multiplicity excludes the
+    //    changed rows already folded above; a pair covered by several
+    //    flipped attributes is handled once, at its first one.
+    changed_in_group_.assign(static_cast<size_t>(groups_.num_groups()), 0);
+    for (const RowDelta& rd : row_deltas) {
+      ++changed_in_group_[static_cast<size_t>(groups_.group_of(rd.row))];
+    }
+    for (size_t k = 0; k < num_attrs; ++k) {
+      for (const auto& [o, m] : flips[k]) {
+        for (int32_t g : groups_by_code_[k][static_cast<size_t>(m)]) {
+          int64_t eff = groups_.group_size(g) -
+                        changed_in_group_[static_cast<size_t>(g)];
+          if (eff <= 0) continue;
+          const int32_t* gcodes = groups_.codes(g);
+          for (int32_t c : clusters_by_code_[k][static_cast<size_t>(o)]) {
+            if (rescan_[static_cast<size_t>(c)]) continue;
+            const int32_t* ccodes = clusters.codes(c);
+            if (!FirstFlippedAttr(flipped, ccodes, gcodes, k)) continue;
+            bool cand_old = AllCandCodes(undo_.cand, ccodes, gcodes);
+            bool cand_new = AllCandCodes(core_.cand, ccodes, gcodes);
+            if (cand_old == cand_new) continue;
+            double d = tables.RecordDistanceCodes(ccodes, gcodes);
+            LinkageRowBest& row = core_.cluster_best[static_cast<size_t>(c)];
+            if (cand_old) {
+              LinkageRemoveN(&row, d, eff, &rescan_[static_cast<size_t>(c)]);
+            } else {
+              LinkageAddN(&row, d, eff);
+            }
+          }
+        }
+      }
+    }
+
+    // 6. Rescan clusters whose support emptied, against the new world.
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      if (rescan_[static_cast<size_t>(c)]) {
+        core_.cluster_best[static_cast<size_t>(c)] = ScanCluster(c);
+      }
+    });
+
+    // 7. Refresh the per-row self-candidacy cache that RefreshScore reads:
+    //    a candidate-window flip can toggle any row, while without flips
+    //    only the moved rows can change.
+    bool any_flips = false;
+    for (size_t k = 0; k < num_attrs; ++k) {
+      if (!flips[k].empty()) any_flips = true;
+    }
+    if (any_flips) {
+      ParallelFor(0, n, [&](int64_t i) {
+        self_ok_[static_cast<size_t>(i)] =
+            AllCandCodes(core_.cand, clusters.codes(clusters.cluster_of(i)),
+                         groups_.codes(groups_.group_of(i)));
+      });
+    } else {
+      for (const RowDelta& rd : row_deltas) {
+        self_ok_[static_cast<size_t>(rd.row)] = AllCandCodes(
+            core_.cand, clusters.codes(clusters.cluster_of(rd.row)),
+            groups_.codes(groups_.group_of(rd.row)));
+      }
+    }
+    RefreshScore();
+  }
+
+  void RevertSegment() override {
+    if (undo_.rebuilt) {
+      groups_ = undo_.groups;
+      d_self_ = undo_.d_self_full;
+      RebuildGroupsByCode();
+    } else {
+      groups_.UndoMoves(undo_.moves);
+      for (auto it = undo_.d_self.rbegin(); it != undo_.d_self.rend(); ++it) {
+        d_self_[static_cast<size_t>(it->row)] = it->old_value;
+      }
+      // Groups created during the apply stay at size 0 (ids are never
+      // reused), so the by-code lists remain valid as-is.
+    }
+    core_.counts = undo_.counts;
+    core_.midranks = undo_.midranks;
+    core_.cand = undo_.cand;
+    core_.cluster_best = undo_.cluster_best;
+    core_.score = undo_.score;
+    self_ok_ = undo_.self_ok;
+    undo_.moves.clear();
+    undo_.d_self.clear();
+    undo_.rebuilt = false;
+  }
+
+  double Score() const override { return core_.score; }
+
+ private:
+  struct Core {
+    std::vector<std::vector<int64_t>> counts;    ///< masked marginals per attr
+    std::vector<std::vector<double>> midranks;   ///< masked mid-ranks per attr
+    std::vector<std::vector<uint8_t>> cand;      ///< [k][o*card+m] in-window
+    std::vector<LinkageRowBest> cluster_best;    ///< per original cluster
+    double score = 0.0;
+  };
+
+  struct DselfUndo {
+    int64_t row;
+    double old_value;
+  };
+
+  struct Undo {
+    std::vector<std::vector<int64_t>> counts;
+    std::vector<std::vector<double>> midranks;
+    std::vector<std::vector<uint8_t>> cand;
+    std::vector<LinkageRowBest> cluster_best;
+    double score = 0.0;
+    std::vector<MaskedGroups::Move> moves;
+    std::vector<DselfUndo> d_self;
+    std::vector<uint8_t> self_ok;  ///< full snapshot (one byte per row)
+    bool rebuilt = false;
+    MaskedGroups groups;              ///< full backup (rebuild only)
+    std::vector<double> d_self_full;  ///< full backup (rebuild only)
+  };
+
+  int Cardinality(size_t k) const {
+    return bound_->original().schema().attribute(bound_->attrs()[k]).cardinality();
+  }
+
+  /// Full-recompute fallback that stays revertible.
+  void RebuildWithUndo(const Dataset& masked_after) {
+    undo_.rebuilt = true;
+    undo_.groups = groups_;
+    undo_.d_self_full = d_self_;
+    InitFrom(masked_after);
+  }
+
+  void InitFrom(const Dataset& masked) {
+    const auto& attrs = bound_->attrs();
+    int64_t n = bound_->original().num_rows();
+    core_.counts.resize(attrs.size());
+    core_.midranks.resize(attrs.size());
+    core_.cand.resize(attrs.size());
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      core_.counts[k] = CategoryCounts(masked, attrs[k]);
+      core_.midranks[k] = MidranksFromCounts(core_.counts[k]);
+      auto card = static_cast<size_t>(Cardinality(k));
+      core_.cand[k].assign(card * card, 0);
+      const auto& orig_ranks = bound_->original_midranks(k);
+      for (size_t o = 0; o < card; ++o) {
+        for (size_t m = 0; m < card; ++m) {
+          core_.cand[k][o * card + m] =
+              std::fabs(orig_ranks[o] - core_.midranks[k][m]) <=
+              bound_->window();
+        }
+      }
+    }
+    groups_ = MaskedGroups::Build(masked, attrs, shards_);
+    RebuildGroupsByCode();
+    const PatternIndex& clusters = bound_->clusters();
+    int64_t num_clusters = clusters.num_clusters();
+    core_.cluster_best.assign(static_cast<size_t>(num_clusters),
+                              LinkageRowBest{});
+    ParallelFor(0, num_clusters, [&](int64_t c) {
+      core_.cluster_best[static_cast<size_t>(c)] = ScanCluster(c);
+    });
+    d_self_.assign(static_cast<size_t>(n), 0.0);
+    self_ok_.assign(static_cast<size_t>(n), 0);
+    ParallelFor(0, n, [&](int64_t i) {
+      d_self_[static_cast<size_t>(i)] = bound_->tables().RecordDistanceCodes(
+          clusters.codes(clusters.cluster_of(i)),
+          groups_.codes(groups_.group_of(i)));
+      self_ok_[static_cast<size_t>(i)] =
+          AllCandCodes(core_.cand, clusters.codes(clusters.cluster_of(i)),
+                       groups_.codes(groups_.group_of(i)));
+    });
+    RefreshScore();
+  }
+
+  /// Fresh candidate-filtered fold of one original cluster against every
+  /// masked pattern group, in group id order (cluster-granular ScanRow).
+  LinkageRowBest ScanCluster(int64_t c) const {
+    const int32_t* ccodes = bound_->clusters().codes(c);
+    LinkageRowBest best;
+    int64_t num_groups = groups_.num_groups();
+    for (int64_t g = 0; g < num_groups; ++g) {
+      int64_t size = groups_.group_size(g);
+      if (size <= 0) continue;
+      const int32_t* gcodes = groups_.codes(g);
+      if (!AllCandCodes(core_.cand, ccodes, gcodes)) continue;
+      LinkageAddN(&best, bound_->tables().RecordDistanceCodes(ccodes, gcodes),
+                  size);
+    }
+    return best;
+  }
+
+  /// Serial per-row credit in row order — float-for-float the same sum as
+  /// `LinkageCreditScore` over the equivalent per-row records. The self link
+  /// additionally requires the row's own pair to sit inside the candidate
+  /// windows (the cached self_ok_ bit), exactly like the row state's
+  /// clustered init fanout.
+  void RefreshScore() {
+    const PatternIndex& clusters = bound_->clusters();
+    int64_t n = bound_->original().num_rows();
+    double credit = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      auto c = static_cast<size_t>(clusters.cluster_of(i));
+      const LinkageRowBest& row = core_.cluster_best[c];
+      if (row.count <= 0) continue;
+      if (!self_ok_[static_cast<size_t>(i)]) continue;
+      if (d_self_[static_cast<size_t>(i)] <= row.best + kLinkageEps) {
+        credit += 1.0 / static_cast<double>(row.count);
+      }
+    }
+    core_.score = n == 0 ? 0.0 : 100.0 * credit / static_cast<double>(n);
+  }
+
+  bool AllCandCodes(const std::vector<std::vector<uint8_t>>& cand,
+                    const int32_t* o_codes, const int32_t* m_codes) const {
+    for (size_t k = 0; k < cand.size(); ++k) {
+      auto card = static_cast<size_t>(Cardinality(k));
+      if (!cand[k][static_cast<size_t>(o_codes[k]) * card +
+                   static_cast<size_t>(m_codes[k])]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True when `k` is the first attribute whose flip block covers the
+  /// (cluster, group) code pair.
+  bool FirstFlippedAttr(const std::vector<std::vector<uint8_t>>& flipped,
+                        const int32_t* o_codes, const int32_t* m_codes,
+                        size_t k) const {
+    for (size_t k2 = 0; k2 < k; ++k2) {
+      if (flipped[k2].empty()) continue;
+      auto card = static_cast<size_t>(Cardinality(k2));
+      if (flipped[k2][static_cast<size_t>(o_codes[k2]) * card +
+                      static_cast<size_t>(m_codes[k2])]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Indexes groups created since `from` into the by-code lists (append-only,
+  /// mirroring the never-deleted group ids).
+  void AppendNewGroups(int64_t from) {
+    for (int64_t g = from; g < groups_.num_groups(); ++g) {
+      const int32_t* gcodes = groups_.codes(g);
+      for (size_t k = 0; k < groups_.num_attrs(); ++k) {
+        groups_by_code_[k][static_cast<size_t>(gcodes[k])].push_back(
+            static_cast<int32_t>(g));
+      }
+    }
+  }
+
+  void RebuildGroupsByCode() {
+    const auto& attrs = bound_->attrs();
+    groups_by_code_.assign(attrs.size(), {});
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      groups_by_code_[k].resize(static_cast<size_t>(Cardinality(k)));
+    }
+    AppendNewGroups(0);
+  }
+
+  const BoundRsrl* bound_;
+  std::vector<int> attr_pos_;
+  int shards_;
+  std::vector<std::vector<int64_t>> orig_counts_;  ///< original marginals
+  /// Static: clusters holding original code o at attribute k.
+  std::vector<std::vector<std::vector<int32_t>>> clusters_by_code_;
+  /// Dynamic, append-only: groups holding masked code m at attribute k.
+  std::vector<std::vector<std::vector<int32_t>>> groups_by_code_;
+  MaskedGroups groups_;
+  std::vector<double> d_self_;  ///< d(cluster(i), group(i))
+  /// Cached AllCandCodes(cand, cluster(i), group(i)) per row — the credit
+  /// loop's hot read, kept current across applies instead of re-derived.
+  std::vector<uint8_t> self_ok_;
+  Core core_;
+  Undo undo_;
+  // Per-apply scratch, reused across generations.
+  std::vector<uint8_t> rescan_;
+  std::vector<int64_t> changed_in_group_;
+  std::vector<int32_t> rd_codes_;
+};
+
 std::unique_ptr<MeasureState> BoundRsrl::BindState(const Dataset& masked) const {
+  if (GetDataPlane().sharded) {
+    return std::make_unique<ClusteredRsrlState>(this, masked);
+  }
   return std::make_unique<RsrlState>(this, masked);
 }
 

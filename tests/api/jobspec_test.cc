@@ -34,7 +34,8 @@ const char* kFullSpec = R"({
   },
   "fitness": {
     "delta_rebuild_fraction": 0.3,
-    "rebuild_fractions": {"DBRL": 0.2, "PRL": 0.6}
+    "rebuild_fractions": {"DBRL": 0.2, "PRL": 0.6},
+    "probe_rebuild_fractions": true
   },
   "ga": {
     "generations": 250,
@@ -75,6 +76,7 @@ TEST(JobSpecParseTest, FullSpecParses) {
   EXPECT_DOUBLE_EQ(spec.fitness.rebuild_fractions[0].second, 0.2);
   EXPECT_EQ(spec.fitness.rebuild_fractions[1].first, "PRL");
   EXPECT_DOUBLE_EQ(spec.fitness.rebuild_fractions[1].second, 0.6);
+  EXPECT_TRUE(spec.fitness.probe_rebuild_fractions);
   EXPECT_EQ(spec.ga.generations, 250);
   EXPECT_EQ(spec.ga.selection, core::SelectionStrategy::kRank);
   EXPECT_FALSE(spec.ga.incremental_eval);

@@ -100,6 +100,75 @@ TEST(PackedColumnTest, AccumulateCountsMatchesSerialCount) {
   EXPECT_EQ(counts, expected);
 }
 
+TEST(PackedColumnTest, DecodeRangeMatchesScalarDecodeEveryWidth) {
+  // The word-walk bulk decoder (and its SIMD byte-aligned fast paths at
+  // widths 4/8/16) against the per-value scalar decode, over widths 1..16
+  // with cardinalities 2^k - 1, 2^k, 2^k + 1. 517 rows: word-straddling
+  // codes at every alignment for the non-power-of-two widths plus a partial
+  // tail word.
+  for (int k = 1; k <= 16; ++k) {
+    for (int32_t card : {(1 << k) - 1, 1 << k, (1 << k) + 1}) {
+      if (card < 2) continue;
+      auto codes = RandomCodes(517, card, 4200 + static_cast<uint64_t>(k));
+      PackedColumn packed = PackedColumn::Pack(codes, card);
+      std::vector<int32_t> decoded(codes.size(), -1);
+      packed.DecodeRange(0, packed.size(), decoded.data());
+      for (size_t i = 0; i < codes.size(); ++i) {
+        ASSERT_EQ(decoded[i], packed.Get(static_cast<int64_t>(i)))
+            << "card " << card << " row " << i;
+      }
+      ASSERT_EQ(decoded, codes) << "card " << card;
+    }
+  }
+}
+
+TEST(PackedColumnTest, DecodeRangeHandlesMidWordAndEmptyRanges) {
+  // Sub-ranges that start and end mid-word (including straddle-adjacent
+  // offsets), single-value ranges and empty ranges, across straddling
+  // (width 5) and byte-aligned SIMD (widths 4, 8, 16) layouts.
+  for (int32_t card : {17, 16, 251, 40000}) {
+    auto codes = RandomCodes(300, card, 77 + static_cast<uint64_t>(card));
+    PackedColumn packed = PackedColumn::Pack(codes, card);
+    const std::pair<int64_t, int64_t> ranges[] = {
+        {0, 0},     {150, 150}, {0, 1},    {299, 300}, {1, 300},
+        {63, 65},   {5, 133},   {12, 13},  {64, 128},  {31, 257}};
+    for (const auto& [begin, end] : ranges) {
+      std::vector<int32_t> decoded(static_cast<size_t>(end - begin) + 1,
+                                   -7);
+      decoded.back() = -7;  // canary past the range
+      packed.DecodeRange(begin, end, decoded.data());
+      for (int64_t i = begin; i < end; ++i) {
+        ASSERT_EQ(decoded[static_cast<size_t>(i - begin)],
+                  codes[static_cast<size_t>(i)])
+            << "card " << card << " range [" << begin << ", " << end << ")";
+      }
+      EXPECT_EQ(decoded.back(), -7) << "decode wrote past the range";
+    }
+  }
+}
+
+TEST(PackedColumnTest, AccumulateCountsMatchesScalarEveryWidth) {
+  // The counting kernel against a scalar Get loop at every width,
+  // including mid-word shard boundaries (the sharded builds' call shape).
+  for (int k = 1; k <= 16; ++k) {
+    int32_t card = (1 << k) - 1;
+    if (card < 2) card = 2;
+    auto codes = RandomCodes(413, card, 9900 + static_cast<uint64_t>(k));
+    PackedColumn packed = PackedColumn::Pack(codes, card);
+    for (auto [begin, end] : {std::pair<int64_t, int64_t>{0, 413},
+                              {37, 389}, {100, 100}, {412, 413}}) {
+      std::vector<int64_t> expected(static_cast<size_t>(card), 0);
+      for (int64_t i = begin; i < end; ++i) {
+        expected[static_cast<size_t>(packed.Get(i))] += 1;
+      }
+      std::vector<int64_t> counts(static_cast<size_t>(card), 0);
+      packed.AccumulateCounts(begin, end, counts.data());
+      ASSERT_EQ(counts, expected) << "width " << k << " range [" << begin
+                                  << ", " << end << ")";
+    }
+  }
+}
+
 TEST(PackedColumnTest, CopySharesStorageUntilFirstWrite) {
   // Mirrors dataset_cow_test.cc: a copy aliases the word buffer; the first
   // Set detaches a private copy and the sibling keeps its codes.
